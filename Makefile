@@ -1,0 +1,17 @@
+# Convenience targets; `pip install -e .` may need --no-build-isolation,
+# and offline setuptools without the `wheel` package needs the legacy path.
+.PHONY: install test bench examples all
+
+install:
+	pip install -e . --no-build-isolation || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+examples:
+	for f in examples/*.py; do echo "== $$f =="; python $$f; done
+
+all: install test bench

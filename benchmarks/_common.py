@@ -1,0 +1,44 @@
+"""Shared configuration for the benchmark harness.
+
+Every ``bench_*.py`` file regenerates one table or figure family from the
+paper.  Each saves its rendered data series under ``benchmarks/results/``
+so EXPERIMENTS.md can point at concrete artefacts, and asserts the shape
+claims the paper makes about that figure.
+
+The runs are scaled (shorter iterations, fewer invocations than the
+paper's 10) to keep the harness to minutes; curve *shapes* are what the
+reproduction targets, and those are scale-invariant.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro import RunConfig
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Scaled-down analogue of the paper's Section 6.1 configuration.
+BENCH_CONFIG = RunConfig(invocations=2, iterations=3, duration_scale=0.15)
+
+#: Faster configuration for the wide appendix sweeps.
+APPENDIX_CONFIG = RunConfig(invocations=2, iterations=2, duration_scale=0.08)
+
+#: Heap multiples for LBO sweeps: dense at small heaps (Section 4.2).
+SWEEP_MULTIPLES = (1.0, 1.25, 1.5, 2.0, 3.0, 4.0, 6.0)
+
+
+def save(name: str, text: str) -> pathlib.Path:
+    """Persist a rendered table under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    return path
+
+
+def series_value(series, collector: str, multiple: float) -> float:
+    """Look up one geomean point."""
+    for m, v in series[collector]:
+        if abs(m - multiple) < 1e-9:
+            return v
+    raise KeyError(f"{collector} has no point at {multiple}x")

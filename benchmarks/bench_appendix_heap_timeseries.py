@@ -1,0 +1,36 @@
+"""Appendix heap graphs (Figures 8, 10, 12, ...): heap size after each
+garbage collection over the last iteration, running G1 at 2.0x heap —
+one series per benchmark.
+"""
+
+from _common import APPENDIX_CONFIG, save
+
+from repro import registry
+from repro.harness.experiments import heap_timeseries
+from repro.harness.report import format_heap_series
+
+
+def run_heap_series():
+    return {
+        spec.name: heap_timeseries(spec, "G1", 2.0, APPENDIX_CONFIG)
+        for spec in registry.all_workloads()
+    }
+
+
+def test_appendix_heap_timeseries(benchmark):
+    series = benchmark.pedantic(run_heap_series, rounds=1, iterations=1)
+    sections = [format_heap_series(s, name) for name, s in series.items()]
+    save("appendix_heap_timeseries", "\n\n".join(sections))
+
+    assert len(series) == 22
+    for name, s in series.items():
+        spec = registry.workload(name)
+        assert len(s) >= 1, name
+        times = [t for t, _ in s]
+        assert times == sorted(times)
+        # Post-GC occupancy stays within the configured heap.
+        for _, mb in s:
+            assert 0.0 <= mb <= spec.heap_mb_for(2.0)
+    # lusearch collects far more often than batik (GCC 22408 vs 111).
+    assert len(series["lusearch"]) > 3 * len(series["batik"])
+    print(f"\nappendix heap series: {sum(len(s) for s in series.values())} GC events saved")

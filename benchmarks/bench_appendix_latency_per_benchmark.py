@@ -1,0 +1,47 @@
+"""Appendix latency figures (Figures 15, 24, 29, ...): simple and metered
+latency at 2x and 6x heaps for each of the nine latency-sensitive
+workloads.
+"""
+
+from _common import APPENDIX_CONFIG, save
+
+from repro import registry
+from repro.harness.experiments import latency_experiment
+from repro.harness.report import format_latency_comparison
+from repro.jvm.collectors import COLLECTOR_NAMES
+
+
+def run_appendix_latency():
+    results = {}
+    for spec in registry.latency_workloads():
+        for heap in (2.0, 6.0):
+            reports = {}
+            for collector in COLLECTOR_NAMES:
+                try:
+                    reports[collector] = latency_experiment(
+                        spec, collector, heap, APPENDIX_CONFIG
+                    ).report
+                except Exception:  # OutOfMemoryError at tight ZGC heaps
+                    continue
+            results[(spec.name, heap)] = reports
+    return results
+
+
+def test_appendix_latency_per_benchmark(benchmark):
+    results = benchmark.pedantic(run_appendix_latency, rounds=1, iterations=1)
+    sections = []
+    for (name, heap), reports in results.items():
+        for window, label in (("simple", "simple"), (0.1, "metered-100ms"), (None, "metered-full")):
+            sections.append(
+                f"{name} at {heap}x ({label})\n" + format_latency_comparison(reports, window)
+            )
+    save("appendix_latency_per_benchmark", "\n\n".join(sections))
+
+    assert len(results) == 18  # 9 workloads x 2 heaps
+    for (name, heap), reports in results.items():
+        assert "G1" in reports
+        for collector, report in reports.items():
+            # Metered >= simple at every percentile reported.
+            for q, simple_value in report.simple.items():
+                assert report.metered_at(None)[q] >= simple_value - 1e-9
+    print(f"\nappendix latency: {len(results)} (workload, heap) panels saved")

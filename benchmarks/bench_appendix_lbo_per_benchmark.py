@@ -1,0 +1,44 @@
+"""Appendix LBO figures (Figures 7, 9, 11, ...): per-benchmark wall-clock
+and task-clock LBO curves for every workload in the suite.
+"""
+
+from _common import APPENDIX_CONFIG, save
+
+from repro import registry
+from repro.harness.experiments import lbo_experiment
+from repro.harness.report import format_lbo_curves
+
+MULTIPLES = (1.0, 1.5, 2.0, 3.0, 4.0, 6.0)
+
+
+def run_appendix_lbo():
+    return {
+        spec.name: lbo_experiment(spec, multiples=MULTIPLES, config=APPENDIX_CONFIG)
+        for spec in registry.all_workloads()
+    }
+
+
+def test_appendix_lbo_per_benchmark(benchmark):
+    curves = benchmark.pedantic(run_appendix_lbo, rounds=1, iterations=1)
+    sections = []
+    for name, c in curves.items():
+        sections.append(format_lbo_curves(c, "wall"))
+        sections.append(format_lbo_curves(c, "task"))
+    save("appendix_lbo_per_benchmark", "\n\n".join(sections))
+
+    assert len(curves) == 22
+    for name, c in curves.items():
+        # Every benchmark has a G1 curve (the default collector) and every
+        # overhead is at least ~1 (LBO's lower-bound property, modulo CI
+        # noise at two invocations).
+        assert "G1" in c.collectors()
+        for collector in c.collectors():
+            for point in c.task[collector]:
+                assert point.overhead.mean > 0.9, (name, collector)
+        # jme barely exercises the GC (paper: wall LBO axis tops at 1.05).
+    jme = curves["jme"]
+    assert jme.point("wall", "G1", 6.0).overhead.mean < 1.2
+    # h2's new collectors have large task overheads even at 6x (the
+    # explanation for Figure 6's latency inversions).
+    assert curves["h2"].point("task", "ZGC", 6.0).overhead.mean > 1.2
+    print("\nappendix LBO: 22 benchmarks x wall+task saved")

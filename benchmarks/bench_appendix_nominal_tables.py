@@ -1,0 +1,58 @@
+"""Appendix Tables 3-24: the complete nominal-statistics table for every
+benchmark (score / value / rank / min / median / max per metric) — the
+output of the suite's ``-p`` option.
+"""
+
+from _common import save
+
+from repro.core import nominal
+from repro.harness.report import format_table
+from repro.workloads import nominal_data
+
+
+def full_table(bench: str) -> str:
+    scored = nominal.score_benchmark(bench)
+    rows = []
+    for metric in nominal.METRIC_NAMES:
+        if metric not in scored:
+            continue
+        s = scored[metric]
+        rows.append(
+            [
+                metric,
+                str(s.score),
+                f"{s.value:g}",
+                str(s.rank),
+                f"{s.min:g}",
+                f"{s.median:g}",
+                f"{s.max:g}",
+                nominal.METRICS[metric].description,
+            ]
+        )
+    return format_table(
+        ["Metric", "Score", "Value", "Rank", "Min", "Median", "Max", "Description"], rows
+    )
+
+
+def run_appendix_tables():
+    return {bench: full_table(bench) for bench in nominal_data.BENCHMARK_NAMES}
+
+
+def test_appendix_nominal_tables(benchmark):
+    tables = benchmark.pedantic(run_appendix_tables, rounds=1, iterations=1)
+    combined = []
+    for bench, table in tables.items():
+        combined.append(f"Complete nominal statistics for {bench}\n{table}")
+    save("appendix_nominal_tables", "\n\n".join(combined))
+
+    assert len(tables) == 22
+    # Spot-check published cells: lusearch ARA is rank 1, score 10.
+    scored = nominal.score_benchmark("lusearch")
+    assert scored["ARA"].rank == 1 and scored["ARA"].score == 10
+    # avrora PKP tops the suite (56% kernel time).
+    assert nominal.score_benchmark("avrora")["PKP"].rank == 1
+    # Scores stay within 0..10 everywhere.
+    for bench in nominal_data.BENCHMARK_NAMES:
+        for s in nominal.score_benchmark(bench).values():
+            assert 0 <= s.score <= 10
+    print("\n" + tables["avrora"][:800])

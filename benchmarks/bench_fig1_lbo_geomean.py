@@ -1,0 +1,52 @@
+"""Figure 1: lower bounds on the overheads of the five production
+collectors as a function of heap size — geometric mean over all 22
+benchmarks, wall clock (1a) and total CPU / TASK_CLOCK (1b).
+
+Points appear only where the collector runs every benchmark to completion,
+which is why ZGC* (no compressed pointers) starts at larger multiples.
+"""
+
+from _common import BENCH_CONFIG, RESULTS_DIR, SWEEP_MULTIPLES, save, series_value
+
+from repro import registry
+from repro.harness.experiments import suite_lbo
+from repro.harness.figures import geomean_figure, write_figure_json
+from repro.harness.report import format_lbo_series
+
+
+def run_figure1():
+    return suite_lbo(registry.all_workloads(), multiples=SWEEP_MULTIPLES, config=BENCH_CONFIG)
+
+
+def test_fig1_lbo_geomean(benchmark):
+    result = benchmark.pedantic(run_figure1, rounds=1, iterations=1)
+
+    wall = format_lbo_series(result.geomean_wall, "Figure 1(a): wall clock LBO, geomean over 22 benchmarks")
+    task = format_lbo_series(result.geomean_task, "Figure 1(b): total CPU (TASK_CLOCK) LBO, geomean over 22 benchmarks")
+    save("fig1a_wall_geomean", wall)
+    save("fig1b_task_geomean", task)
+    # Plot-ready data for users with a plotting stack.
+    write_figure_json(geomean_figure(result, "wall"), RESULTS_DIR / "fig1a_wall_geomean.json")
+    write_figure_json(geomean_figure(result, "task"), RESULTS_DIR / "fig1b_task_geomean.json")
+    print("\n" + wall + "\n\n" + task)
+
+    # Shape assertions (paper Section 2):
+    # "In the best case, wall clock overheads are 9% (G1 and Parallel)".
+    best_wall = {c: min(v for _, v in pts) for c, pts in result.geomean_wall.items()}
+    assert min(best_wall, key=best_wall.get) in ("G1", "Parallel")
+    # "total CPU overheads are 15% (Serial)": Serial wins the task clock.
+    best_task = {c: min(v for _, v in pts) for c, pts in result.geomean_task.items()}
+    assert min(best_task, key=best_task.get) == "Serial"
+    assert 1.0 < best_task["Serial"] < 1.4
+    # "newer garbage collectors incur even higher overheads": monotone by year.
+    at6 = [series_value(result.geomean_task, c, 6.0) for c in ("Serial", "Parallel", "G1", "Shenandoah", "ZGC")]
+    assert at6[0] < at6[1] < at6[2] < at6[3]
+    assert at6[4] > at6[2]
+    # "At smaller heaps, overheads exceed 2x."  (The smallest multiple with
+    # a geomean point: leaky workloads — zxing grows its live set 120% over
+    # ten iterations — cannot finish five iterations at exactly 1.0x.)
+    smallest = min(m for m, _ in result.geomean_task["Shenandoah"])
+    assert series_value(result.geomean_task, "Shenandoah", smallest) > 2.0
+    # ZGC cannot run all 22 at the smallest multiples.
+    zgc_multiples = [m for m, _ in result.geomean_task["ZGC"]]
+    assert min(zgc_multiples) > min(m for m, _ in result.geomean_task["Parallel"])

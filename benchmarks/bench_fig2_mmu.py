@@ -1,0 +1,55 @@
+"""Figure 2: why GC pause time is a poor proxy for responsiveness.
+
+Cheng and Blelloch's point: several short pauses can be as bad as — or
+worse than — one long pause, which raw pause statistics cannot see but
+minimum mutator utilization (MMU) can.  This bench regenerates that
+demonstration with the suite's MMU implementation, on both synthetic pause
+trains and a real simulated run.
+"""
+
+from _common import BENCH_CONFIG, save
+
+from repro import registry
+from repro.core.latency import mmu_curve
+from repro.harness.report import format_table
+from repro.harness.runner import measure
+from repro.jvm.timeline import Pause
+
+WINDOWS_S = (0.01, 0.02, 0.05, 0.1, 0.5, 1.0)
+
+
+def run_figure2():
+    # One 40 ms pause vs four 10 ms pauses 15 ms apart: equal total pause
+    # time, very different responsiveness.
+    single = [Pause(start=1.0, duration=0.040)]
+    clustered = [Pause(start=1.0 + 0.015 * i, duration=0.010) for i in range(4)]
+    spread = [Pause(start=1.0 + 2.0 * i, duration=0.010) for i in range(4)]
+    horizon = 10.0
+    curves = {
+        "one 40ms pause": mmu_curve(single, horizon, WINDOWS_S),
+        "4x10ms clustered": mmu_curve(clustered, horizon, WINDOWS_S),
+        "4x10ms spread": mmu_curve(spread, horizon, WINDOWS_S),
+    }
+    spec = registry.workload("lusearch")
+    run = measure(spec, "G1", spec.heap_mb_for(2.0), BENCH_CONFIG).results[0]
+    curves["lusearch/G1 2.0x (measured)"] = mmu_curve(
+        run.timeline.pauses, run.wall_s, WINDOWS_S
+    )
+    return curves
+
+
+def test_fig2_mmu(benchmark):
+    curves = benchmark.pedantic(run_figure2, rounds=1, iterations=1)
+    headers = ["pause pattern"] + [f"MMU@{w * 1e3:g}ms" for w in WINDOWS_S]
+    rows = [
+        [name] + [f"{curve[w]:.3f}" for w in WINDOWS_S] for name, curve in curves.items()
+    ]
+    table = "Figure 2: minimum mutator utilization vs window size\n" + format_table(headers, rows)
+    save("fig2_mmu", table)
+    print("\n" + table)
+
+    # Equal total pause time, but the clustered train starves small windows
+    # the spread train does not — the figure's argument.
+    assert curves["4x10ms clustered"][0.02] < curves["4x10ms spread"][0.02]
+    # And the single long pause is the worst at the smallest window.
+    assert curves["one 40ms pause"][0.01] == 0.0

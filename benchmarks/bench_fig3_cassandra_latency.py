@@ -1,0 +1,58 @@
+"""Figure 3: distribution of request latencies for cassandra under each of
+the five production collectors — simple latency, metered latency with
+100 ms smoothing, and metered latency with full smoothing, at 2x and 6x
+the minimum heap.
+"""
+
+from _common import BENCH_CONFIG, save
+
+from repro import registry
+from repro.harness.experiments import latency_experiment
+from repro.harness.report import format_latency_comparison
+from repro.jvm.collectors import COLLECTOR_NAMES
+
+PANELS = (
+    ("fig3a_simple_2x", 2.0, "simple"),
+    ("fig3b_simple_6x", 6.0, "simple"),
+    ("fig3c_metered100ms_2x", 2.0, 0.1),
+    ("fig3d_metered100ms_6x", 6.0, 0.1),
+    ("fig3e_metered_full_2x", 2.0, None),
+    ("fig3f_metered_full_6x", 6.0, None),
+)
+
+
+def run_figure3():
+    spec = registry.workload("cassandra")
+    return {
+        heap: {
+            collector: latency_experiment(spec, collector, heap, BENCH_CONFIG).report
+            for collector in COLLECTOR_NAMES
+        }
+        for heap in (2.0, 6.0)
+    }
+
+
+def test_fig3_cassandra_latency(benchmark):
+    reports = benchmark.pedantic(run_figure3, rounds=1, iterations=1)
+    for name, heap, window in PANELS:
+        table = format_latency_comparison(reports[heap], window)
+        save(name, f"Figure 3 ({name}): cassandra at {heap}x heap\n{table}")
+
+    for heap in (2.0, 6.0):
+        for collector in COLLECTOR_NAMES:
+            report = reports[heap][collector]
+            # Metered latency can never be below simple latency.
+            for q in (50.0, 99.0, 99.99):
+                assert report.metered_at(None)[q] >= report.simple[q] - 1e-9
+            # Distributions are monotone in percentile.
+            ladder = [report.simple[q] for q in sorted(report.simple)]
+            assert ladder == sorted(ladder)
+
+    # "Even at the generous 6.0x heap, the newer collectors do not deliver
+    # better latency than G1 on this workload": G1's tail is at least
+    # competitive (within a small factor) with the latency-oriented pair.
+    g1_tail = reports[6.0]["G1"].simple[99.9]
+    for newer in ("Shenandoah", "ZGC"):
+        assert reports[6.0][newer].simple[99.9] > 0.5 * g1_tail
+
+    print("\n" + format_latency_comparison(reports[2.0], "simple"))

@@ -1,0 +1,48 @@
+"""Figure 4: principal components analysis of the 22 DaCapo workloads over
+the nominal statistics with complete coverage — the suite-diversity
+demonstration (PC1/PC2 and PC3/PC4 scatter coordinates).
+"""
+
+import numpy as np
+from _common import RESULTS_DIR, save
+
+from repro.core.pca import determinant_metrics, suite_pca
+from repro.harness.figures import pca_figure, write_figure_json
+from repro.harness.report import format_pca_projection
+
+
+def run_figure4():
+    return suite_pca(n_components=4)
+
+
+def test_fig4_pca(benchmark):
+    result = benchmark.pedantic(run_figure4, rounds=1, iterations=1)
+
+    header = (
+        f"Figure 4: PCA of the 22 workloads over {len(result.metrics)} complete metrics\n"
+        f"variance explained: "
+        + ", ".join(
+            f"PC{i + 1} {r * 100:.0f}%" for i, r in enumerate(result.explained_variance_ratio)
+        )
+    )
+    body_a = format_pca_projection(result, (0, 1))
+    body_b = format_pca_projection(result, (2, 3))
+    save("fig4a_pca_pc1_pc2", f"{header}\n\n{body_a}")
+    save("fig4b_pca_pc3_pc4", f"{header}\n\n{body_b}")
+    write_figure_json(pca_figure(result, (0, 1)), RESULTS_DIR / "fig4a_pca.json")
+    write_figure_json(pca_figure(result, (2, 3)), RESULTS_DIR / "fig4b_pca.json")
+    print("\n" + header + "\n\n" + body_a)
+
+    # Shape assertions: 22 workloads, four components explaining a
+    # comparable share of variance to the paper (18/16/14/11 = 59%).
+    assert len(result.benchmarks) == 22
+    ratios = result.explained_variance_ratio
+    assert 0.40 <= float(ratios.sum()) <= 0.85
+    assert all(ratios[i] >= ratios[i + 1] for i in range(3))
+    # Diversity: workloads well dispersed, no coincident pair.
+    for i in range(22):
+        for j in range(i + 1, 22):
+            assert np.linalg.norm(result.projections[i] - result.projections[j]) > 0.1
+
+    top = determinant_metrics(result, count=12)
+    save("fig4_determinant_metrics", "Twelve most determinant metrics: " + ", ".join(top))

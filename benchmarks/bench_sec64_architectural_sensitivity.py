@@ -1,0 +1,84 @@
+"""Section 6.4: architectural sensitivity.
+
+The paper explores four workloads chosen from the IPC extremes — biojava
+(4.76) and jython (2.68) at the top, xalan (0.94) and h2o (0.89) at the
+bottom — and relates their microarchitectural nominal statistics to their
+sensitivity to running on entirely different processor designs (UAA: ARM
+Neoverse N1; UAI: Intel Golden Cove).
+
+This bench regenerates the microarchitectural comparison table and then
+*measures* the cross-architecture slowdowns through the harness by
+re-running each workload under the ARM and Intel environment profiles.
+"""
+
+from dataclasses import replace
+
+from _common import APPENDIX_CONFIG, save
+
+from repro import registry
+from repro.harness.report import format_table
+from repro.harness.runner import measure
+from repro.jvm import environment as env
+from repro.workloads import nominal_data
+
+CASE_STUDIES = ("biojava", "jython", "xalan", "h2o")
+UARCH_METRICS = ("UIP", "UDC", "UDT", "ULL", "USB", "USC", "USF", "UBP", "UBS", "UBM")
+
+
+def run_section64():
+    rows = []
+    for bench in CASE_STUDIES:
+        row = [bench] + [f"{nominal_data.value(bench, m):g}" for m in UARCH_METRICS]
+        rows.append(row)
+
+    measured = {}
+    for bench in CASE_STUDIES:
+        spec = registry.workload(bench)
+        heap = spec.heap_mb_for(2.0)
+        base = measure(spec, "G1", heap, APPENDIX_CONFIG).wall.mean
+        arm = measure(
+            spec, "G1", heap, replace(APPENDIX_CONFIG, environment=env.ON_NEOVERSE_N1)
+        ).wall.mean
+        intel = measure(
+            spec, "G1", heap, replace(APPENDIX_CONFIG, environment=env.ON_GOLDEN_COVE)
+        ).wall.mean
+        measured[bench] = (
+            100.0 * (arm / base - 1.0),
+            100.0 * (intel / base - 1.0),
+        )
+    return rows, measured
+
+
+def test_sec64_architectural_sensitivity(benchmark):
+    rows, measured = benchmark.pedantic(run_section64, rounds=1, iterations=1)
+
+    table = format_table(["benchmark"] + list(UARCH_METRICS), rows)
+    arch_rows = [
+        [bench, f"{arm:+.0f}%", f"{intel:+.0f}%",
+         f"{nominal_data.value(bench, 'UAA'):+g}%", f"{nominal_data.value(bench, 'UAI'):+g}%"]
+        for bench, (arm, intel) in measured.items()
+    ]
+    arch_table = format_table(
+        ["benchmark", "ARM measured", "Intel measured", "UAA published", "UAI published"],
+        arch_rows,
+    )
+    out = ("Section 6.4: microarchitectural statistics of the IPC-extreme workloads\n"
+           + table + "\n\nCross-architecture slowdowns (measured via the harness)\n" + arch_table)
+    save("sec64_architectural_sensitivity", out)
+    print("\n" + out)
+
+    # biojava: highest IPC, lowest data-cache misses in the suite.
+    assert nominal_data.value("biojava", "UIP") == max(
+        nominal_data.value(b, "UIP") for b in nominal_data.BENCHMARK_NAMES
+    )
+    # h2o: lowest IPC, highest LLC miss rate and back-end boundedness.
+    assert nominal_data.value("h2o", "UIP") == min(
+        nominal_data.value(b, "UIP") for b in nominal_data.BENCHMARK_NAMES
+    )
+    assert nominal_data.value("h2o", "ULL") == max(
+        nominal_data.value(b, "ULL") for b in nominal_data.BENCHMARK_NAMES
+    )
+    # Measured cross-architecture slowdowns round-trip the published UAA/UAI.
+    for bench, (arm, intel) in measured.items():
+        assert arm == __import__("pytest").approx(nominal_data.value(bench, "UAA"), abs=8.0)
+        assert intel == __import__("pytest").approx(nominal_data.value(bench, "UAI"), abs=8.0)

@@ -1,0 +1,48 @@
+"""Workload size configurations: minimum heaps from 5 MB to 20 GB.
+
+The paper's abstract headlines the suite's range of minimum heap sizes —
+5 MB (avrora, default) up to 20 GB (h2, vlarge).  This bench measures the
+actual minimum heap of each size configuration of a representative set of
+workloads with the default collector, and checks the measured minima track
+the published GMS/GMD/GML/GMV statistics.
+"""
+
+from _common import save
+
+from repro import RunConfig, registry
+from repro.core.minheap import find_min_heap
+from repro.harness.report import format_table
+
+CONFIG = RunConfig(invocations=1, duration_scale=0.02)
+CASES = ("avrora", "fop", "lusearch", "h2")
+
+
+def run_sizes():
+    rows = []
+    for bench in CASES:
+        for size in registry.available_sizes(bench):
+            spec = registry.workload(bench, size)
+            found = find_min_heap(
+                spec, "G1", duration_scale=CONFIG.duration_scale, iterations=1
+            )
+            rows.append(
+                [bench, size, f"{spec.minheap_mb:g}", f"{found.min_heap_mb:.1f}",
+                 f"{found.min_heap_mb / spec.minheap_mb:.2f}"]
+            )
+    return rows
+
+
+def test_sizes_minheap(benchmark):
+    rows = benchmark.pedantic(run_sizes, rounds=1, iterations=1)
+    table = ("Minimum heap by size configuration (G1, measured vs nominal)\n"
+             + format_table(["benchmark", "size", "nominal MB", "measured MB", "ratio"], rows))
+    save("sizes_minheap", table)
+    print("\n" + table)
+
+    ratios = [float(r[4]) for r in rows]
+    # Measured minima track the nominal statistics across 3.5 orders of
+    # magnitude of heap size (5 MB avrora/small to 20 GB h2/vlarge).
+    assert all(0.5 <= r <= 1.3 for r in ratios)
+    nominal = [float(r[2]) for r in rows]
+    assert min(nominal) <= 5.0
+    assert max(nominal) >= 20000.0

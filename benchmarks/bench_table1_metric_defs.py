@@ -1,0 +1,33 @@
+"""Table 1: the nominal statistics used to characterize the DaCapo Chopin
+workloads — acronym, group, and description, exactly as the suite's
+``-p`` machinery defines them.
+"""
+
+from _common import save
+
+from repro.core import nominal
+from repro.harness.report import format_table
+
+
+def run_table1():
+    rows = [
+        [metric.acronym, metric.group, metric.description]
+        for metric in nominal.METRICS.values()
+    ]
+    return format_table(["Metric", "Group", "Description"], rows)
+
+
+def test_table1_metric_definitions(benchmark):
+    table = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    save("table1_metric_definitions", "Table 1: nominal statistic definitions\n" + table)
+    print("\n" + table)
+
+    assert len(nominal.METRICS) == 48  # Table 1 lists 48 acronyms
+    groups = {m.group for m in nominal.METRICS.values()}
+    assert groups == {
+        "Allocation",
+        "Bytecode",
+        "Garbage collection",
+        "Performance",
+        "u-architecture",
+    }

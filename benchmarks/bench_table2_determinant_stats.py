@@ -1,0 +1,43 @@
+"""Table 2: the twelve most determinant nominal statistics (from the PCA)
+and, for each benchmark, its rank and concrete value on each.
+"""
+
+from _common import save
+
+from repro.core import nominal
+from repro.core.pca import determinant_metrics, suite_pca
+from repro.harness.report import format_table
+from repro.workloads import nominal_data
+
+
+def run_table2():
+    result = suite_pca(n_components=4)
+    # Determinant metrics restricted to those with full coverage, as in
+    # the paper's Table 2.
+    top = determinant_metrics(result, count=12)
+    ranks = {metric: nominal.rank_benchmarks(metric) for metric in top}
+    rows = []
+    for bench in nominal_data.BENCHMARK_NAMES:
+        row = [bench]
+        for metric in top:
+            value = nominal_data.value(bench, metric)
+            row.append(f"{ranks[metric][bench]}:{value:g}")
+        rows.append(row)
+    return top, format_table(["Benchmark"] + top, rows)
+
+
+def test_table2_determinant_stats(benchmark):
+    top, table = benchmark.pedantic(run_table2, rounds=1, iterations=1)
+    save(
+        "table2_determinant_stats",
+        "Table 2: twelve most determinant nominal statistics (rank:value)\n" + table,
+    )
+    print("\n" + table)
+
+    assert len(top) == 12
+    # Determinant metrics must have complete coverage (they fed the PCA).
+    complete = set(nominal.complete_metrics())
+    assert set(top) <= complete
+    # Overlap with the paper's published twelve.
+    paper = {"GLK", "GMU", "PET", "PFS", "PKP", "PWU", "UAA", "UAI", "UBP", "UBR", "UBS", "USF"}
+    assert len(set(top) & paper) >= 2

@@ -1,0 +1,60 @@
+"""Model validation: measured nominal statistics vs the paper's published
+values, across the whole suite.
+
+The workload models were *parameterized* from the published statistics,
+but the GC-group statistics (GC counts, pause percentages, post-GC
+occupancy, turnover, heap sensitivity, leakage) are *emergent* — they come
+out of the simulated heap/collector dynamics.  This bench measures them
+with the paper's own methodology (G1 at 2x min heap) and reports the
+Spearman rank agreement with the published columns; nominal statistics are
+rank-scored, so rank agreement is the relevant fidelity measure.
+"""
+
+from _common import APPENDIX_CONFIG, save
+
+from repro import registry
+from repro.core.characterize import characterize, spearman_rank_correlation
+from repro.harness.report import format_table
+from repro.workloads import nominal_data
+
+VALIDATED_METRICS = ("GCC", "GCP", "GCA", "GCM", "GTO", "GSS", "GLK", "PWU",
+                     "PMS", "PLS", "PFS", "PCC", "PIN")
+
+
+def run_validation():
+    measured = {
+        spec.name: characterize(spec, APPENDIX_CONFIG)
+        for spec in registry.all_workloads()
+    }
+    agreement = {}
+    for metric in VALIDATED_METRICS:
+        pairs = [
+            (measured[b][metric], nominal_data.value(b, metric))
+            for b in measured
+            if nominal_data.value(b, metric) is not None
+        ]
+        ours, published = zip(*pairs)
+        agreement[metric] = spearman_rank_correlation(ours, published)
+    return measured, agreement
+
+
+def test_validation_characterization(benchmark):
+    measured, agreement = benchmark.pedantic(run_validation, rounds=1, iterations=1)
+
+    rows = [[m, f"{rho:+.3f}"] for m, rho in agreement.items()]
+    table = ("Measured-vs-published rank agreement (Spearman rho) across 22 workloads\n"
+             + format_table(["metric", "rho"], rows))
+    save("validation_rank_agreement", table)
+    print("\n" + table)
+
+    # Environment sensitivities round-trip through the full experiment
+    # pipeline: near-perfect rank agreement expected.
+    for metric in ("PMS", "PLS", "PCC", "PIN", "PFS"):
+        assert agreement[metric] > 0.9, metric
+    # GLK round-trips through the forced-full-GC footprint measurement.
+    assert agreement["GLK"] > 0.95
+    # Emergent GC statistics: strong rank agreement required.
+    for metric in ("GCC", "GTO", "PWU"):
+        assert agreement[metric] > 0.6, metric
+    for metric in ("GCP", "GSS"):
+        assert agreement[metric] > 0.4, metric

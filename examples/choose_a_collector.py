@@ -1,0 +1,60 @@
+"""Collector selection under a memory budget and a latency SLO.
+
+A downstream-user scenario the paper's methodology enables: given a
+workload, a heap budget (in multiples of its minimum heap), and a tail
+latency objective, evaluate every production collector on *all three*
+axes the paper insists on — wall clock, task clock (CPU bill), and
+user-experienced tail latency — and print a ranked recommendation.
+
+    python examples/choose_a_collector.py [benchmark] [heap_multiple] [slo_ms]
+"""
+
+import sys
+
+from repro import RunConfig, registry
+from repro.harness.experiments import latency_experiment, lbo_experiment
+from repro.harness.report import format_table
+from repro.jvm.collectors import COLLECTOR_NAMES
+
+CONFIG = RunConfig(invocations=2, iterations=3, duration_scale=0.2)
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "spring"
+    heap = float(sys.argv[2]) if len(sys.argv) > 2 else 2.0
+    slo_ms = float(sys.argv[3]) if len(sys.argv) > 3 else 50.0
+    spec = registry.workload(name)
+    if not spec.latency_sensitive:
+        raise SystemExit(f"{name} has no request stream; pick a latency-sensitive workload")
+
+    curves = lbo_experiment(spec, multiples=(heap,), config=CONFIG)
+    rows = []
+    for collector in COLLECTOR_NAMES:
+        if collector not in curves.collectors():
+            rows.append([collector, "-", "-", "-", "cannot run in this heap"])
+            continue
+        wall = curves.point("wall", collector, heap).overhead.mean
+        task = curves.point("task", collector, heap).overhead.mean
+        run = latency_experiment(spec, collector, heap, CONFIG)
+        p999_ms = run.report.metered_at(0.1)[99.9] * 1e3
+        verdict = "meets SLO" if p999_ms <= slo_ms else "MISSES SLO"
+        rows.append([collector, f"{wall:.2f}x", f"{task:.2f}x", f"{p999_ms:.1f} ms", verdict])
+
+    print(f"{spec.name} at {heap}x min heap ({spec.heap_mb_for(heap):.0f} MB), "
+          f"p99.9 metered SLO {slo_ms:g} ms\n")
+    print(format_table(
+        ["collector", "wall LBO", "task LBO", "p99.9 metered", "verdict"], rows
+    ))
+
+    viable = [r for r in rows if r[4] == "meets SLO"]
+    if viable:
+        best = min(viable, key=lambda r: float(r[2].rstrip("x")))
+        print(f"\nrecommendation: {best[0]} — lowest CPU bill among collectors "
+              f"meeting the latency objective")
+    else:
+        print("\nno collector meets the SLO at this heap size: "
+              "add memory (Recommendation H1: explore the tradeoff).")
+
+
+if __name__ == "__main__":
+    main()

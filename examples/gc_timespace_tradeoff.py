@@ -1,0 +1,55 @@
+"""The time-space tradeoff, end to end (paper Sections 4.2 and 6.2).
+
+For a chosen workload this example:
+
+1. measures each collector's actual minimum heap (the GMD/GMU
+   methodology) — showing ZGC's compressed-pointer penalty,
+2. sweeps heap sizes expressed as multiples of the nominal minimum
+   (Recommendation H2), and
+3. prints wall-clock and task-clock LBO curves side by side
+   (Recommendations O1/O2), demonstrating why both must be reported.
+
+    python examples/gc_timespace_tradeoff.py [benchmark]
+"""
+
+import sys
+
+from repro import RunConfig, registry
+from repro.core.minheap import find_min_heap
+from repro.harness.experiments import lbo_experiment
+from repro.harness.report import format_lbo_curves
+from repro.jvm.collectors import COLLECTOR_NAMES
+from repro.jvm.heap import OutOfMemoryError
+
+CONFIG = RunConfig(invocations=3, iterations=2, duration_scale=0.1)
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "biojava"
+    spec = registry.workload(name)
+    print(f"== {spec.name}: {spec.description} ==")
+    print(f"nominal minimum heaps: GMD={spec.minheap_mb:.0f} MB, "
+          f"GMU={spec.minheap_nocomp_mb:.0f} MB (no compressed oops)\n")
+
+    print("measured minimum heaps (binary search until the run completes):")
+    for collector in COLLECTOR_NAMES:
+        try:
+            result = find_min_heap(spec, collector, duration_scale=CONFIG.duration_scale)
+        except OutOfMemoryError as exc:
+            print(f"  {collector:<11} failed: {exc}")
+            continue
+        multiple = result.as_multiple_of(spec.minheap_mb)
+        print(f"  {collector:<11} {result.min_heap_mb:8.1f} MB  ({multiple:.2f}x GMD)")
+    print()
+
+    curves = lbo_experiment(spec, multiples=(1.0, 1.25, 1.5, 2.0, 3.0, 4.0, 6.0), config=CONFIG)
+    print(format_lbo_curves(curves, "wall"))
+    print()
+    print(format_lbo_curves(curves, "task"))
+    print()
+    print("Note how collectors absent at the smallest multiples simply have")
+    print("no data point — the paper's plotting rule for Figure 1.")
+
+
+if __name__ == "__main__":
+    main()

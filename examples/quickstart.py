@@ -1,0 +1,45 @@
+"""Quickstart: simulate a benchmark, measure GC overhead, read latency.
+
+Runs the lusearch workload (Apache Lucene search; the suite's highest
+allocation rate) under two collectors, prints the wall/task costs, a
+lower-bound-overhead comparison, and the user-experienced latency report.
+
+    python examples/quickstart.py
+"""
+
+from repro import RunConfig, registry
+from repro.harness.experiments import latency_experiment, lbo_experiment
+from repro.harness.report import format_lbo_curves
+
+# Scaled-down iterations: everything below runs in a few seconds.  Use
+# duration_scale=1.0 for full-length (paper-equivalent) runs.
+CONFIG = RunConfig(invocations=3, iterations=3, duration_scale=0.2)
+
+
+def main() -> None:
+    spec = registry.workload("lusearch")
+    print(f"workload: {spec.name} — {spec.description}")
+    print(f"  nominal min heap (GMD): {spec.minheap_mb:.0f} MB")
+    print(f"  allocation rate (ARA):  {spec.alloc_rate_mb_s:.0f} MB/s")
+    print()
+
+    # 1. The time-space tradeoff: LBO curves across heap sizes
+    #    (Recommendations H1, O1, O2).
+    curves = lbo_experiment(spec, multiples=(1.5, 2.0, 3.0, 6.0), config=CONFIG)
+    print(format_lbo_curves(curves, "wall"))
+    print()
+    print(format_lbo_curves(curves, "task"))
+    print()
+
+    # 2. User-experienced latency (Recommendations L1, L2): simple and
+    #    metered latency percentiles under G1 at a 2x heap.
+    run = latency_experiment(spec, "G1", 2.0, CONFIG)
+    print(f"latency, {run.benchmark} with G1 at {run.heap_multiple}x heap "
+          f"({run.events.count} requests):")
+    for q, value in run.report.simple.items():
+        metered = run.report.metered_at(None)[q]
+        print(f"  p{q:<8g} simple {value * 1e3:8.3f} ms   metered {metered * 1e3:8.3f} ms")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""Statistically sound collector comparison (Recommendation P1).
+
+"An unsound claim can misdirect a field."  This example compares two
+collectors on a workload the way the empirical-evaluation literature the
+paper builds on demands: repeated invocations, bootstrap confidence
+intervals on the performance ratio, and a winner declared only when the
+interval excludes 1 — separately for wall clock and task clock, because
+(the paper's central point) the two metrics routinely crown different
+winners.
+
+    python examples/sound_comparison.py [benchmark] [collectorA] [collectorB]
+"""
+
+import sys
+
+from repro import RunConfig, registry
+from repro.core.compare import compare_collectors
+
+CONFIG = RunConfig(invocations=8, iterations=3, duration_scale=0.15)
+
+
+def main() -> None:
+    bench = sys.argv[1] if len(sys.argv) > 1 else "lusearch"
+    a = sys.argv[2] if len(sys.argv) > 2 else "Parallel"
+    b = sys.argv[3] if len(sys.argv) > 3 else "Serial"
+    spec = registry.workload(bench)
+
+    print(f"comparing {a} vs {b} on {bench} "
+          f"({CONFIG.invocations} invocations per configuration)\n")
+    for heap in (2.0, 6.0):
+        for metric in ("wall", "task"):
+            result = compare_collectors(spec, a, b, heap, metric, CONFIG)
+            print("  " + result.summary())
+        print()
+
+    print("Note how the winner can flip between wall clock and task clock,")
+    print("and between heap sizes — the reason Recommendations H1 and O2")
+    print("require reporting all of them.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Legacy setup shim: metadata lives in pyproject.toml.
+
+Present so that ``pip install -e .`` works in offline environments whose
+setuptools cannot build PEP 660 editable wheels (see pyproject.toml).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,107 @@
+"""repro - a reproduction of *Rethinking Java Performance Analysis*
+(Blackburn et al., ASPLOS 2025).
+
+The package implements the DaCapo Chopin methodology suite over a
+simulated JVM:
+
+- :mod:`repro.jvm` - the substrate: heap, machine model, and the five
+  OpenJDK 21 production collector models (Serial, Parallel, G1,
+  Shenandoah, ZGC).
+- :mod:`repro.workloads` - the 22 workload models parameterized from the
+  paper's published nominal statistics, including the nine
+  latency-sensitive request-driven workloads.
+- :mod:`repro.core` - the methodologies: lower-bound overhead (LBO),
+  simple and metered latency, minimum-heap search, nominal statistics,
+  and principal components analysis.
+- :mod:`repro.harness` - the experiment runner and the pre-packaged
+  experiments behind every figure and table of the paper.
+
+Quickstart::
+
+    from repro import registry, lbo_experiment
+
+    spec = registry.workload("lusearch")
+    curves = lbo_experiment(spec)
+    print(curves.point("wall", "G1", 2.0).overhead.mean)
+"""
+
+from repro.core.characterize import characterize, spearman_rank_correlation
+from repro.core.compare import bootstrap_ci, compare_collectors
+from repro.core.insights import format_insights, insights_for
+from repro.core.latency import (
+    latency_report,
+    metered_latencies,
+    simple_latencies,
+    synthetic_starts,
+)
+from repro.core.lbo import RunCosts, costs_from_iteration, geomean_curves, lbo_curves
+from repro.core.minheap import find_min_heap
+from repro.core.nominal import METRICS, format_report, score_benchmark
+from repro.core.pca import determinant_metrics, suite_pca
+from repro.core.stats import confidence_interval_95, geometric_mean
+from repro.harness.experiments import (
+    heap_timeseries,
+    latency_experiment,
+    lbo_experiment,
+    suite_lbo,
+)
+from repro.harness.runner import RunConfig, measure
+from repro.harness.configs import EXPERIMENTS, run_experiment
+from repro.harness.export import write_gc_log_csv, write_latency_csv
+from repro.jvm.collectors import COLLECTOR_NAMES, COLLECTORS
+from repro.jvm.environment import EnvironmentProfile, EnvironmentSensitivity
+from repro.jvm.heap import Heap, OutOfMemoryError
+from repro.jvm.simulator import simulate_iteration, simulate_run
+from repro.workloads import registry
+from repro.workloads.registry import all_workloads, available_sizes, latency_workloads, workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "COLLECTORS",
+    "COLLECTOR_NAMES",
+    "EXPERIMENTS",
+    "EnvironmentProfile",
+    "EnvironmentSensitivity",
+    "Heap",
+    "METRICS",
+    "OutOfMemoryError",
+    "RunConfig",
+    "RunCosts",
+    "all_workloads",
+    "available_sizes",
+    "bootstrap_ci",
+    "characterize",
+    "compare_collectors",
+    "format_insights",
+    "insights_for",
+    "confidence_interval_95",
+    "costs_from_iteration",
+    "determinant_metrics",
+    "find_min_heap",
+    "format_report",
+    "geomean_curves",
+    "geometric_mean",
+    "heap_timeseries",
+    "latency_experiment",
+    "latency_report",
+    "latency_workloads",
+    "lbo_curves",
+    "lbo_experiment",
+    "measure",
+    "metered_latencies",
+    "registry",
+    "run_experiment",
+    "score_benchmark",
+    "simple_latencies",
+    "simulate_iteration",
+    "simulate_run",
+    "spearman_rank_correlation",
+    "suite_lbo",
+    "suite_pca",
+    "synthetic_starts",
+    "workload",
+    "write_gc_log_csv",
+    "write_latency_csv",
+    "__version__",
+]

@@ -1,0 +1,1 @@
+"""Methodology core: statistics, LBO, latency metrics, nominal stats, PCA."""

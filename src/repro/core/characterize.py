@@ -1,0 +1,194 @@
+"""Measuring nominal statistics from the simulator.
+
+DaCapo Chopin ships precomputed nominal statistics *and* the tooling to
+reproduce them ("The bytecode instrumentation tools are included as part of
+the suite, allowing others to reproduce our measurements", Section 5.1).
+This module is that tooling for the simulated suite: it runs the paper's
+measurement methodology — G1 at 2x the minimum heap, default
+configuration — and recovers the statistics the simulator can produce:
+
+- the GC group: GCC, GCP, GCA, GCM, GTO, GSS, GLK, and GMD (via the
+  minimum-heap search),
+- the performance group: PET, PSD, PWU, and the environment sensitivities
+  PMS, PLS, PFS, PCC, PIN (by re-running under the perturbed environments
+  of Section 6.1.3).
+
+The GC statistics are *emergent* — they come out of the heap/collector
+dynamics, and comparing them against the published values validates the
+workload models (see ``benchmarks/bench_validation_characterization.py``).
+The environment sensitivities close a loop: the workload models respond to
+environment perturbation through their published coefficients, and this
+module measures them back through the full experiment pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.minheap import find_min_heap
+from repro.core.stats import confidence_interval_95
+from repro.jvm import environment as env
+from repro.harness.runner import DEFAULT_CONFIG, RunConfig, measure
+from repro.jvm.simulator import simulate_run, warmup_factor
+from repro.workloads.spec import WorkloadSpec
+
+#: The heap multiple the paper's GC statistics are defined at.
+CHARACTERIZATION_MULTIPLE = 2.0
+#: Heap multiples used for the GSS (heap-size sensitivity) measurement:
+#: "slowdown with tight heap, as a percentage".
+GSS_TIGHT, GSS_GENEROUS = 1.25, 6.0
+
+
+def measure_gc_statistics(spec: WorkloadSpec, config: RunConfig = DEFAULT_CONFIG) -> Dict[str, float]:
+    """The GC-group nominal statistics, measured with G1 at 2x min heap."""
+    heap_mb = spec.heap_mb_for(CHARACTERIZATION_MULTIPLE)
+    measurement = measure(spec, "G1", heap_mb, config)
+    timed = measurement.results[0]
+    post_gc = np.array([e.heap_after_mb for e in timed.telemetry.gc_log])
+    stats: Dict[str, float] = {
+        # GCC is defined over a full default-length run: normalise the
+        # timed iteration's count by the duration scale and the default
+        # iteration count.
+        "GCC": timed.gc_count / config.duration_scale * spec.default_iterations,
+        "GCP": 100.0 * timed.stw_wall_s / timed.wall_s if timed.wall_s > 0 else 0.0,
+        "GTO": timed.allocated_mb / (spec.minheap_mb * config.duration_scale)
+        if spec.minheap_mb > 0
+        else 0.0,
+    }
+    if post_gc.size:
+        stats["GCA"] = 100.0 * float(post_gc.mean()) / spec.minheap_mb
+        stats["GCM"] = 100.0 * float(np.median(post_gc)) / spec.minheap_mb
+    tight = measure(spec, "G1", spec.heap_mb_for(GSS_TIGHT), config)
+    generous = measure(spec, "G1", spec.heap_mb_for(GSS_GENEROUS), config)
+    stats["GSS"] = max(0.0, 100.0 * (tight.wall.mean / generous.wall.mean - 1.0))
+    return stats
+
+
+def measure_leakage(spec: WorkloadSpec, config: RunConfig = DEFAULT_CONFIG) -> float:
+    """GLK: percent post-GC heap growth over ten iterations."""
+    run = simulate_run(
+        spec,
+        "G1",
+        spec.heap_mb_for(4.0),
+        iterations=10,
+        machine=config.machine,
+        tuning=config.tuning,
+        duration_scale=config.duration_scale,
+        force_full_gc_between_iterations=True,
+    )
+    footprints = run.forced_gc_footprints_mb
+    first, last = footprints[0], footprints[-1]
+    if first <= 0:
+        return 0.0
+    return max(0.0, 100.0 * (last / first - 1.0))
+
+
+def measure_min_heap(spec: WorkloadSpec, config: RunConfig = DEFAULT_CONFIG) -> float:
+    """GMD: the minimum heap in which the default collector completes."""
+    return find_min_heap(
+        spec, "G1", duration_scale=config.duration_scale, machine=config.machine
+    ).min_heap_mb
+
+
+def measure_warmup_iterations(spec: WorkloadSpec, limit: int = 12) -> int:
+    """PWU: iterations to come within 1.5 % of peak performance.
+
+    Uses the warmup curve directly (it is deterministic given the spec),
+    exactly as the statistic is defined.
+    """
+    factors = [warmup_factor(i, spec) for i in range(1, limit + 1)]
+    best = min(factors)
+    for i, factor in enumerate(factors, start=1):
+        if factor <= best * 1.015:
+            return i
+    return limit
+
+
+def measure_execution_time(spec: WorkloadSpec, config: RunConfig = DEFAULT_CONFIG) -> Dict[str, float]:
+    """PET and PSD: execution time and its invocation-to-invocation spread."""
+    heap_mb = spec.heap_mb_for(CHARACTERIZATION_MULTIPLE)
+    measurement = measure(spec, "G1", heap_mb, config)
+    walls = np.array([r.wall_s for r in measurement.results])
+    pet = float(walls.mean()) / config.duration_scale
+    psd = 100.0 * float(walls.std(ddof=1) / walls.mean()) if walls.size > 1 else 0.0
+    return {"PET": pet, "PSD": psd}
+
+
+_SENSITIVITY_ENVIRONMENTS = {
+    "PMS": env.SLOW_MEMORY,
+    "PLS": env.SMALL_LLC,
+    "PCC": env.FORCED_C2,
+    "PIN": env.INTERPRETER_ONLY,
+}
+
+
+def measure_sensitivities(spec: WorkloadSpec, config: RunConfig = DEFAULT_CONFIG) -> Dict[str, float]:
+    """PMS/PLS/PCC/PIN (percent slowdowns) and PFS (percent speedup), by
+    re-running the workload under each perturbed environment."""
+    from dataclasses import replace
+
+    heap_mb = spec.heap_mb_for(CHARACTERIZATION_MULTIPLE)
+    baseline = measure(spec, "G1", heap_mb, config).wall.mean
+    results: Dict[str, float] = {}
+    for metric, profile in _SENSITIVITY_ENVIRONMENTS.items():
+        perturbed = measure(spec, "G1", heap_mb, replace(config, environment=profile))
+        results[metric] = 100.0 * (perturbed.wall.mean / baseline - 1.0)
+    boosted = measure(spec, "G1", heap_mb, replace(config, environment=env.BOOSTED))
+    results["PFS"] = 100.0 * (baseline / boosted.wall.mean - 1.0)
+    return results
+
+
+def characterize(
+    spec: WorkloadSpec,
+    config: RunConfig = DEFAULT_CONFIG,
+    include_min_heap: bool = False,
+) -> Dict[str, float]:
+    """Measure every statistic the simulator can produce for ``spec``.
+
+    ``include_min_heap`` adds the (slower) GMD binary search.
+    """
+    stats: Dict[str, float] = {}
+    stats.update(measure_gc_statistics(spec, config))
+    stats.update(measure_execution_time(spec, config))
+    stats["GLK"] = measure_leakage(spec, config)
+    stats["PWU"] = float(measure_warmup_iterations(spec))
+    stats.update(measure_sensitivities(spec, config))
+    if include_min_heap:
+        stats["GMD"] = measure_min_heap(spec, config)
+    return stats
+
+
+def spearman_rank_correlation(a, b) -> float:
+    """Spearman rank correlation between two paired samples.
+
+    Used to compare measured statistics against the published ones across
+    the suite: what matters for nominal statistics is the *ranking* of
+    workloads, and this is the standard measure of rank agreement.
+    """
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if a.shape != b.shape or a.ndim != 1:
+        raise ValueError("samples must be paired one-dimensional arrays")
+    if a.size < 2:
+        raise ValueError("need at least two pairs")
+
+    def ranks(x):
+        order = np.argsort(x)
+        r = np.empty_like(order, dtype=float)
+        r[order] = np.arange(1, x.size + 1)
+        # Average ties.
+        for value in np.unique(x):
+            mask = x == value
+            if mask.sum() > 1:
+                r[mask] = r[mask].mean()
+        return r
+
+    ra, rb = ranks(a), ranks(b)
+    ra -= ra.mean()
+    rb -= rb.mean()
+    denom = np.sqrt((ra**2).sum() * (rb**2).sum())
+    if denom == 0:
+        return 0.0
+    return float((ra * rb).sum() / denom)

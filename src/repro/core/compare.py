@@ -1,0 +1,166 @@
+"""Statistically sound comparisons between configurations.
+
+Recommendation P1 requires "sufficient data points such that a
+statistically sound conclusion can be drawn" — and the empirical-evaluation
+literature the paper leans on (Georges et al., the SIGPLAN checklist) warns
+against declaring winners from bare means.  This module provides the
+machinery: bootstrap confidence intervals for arbitrary statistics, and a
+collector-vs-collector comparison that only declares a winner when the
+confidence interval of the performance ratio excludes 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.core.rng import generator_for
+from repro.harness.runner import DEFAULT_CONFIG, RunConfig, measure
+from repro.workloads.spec import WorkloadSpec
+
+
+@dataclass(frozen=True)
+class BootstrapInterval:
+    """A statistic with a percentile-bootstrap confidence interval."""
+
+    estimate: float
+    low: float
+    high: float
+    confidence: float
+    resamples: int
+
+    def __post_init__(self) -> None:
+        if not self.low <= self.estimate <= self.high:
+            raise ValueError("estimate must lie within its interval")
+
+    def excludes(self, value: float) -> bool:
+        """True if ``value`` lies outside the interval — the decision rule
+        for calling a difference significant."""
+        return value < self.low or value > self.high
+
+
+def bootstrap_ci(
+    samples: Sequence[float],
+    statistic: Callable[[np.ndarray], float] = np.mean,
+    confidence: float = 0.95,
+    resamples: int = 4000,
+    rng: Optional[np.random.Generator] = None,
+) -> BootstrapInterval:
+    """Percentile-bootstrap confidence interval for ``statistic``.
+
+    Unlike the t-based interval in :mod:`repro.core.stats`, the bootstrap
+    makes no normality assumption — appropriate for the skewed wall-time
+    and ratio distributions GC experiments produce.
+    """
+    arr = np.asarray(samples, dtype=float)
+    if arr.size < 2:
+        raise ValueError("bootstrap needs at least two samples")
+    if not 0.5 < confidence < 1.0:
+        raise ValueError("confidence must be in (0.5, 1)")
+    if resamples < 100:
+        raise ValueError("too few resamples for a stable interval")
+    rng = rng if rng is not None else generator_for("bootstrap", arr.size, resamples)
+    indices = rng.integers(0, arr.size, size=(resamples, arr.size))
+    stats = np.apply_along_axis(statistic, 1, arr[indices])
+    alpha = (1.0 - confidence) / 2.0
+    low, high = np.quantile(stats, [alpha, 1.0 - alpha])
+    point = float(statistic(arr))
+    return BootstrapInterval(
+        estimate=point,
+        low=min(float(low), point),
+        high=max(float(high), point),
+        confidence=confidence,
+        resamples=resamples,
+    )
+
+
+@dataclass(frozen=True)
+class ComparisonResult:
+    """Outcome of comparing collector ``a`` against collector ``b``."""
+
+    benchmark: str
+    collector_a: str
+    collector_b: str
+    heap_multiple: float
+    metric: str
+    #: Ratio of b's cost to a's cost: > 1 means a is faster/cheaper.
+    ratio: BootstrapInterval
+    significant: bool
+
+    @property
+    def winner(self) -> Optional[str]:
+        """The faster collector, or None if the difference is not
+        statistically distinguishable."""
+        if not self.significant:
+            return None
+        return self.collector_a if self.ratio.estimate > 1.0 else self.collector_b
+
+    def summary(self) -> str:
+        if self.winner is None:
+            return (
+                f"{self.benchmark} @{self.heap_multiple:g}x ({self.metric}): "
+                f"{self.collector_a} vs {self.collector_b} — no significant difference "
+                f"(ratio {self.ratio.estimate:.3f}, CI [{self.ratio.low:.3f}, {self.ratio.high:.3f}])"
+            )
+        margin = abs(self.ratio.estimate - 1.0) * 100.0
+        return (
+            f"{self.benchmark} @{self.heap_multiple:g}x ({self.metric}): "
+            f"{self.winner} wins by {margin:.1f}% "
+            f"(ratio {self.ratio.estimate:.3f}, CI [{self.ratio.low:.3f}, {self.ratio.high:.3f}])"
+        )
+
+
+def _metric_values(results, metric: str) -> np.ndarray:
+    if metric == "wall":
+        return np.array([r.wall_s for r in results])
+    if metric == "task":
+        return np.array([r.task_clock_s for r in results])
+    raise ValueError("metric must be 'wall' or 'task'")
+
+
+def compare_collectors(
+    spec: WorkloadSpec,
+    collector_a: str,
+    collector_b: str,
+    heap_multiple: float = 2.0,
+    metric: str = "wall",
+    config: RunConfig = DEFAULT_CONFIG,
+    confidence: float = 0.95,
+) -> ComparisonResult:
+    """Measure both collectors and compare with a bootstrap on the ratio
+    of their mean costs.
+
+    Each bootstrap resample re-draws invocations independently for both
+    sides, so the interval reflects both configurations' run-to-run
+    variation.
+    """
+    heap_mb = spec.heap_mb_for(heap_multiple)
+    a = _metric_values(measure(spec, collector_a, heap_mb, config).results, metric)
+    b = _metric_values(measure(spec, collector_b, heap_mb, config).results, metric)
+    rng = generator_for("compare", spec.name, collector_a, collector_b, metric)
+    resamples = 4000
+    idx_a = rng.integers(0, a.size, size=(resamples, a.size))
+    idx_b = rng.integers(0, b.size, size=(resamples, b.size))
+    ratios = a[idx_a].mean(axis=1)
+    ratios = b[idx_b].mean(axis=1) / ratios
+    point = float(b.mean() / a.mean())
+    alpha = (1.0 - confidence) / 2.0
+    low, high = np.quantile(ratios, [alpha, 1.0 - alpha])
+    interval = BootstrapInterval(
+        estimate=point,
+        low=min(float(low), point),
+        high=max(float(high), point),
+        confidence=confidence,
+        resamples=resamples,
+    )
+    return ComparisonResult(
+        benchmark=spec.name,
+        collector_a=collector_a,
+        collector_b=collector_b,
+        heap_multiple=heap_multiple,
+        metric=metric,
+        ratio=interval,
+        significant=interval.excludes(1.0),
+    )

@@ -1,0 +1,141 @@
+"""Workload insights: the appendix's qualitative characterizations,
+generated from the statistics.
+
+Each appendix section (B.1-B.22) opens with a prose characterization of
+the workload derived from its nominal statistics — "It has the second
+lowest allocation rate in the suite (ARA), the highest percentage of time
+spent in the kernel (PKP), ...".  Those sentences are rank statements, so
+they can be *generated*: this module walks a benchmark's scored metrics
+and produces the same kind of characterization, with the same vocabulary
+("highest", "one of the highest", "above average", ...), grouped the same
+way.
+
+This is the machinery behind ``chopin insights`` and a consistency check
+on the data: every generated statement is mechanically true of the value
+matrix, while the paper's hand-written ones occasionally drift from its
+own tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core import nominal
+
+#: Metrics whose extremes are interesting enough to call out, with the
+#: noun phrase the appendix uses for each.
+_PHRASES: Dict[str, str] = {
+    "ARA": "allocation rate",
+    "AOA": "average object size",
+    "BEF": "hot-code focus",
+    "BUB": "count of unique bytecodes executed",
+    "BUF": "count of unique function calls executed",
+    "GCA": "post-GC heap size relative to its minimum heap",
+    "GCC": "GC count at 2x heap",
+    "GCP": "share of time in GC pauses at 2x heap",
+    "GLK": "tenth-iteration memory leakage",
+    "GMD": "minimum heap size",
+    "GSS": "heap-size sensitivity",
+    "GTO": "memory turnover",
+    "PCC": "sensitivity to forced C2 compilation",
+    "PCS": "sensitivity to compiler configuration",
+    "PET": "execution time",
+    "PFS": "sensitivity to CPU frequency scaling",
+    "PIN": "sensitivity to interpreter-only execution",
+    "PKP": "share of time in kernel mode",
+    "PLS": "sensitivity to last-level cache size",
+    "PMS": "sensitivity to memory speed",
+    "PPE": "parallel efficiency",
+    "PSD": "execution variance across invocations",
+    "PWU": "warmup time",
+    "UBS": "bad speculation",
+    "UDC": "data-cache miss rate",
+    "UDT": "DTLB miss rate",
+    "UIP": "instructions per cycle",
+    "ULL": "last-level-cache miss rate",
+    "USB": "back-end boundedness",
+    "USC": "SMT contention",
+    "USF": "front-end boundedness",
+}
+
+
+@dataclass(frozen=True)
+class Insight:
+    """One generated statement about a workload."""
+
+    metric: str
+    rank: int
+    population: int
+    text: str
+
+    @property
+    def extremity(self) -> int:
+        """Distance from the nearer end of the ranking (0 = an extreme)."""
+        return min(self.rank - 1, self.population - self.rank)
+
+
+def _qualifier(rank: int, population: int) -> Optional[str]:
+    """The appendix's vocabulary for a rank, or None if unremarkable."""
+    from_top = rank - 1
+    from_bottom = population - rank
+    if from_top == 0:
+        return "the highest"
+    if from_bottom == 0:
+        return "the lowest"
+    if from_top == 1:
+        return "the second highest"
+    if from_bottom == 1:
+        return "the second lowest"
+    if from_top <= max(2, population // 7):
+        return "one of the highest"
+    if from_bottom <= max(2, population // 7):
+        return "one of the lowest"
+    return None
+
+
+def insights_for(benchmark: str, stats=None) -> List[Insight]:
+    """Generate rank-extreme statements for ``benchmark``.
+
+    Sorted most-extreme first, mirroring how the appendix leads with each
+    workload's most distinctive characteristics.
+    """
+    scored = nominal.score_benchmark(benchmark, stats)
+    results: List[Insight] = []
+    for metric, phrase in _PHRASES.items():
+        if metric not in scored:
+            continue
+        s = scored[metric]
+        qualifier = _qualifier(s.rank, s.population)
+        if qualifier is None:
+            continue
+        value = f"{s.value:g}"
+        results.append(
+            Insight(
+                metric=metric,
+                rank=s.rank,
+                population=s.population,
+                text=f"{qualifier} {phrase} in the suite ({metric} {value})",
+            )
+        )
+    results.sort(key=lambda i: (i.extremity, i.metric))
+    return results
+
+
+def format_insights(benchmark: str, stats=None, limit: int = 10) -> str:
+    """Render an appendix-style characterization paragraph."""
+    from repro.workloads.registry import workload
+
+    spec = workload(benchmark)
+    found = insights_for(benchmark, stats)[:limit]
+    if not found:
+        return f"{benchmark}: no rank-extreme characteristics."
+    lines = [f"{benchmark}: {spec.description}."]
+    lines.append(f"It has {found[0].text},")
+    for insight in found[1:-1]:
+        lines.append(f"{insight.text},")
+    if len(found) > 1:
+        lines.append(f"and {found[-1].text}.")
+    else:
+        lines[-1] = lines[-1].rstrip(",") + "."
+    return " ".join(lines)

@@ -1,0 +1,92 @@
+"""Minimum-heap search: the GMD/GMU/GMS/GML measurement methodology.
+
+Recommendation H2 requires heap sizes expressed as multiples of the
+minimum heap in which a baseline collector can run the workload; that in
+turn requires *finding* the minimum heap.  This module binary-searches the
+smallest heap (to a configurable tolerance) in which a run completes —
+i.e. does not raise :class:`~repro.jvm.heap.OutOfMemoryError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.jvm.cpu import DEFAULT_MACHINE, Machine
+from repro.jvm.heap import OutOfMemoryError
+from repro.jvm.simulator import simulate_run
+
+
+@dataclass(frozen=True)
+class MinHeapResult:
+    """Outcome of a minimum-heap search."""
+
+    benchmark: str
+    collector: str
+    min_heap_mb: float
+    iterations: int
+
+    def as_multiple_of(self, minheap_mb: float) -> float:
+        """This minimum expressed as a multiple of a nominal minimum."""
+        return self.min_heap_mb / minheap_mb
+
+
+def runs_in(
+    spec,
+    collector: str,
+    heap_mb: float,
+    iterations: int = 1,
+    machine: Machine = DEFAULT_MACHINE,
+    duration_scale: float = 1.0,
+) -> bool:
+    """True if the workload completes in ``heap_mb`` with ``collector``."""
+    try:
+        simulate_run(
+            spec,
+            collector,
+            heap_mb,
+            iterations=iterations,
+            machine=machine,
+            duration_scale=duration_scale,
+        )
+        return True
+    except OutOfMemoryError:
+        return False
+
+
+def find_min_heap(
+    spec,
+    collector: str,
+    iterations: int = 1,
+    tolerance: float = 0.02,
+    machine: Machine = DEFAULT_MACHINE,
+    duration_scale: float = 1.0,
+    upper_bound_mb: Optional[float] = None,
+) -> MinHeapResult:
+    """Binary-search the minimum heap for ``spec`` with ``collector``.
+
+    The search brackets the minimum between a heap that fails and one that
+    succeeds, then narrows until the bracket is within ``tolerance``
+    (relative).  Raises :class:`OutOfMemoryError` if even ``upper_bound_mb``
+    (default 16x the nominal minimum) fails.
+    """
+    if tolerance <= 0:
+        raise ValueError("tolerance must be positive")
+    high = upper_bound_mb if upper_bound_mb is not None else 16.0 * spec.minheap_mb
+    if not runs_in(spec, collector, high, iterations, machine, duration_scale):
+        raise OutOfMemoryError(
+            f"{spec.name} cannot run with {collector} even at {high:.0f} MB"
+        )
+    low = spec.live_mb * 0.5  # certainly too small: below the live set
+    while high - low > tolerance * high:
+        mid = (low + high) / 2.0
+        if runs_in(spec, collector, mid, iterations, machine, duration_scale):
+            high = mid
+        else:
+            low = mid
+    return MinHeapResult(
+        benchmark=spec.name,
+        collector=collector,
+        min_heap_mb=high,
+        iterations=iterations,
+    )

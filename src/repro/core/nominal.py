@@ -1,0 +1,211 @@
+"""The nominal-statistics engine: metric definitions, ranking, and scoring.
+
+Implements Section 5.1 of the paper.  Every workload is characterized
+across up to 48 dimensions (Table 1 names 47 in its caption but lists 48
+acronyms; we implement all listed).  Each benchmark receives, per metric:
+
+- its concrete **value**,
+- its **rank** among the benchmarks that have the metric (1 = largest), and
+- a **score** between 0 and 10 — a simple linear mapping of the rank, with
+  10 for the largest concrete value (the appendix tables' convention).
+
+Scores "hold no meaning beyond allowing users to assess the relative
+sensitivities of the workloads": they are ordinal, suite-relative measures.
+The module also renders the ``-p`` command-line report DaCapo prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional
+
+import numpy as np
+
+from repro.workloads import nominal_data
+
+#: Metric groups, keyed by the acronym's first letter (Table 1 caption).
+GROUPS = {
+    "A": "Allocation",
+    "B": "Bytecode",
+    "G": "Garbage collection",
+    "P": "Performance",
+    "U": "u-architecture",
+}
+
+
+@dataclass(frozen=True)
+class MetricDef:
+    """One nominal statistic: acronym, description, unit notes."""
+
+    acronym: str
+    description: str
+
+    @property
+    def group(self) -> str:
+        return GROUPS[self.acronym[0]]
+
+
+#: Table 1 — the nominal statistics used to characterize the workloads.
+METRICS: Dict[str, MetricDef] = {
+    m.acronym: m
+    for m in (
+        MetricDef("AOA", "nominal average object size (bytes)"),
+        MetricDef("AOL", "nominal 90-percentile object size (bytes)"),
+        MetricDef("AOM", "nominal median object size (bytes)"),
+        MetricDef("AOS", "nominal 10-percentile object size (bytes)"),
+        MetricDef("ARA", "nominal allocation rate (bytes / usec)"),
+        MetricDef("BAL", "nominal aaload per usec"),
+        MetricDef("BAS", "nominal aastore per usec"),
+        MetricDef("BEF", "nominal execution focus / dominance of hot code"),
+        MetricDef("BGF", "nominal getfield per usec"),
+        MetricDef("BPF", "nominal putfield per usec"),
+        MetricDef("BUB", "nominal thousands of unique bytecodes executed"),
+        MetricDef("BUF", "nominal thousands of unique function calls executed"),
+        MetricDef("GCA", "nominal average post-GC heap size as percent of min heap, when run at 2X min heap with G1"),
+        MetricDef("GCC", "nominal GC count at 2X minimum heap size (G1)"),
+        MetricDef("GCM", "nominal median post-GC heap size as percent of min heap, when run at 2X min heap with G1"),
+        MetricDef("GCP", "nominal percentage of time spent in GC pauses at 2X minimum heap size (G1)"),
+        MetricDef("GLK", "nominal percent 10th iteration memory leakage (10 iterations / 1 iterations)"),
+        MetricDef("GMD", "nominal minimum heap size (MB) for default size configuration (with compressed pointers)"),
+        MetricDef("GML", "nominal minimum heap size (MB) for large size configuration (with compressed pointers)"),
+        MetricDef("GMS", "nominal minimum heap size (MB) for small size configuration (with compressed pointers)"),
+        MetricDef("GMU", "nominal minimum heap size (MB) for default size without compressed pointers"),
+        MetricDef("GMV", "nominal minimum heap size (MB) for vlarge size configuration (with compressed pointers)"),
+        MetricDef("GSS", "nominal heap size sensitivity (slowdown with tight heap, as a percentage)"),
+        MetricDef("GTO", "nominal memory turnover (total alloc bytes / min heap bytes)"),
+        MetricDef("PCC", "nominal percentage slowdown due to forced c2 compilation compared to tiered baseline (compiler cost)"),
+        MetricDef("PCS", "nominal percentage slowdown due to worst compiler configuration compared to best (sensitivity to compiler)"),
+        MetricDef("PET", "nominal execution time (sec)"),
+        MetricDef("PFS", "nominal percentage speedup due to enabling frequency scaling (CPU frequency sensitivity)"),
+        MetricDef("PIN", "nominal percentage slowdown due to using the interpreter (sensitivity to interpreter)"),
+        MetricDef("PKP", "nominal percentage of time spent in kernel mode (as percentage of user plus kernel time)"),
+        MetricDef("PLS", "nominal percentage slowdown due to 1/16 reduction of LLC capacity (LLC sensitivity)"),
+        MetricDef("PMS", "nominal percentage slowdown due to slower DRAM (memory speed sensitivity)"),
+        MetricDef("PPE", "nominal parallel efficiency (speedup as percentage of ideal speedup for 32 threads)"),
+        MetricDef("PSD", "nominal standard deviation among invocations at peak performance (as percentage of performance)"),
+        MetricDef("PWU", "nominal iterations to warm up to within 1.5 % of best"),
+        MetricDef("UAA", "nominal percentage change (slowdown) when running on ARM Neoverse N1 v AMD Zen 4 on a single core"),
+        MetricDef("UAI", "nominal percentage change (slowdown) when running on Intel Golden Cove v AMD Zen 4 on a single core"),
+        MetricDef("UBM", "nominal backend bound (memory)"),
+        MetricDef("UBP", "nominal 1000 x bad speculation: mispredicts"),
+        MetricDef("UBR", "nominal 1000000 x bad speculation: pipeline restarts"),
+        MetricDef("UBS", "nominal 1000 x bad speculation"),
+        MetricDef("UDC", "nominal data cache misses per K instructions"),
+        MetricDef("UDT", "nominal DTLB misses per M instructions"),
+        MetricDef("UIP", "nominal 100 x instructions per cycle (IPC)"),
+        MetricDef("ULL", "nominal LLC misses per M instructions"),
+        MetricDef("USB", "nominal 100 x back end bound"),
+        MetricDef("USC", "nominal 1000 x SMT contention"),
+        MetricDef("USF", "nominal 100 x front end bound"),
+    )
+}
+
+METRIC_NAMES = tuple(METRICS)
+
+
+@dataclass(frozen=True)
+class ScoredMetric:
+    """One benchmark's standing on one metric."""
+
+    acronym: str
+    value: float
+    rank: int
+    score: int
+    population: int
+    min: float
+    median: float
+    max: float
+
+
+def score_from_rank(rank: int, population: int) -> int:
+    """Linear map from rank (1 = largest value) to a 0-10 score."""
+    if population < 1:
+        raise ValueError("population must be at least 1")
+    if not 1 <= rank <= population:
+        raise ValueError(f"rank {rank} outside 1..{population}")
+    if population == 1:
+        return 10
+    return int(round(10.0 * (population - rank) / (population - 1)))
+
+
+def metric_values(
+    metric: str, stats: Optional[Mapping[str, Mapping[str, Optional[float]]]] = None
+) -> Dict[str, float]:
+    """Every benchmark's value for ``metric`` (omitting unavailable ones)."""
+    if metric not in METRICS:
+        raise KeyError(f"unknown metric {metric!r}")
+    stats = stats if stats is not None else nominal_data.BENCHMARK_STATS
+    return {
+        bench: float(record[metric])
+        for bench, record in stats.items()
+        if record.get(metric) is not None
+    }
+
+
+def rank_benchmarks(metric: str, stats=None) -> Dict[str, int]:
+    """Rank benchmarks on ``metric`` (1 = largest value); ties are broken
+    by name for determinism."""
+    values = metric_values(metric, stats)
+    ordered = sorted(values.items(), key=lambda kv: (-kv[1], kv[0]))
+    return {bench: i + 1 for i, (bench, _) in enumerate(ordered)}
+
+
+def score_benchmark(benchmark: str, stats=None) -> Dict[str, ScoredMetric]:
+    """All available scored metrics for one benchmark."""
+    source = stats if stats is not None else nominal_data.BENCHMARK_STATS
+    if benchmark not in source:
+        raise KeyError(f"unknown benchmark {benchmark!r}")
+    result: Dict[str, ScoredMetric] = {}
+    for metric in METRIC_NAMES:
+        values = metric_values(metric, source)
+        if benchmark not in values:
+            continue
+        ranks = rank_benchmarks(metric, source)
+        population = len(values)
+        arr = np.array(sorted(values.values()))
+        result[metric] = ScoredMetric(
+            acronym=metric,
+            value=values[benchmark],
+            rank=ranks[benchmark],
+            score=score_from_rank(ranks[benchmark], population),
+            population=population,
+            min=float(arr[0]),
+            median=float(np.median(arr)),
+            max=float(arr[-1]),
+        )
+    return result
+
+
+def complete_metrics(
+    benchmarks: Optional[Iterable[str]] = None, stats=None
+) -> List[str]:
+    """Metrics for which *every* benchmark has a value.
+
+    The paper's PCA uses "the 33 nominal metrics where all benchmarks have
+    data points"; this is that selection rule.
+    """
+    source = stats if stats is not None else nominal_data.BENCHMARK_STATS
+    names = list(benchmarks) if benchmarks is not None else list(source)
+    return [
+        metric
+        for metric in METRIC_NAMES
+        if all(source[b].get(metric) is not None for b in names)
+    ]
+
+
+def format_report(benchmark: str, stats=None) -> str:
+    """Render the ``-p`` style nominal-statistics report for a benchmark."""
+    scored = score_benchmark(benchmark, stats)
+    lines = [f"Nominal statistics for {benchmark}", "=" * 78]
+    header = f"{'Metric':<7}{'Score':>6}{'Value':>10}{'Rank':>6}  Description"
+    lines.append(header)
+    lines.append("-" * 78)
+    for metric in METRIC_NAMES:
+        if metric not in scored:
+            continue
+        s = scored[metric]
+        value = f"{s.value:g}"
+        lines.append(
+            f"{metric:<7}{s.score:>6}{value:>10}{s.rank:>6}  {METRICS[metric].description}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,149 @@
+"""Principal components analysis of workload diversity (Section 5.2).
+
+The paper demonstrates suite diversity by running PCA over the nominal
+metrics for which every benchmark has a value (33 of them), using raw
+values with standard scaling (zero mean, unit variance), and plotting the
+workloads against the top four principal components (Figure 4).  The same
+analysis identifies the twelve most *determinant* metrics (Table 2) — those
+with the largest loadings on the top components.
+
+Implemented with numpy's SVD; no sklearn dependency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core import nominal
+from repro.workloads import nominal_data
+
+
+@dataclass(frozen=True)
+class PcaResult:
+    """The outcome of a PCA over a benchmarks x metrics matrix."""
+
+    benchmarks: Tuple[str, ...]
+    metrics: Tuple[str, ...]
+    #: (n_components, n_metrics) — rows are unit-norm principal axes.
+    components: np.ndarray
+    #: Fraction of total variance explained by each component.
+    explained_variance_ratio: np.ndarray
+    #: (n_benchmarks, n_components) — the scatter-plot coordinates.
+    projections: np.ndarray
+
+    def projection_of(self, benchmark: str) -> np.ndarray:
+        try:
+            i = self.benchmarks.index(benchmark)
+        except ValueError:
+            raise KeyError(f"benchmark {benchmark!r} not in analysis") from None
+        return self.projections[i]
+
+    def loadings(self, component: int) -> Dict[str, float]:
+        """Metric -> loading on the given (0-based) component."""
+        if not 0 <= component < self.components.shape[0]:
+            raise IndexError(f"component {component} out of range")
+        return dict(zip(self.metrics, self.components[component]))
+
+
+def standard_scale(matrix: np.ndarray) -> np.ndarray:
+    """Linear scaling to zero mean and unit variance per column.
+
+    Columns with zero variance scale to all-zeros rather than dividing by
+    zero (they carry no information for PCA either way).
+    """
+    matrix = np.asarray(matrix, dtype=float)
+    mean = matrix.mean(axis=0)
+    std = matrix.std(axis=0)
+    safe = np.where(std > 0, std, 1.0)
+    scaled = (matrix - mean) / safe
+    scaled[:, std == 0] = 0.0
+    return scaled
+
+
+def pca(matrix: np.ndarray, n_components: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """PCA of a (rows x features) matrix that is already scaled.
+
+    Returns (components, explained_variance_ratio, projections).  Signs are
+    fixed so each component's largest-magnitude loading is positive, making
+    results deterministic across numpy versions.
+    """
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.ndim != 2:
+        raise ValueError("matrix must be two-dimensional")
+    n_rows, n_cols = matrix.shape
+    max_components = min(n_rows, n_cols)
+    if not 1 <= n_components <= max_components:
+        raise ValueError(f"n_components must be in 1..{max_components}")
+    centered = matrix - matrix.mean(axis=0)
+    u, s, vt = np.linalg.svd(centered, full_matrices=False)
+    # Deterministic sign convention.
+    for i in range(vt.shape[0]):
+        pivot = np.argmax(np.abs(vt[i]))
+        if vt[i, pivot] < 0:
+            vt[i] = -vt[i]
+            u[:, i] = -u[:, i]
+    variance = s**2
+    ratio = variance / variance.sum() if variance.sum() > 0 else np.zeros_like(variance)
+    components = vt[:n_components]
+    projections = u[:, :n_components] * s[:n_components]
+    return components, ratio[:n_components], projections
+
+
+def suite_matrix(
+    benchmarks: Optional[Sequence[str]] = None,
+    metrics: Optional[Sequence[str]] = None,
+    stats=None,
+) -> Tuple[List[str], List[str], np.ndarray]:
+    """Build the benchmarks x metrics raw-value matrix for the suite."""
+    source = stats if stats is not None else nominal_data.BENCHMARK_STATS
+    names = list(benchmarks) if benchmarks is not None else sorted(source)
+    chosen = (
+        list(metrics)
+        if metrics is not None
+        else nominal.complete_metrics(names, stats=source)
+    )
+    rows = []
+    for bench in names:
+        record = source[bench]
+        row = []
+        for metric in chosen:
+            value = record.get(metric)
+            if value is None:
+                raise ValueError(f"{bench} lacks metric {metric}; not a complete metric")
+            row.append(float(value))
+        rows.append(row)
+    return names, chosen, np.array(rows)
+
+
+def suite_pca(
+    n_components: int = 4,
+    benchmarks: Optional[Sequence[str]] = None,
+    metrics: Optional[Sequence[str]] = None,
+    stats=None,
+) -> PcaResult:
+    """The paper's Figure 4 analysis: scaled PCA over the complete metrics."""
+    names, chosen, matrix = suite_matrix(benchmarks, metrics, stats)
+    scaled = standard_scale(matrix)
+    components, ratio, projections = pca(scaled, n_components)
+    return PcaResult(
+        benchmarks=tuple(names),
+        metrics=tuple(chosen),
+        components=components,
+        explained_variance_ratio=ratio,
+        projections=projections,
+    )
+
+
+def determinant_metrics(result: PcaResult, count: int = 12) -> List[str]:
+    """The ``count`` most determinant metrics (Table 2): largest summed
+    absolute loadings over the analysed components, weighted by each
+    component's explained variance."""
+    if count < 1:
+        raise ValueError("count must be positive")
+    weights = result.explained_variance_ratio
+    influence = np.abs(result.components).T @ weights
+    order = np.argsort(-influence)
+    return [result.metrics[i] for i in order[:count]]

@@ -1,0 +1,47 @@
+"""Unit helpers and conversions used throughout the suite.
+
+Internally the simulator works in *seconds* for time and *megabytes* for
+memory.  These helpers make call sites explicit about the units they are
+converting from, which matters in a codebase that mixes paper-reported
+figures (bytes/usec, MB, ms) with simulator state (seconds, MB).
+"""
+
+from __future__ import annotations
+
+MB = 1.0
+GB = 1024.0
+KB = 1.0 / 1024.0
+
+SECOND = 1.0
+MS = 1e-3
+US = 1e-6
+
+
+def mb_from_gb(gb: float) -> float:
+    """Convert gigabytes to the internal megabyte unit."""
+    return gb * 1024.0
+
+
+def mb_from_bytes(n_bytes: float) -> float:
+    """Convert a byte count to megabytes."""
+    return n_bytes / (1024.0 * 1024.0)
+
+
+def seconds_from_ms(ms: float) -> float:
+    """Convert milliseconds to seconds."""
+    return ms * 1e-3
+
+
+def ms_from_seconds(s: float) -> float:
+    """Convert seconds to milliseconds."""
+    return s * 1e3
+
+
+def mb_per_s_from_bytes_per_us(rate: float) -> float:
+    """Convert the paper's ARA unit (bytes / microsecond) to MB / second.
+
+    1 byte/us = 1e6 bytes/s = 1e6 / 2**20 MB/s, i.e. ~0.954 MB/s.  The
+    paper's nominal allocation rates (e.g. lusearch's 23556 bytes/us) are
+    therefore approximately the same magnitude expressed in MB/s.
+    """
+    return rate * 1e6 / (1024.0 * 1024.0)

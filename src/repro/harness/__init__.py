@@ -1,0 +1,1 @@
+"""Experiment harness: runner, pre-packaged experiments, reporting, CLI."""

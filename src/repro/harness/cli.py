@@ -1,0 +1,228 @@
+"""``chopin`` — command-line front end to the suite.
+
+Mirrors the DaCapo harness's ergonomics where they matter to the paper:
+``chopin stats <benchmark>`` is the ``-p`` nominal-statistics report;
+``chopin lbo`` and ``chopin latency`` run the Section 6 analyses; ``chopin
+pca`` prints the Figure 4 diversity analysis.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.characterize import characterize
+from repro.core.compare import compare_collectors
+from repro.core.insights import format_insights
+from repro.core.nominal import format_report
+from repro.core.pca import determinant_metrics, suite_pca
+from repro.harness.experiments import latency_experiment, lbo_experiment
+from repro.harness.report import (
+    format_latency_comparison,
+    format_lbo_curves,
+    format_pca_projection,
+    format_table,
+)
+from repro.harness.runner import RunConfig
+from repro.jvm.collectors import COLLECTOR_NAMES
+from repro.workloads import nominal_data, registry
+
+
+def _add_run_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--invocations", type=int, default=3, help="invocations per data point")
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="iteration duration scale (use <1 for quick looks)",
+    )
+
+
+def _config(args: argparse.Namespace) -> RunConfig:
+    return RunConfig(invocations=args.invocations, duration_scale=args.scale)
+
+
+def cmd_list(_: argparse.Namespace) -> int:
+    for spec in registry.all_workloads():
+        tags = []
+        if spec.new_in_chopin:
+            tags.append("new")
+        if spec.latency_sensitive:
+            tags.append("latency")
+        suffix = f" [{', '.join(tags)}]" if tags else ""
+        print(f"{spec.name:<12} {spec.description}{suffix}")
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    print(format_report(args.benchmark))
+    return 0
+
+
+def cmd_lbo(args: argparse.Namespace) -> int:
+    spec = registry.workload(args.benchmark)
+    curves = lbo_experiment(spec, config=_config(args))
+    print(format_lbo_curves(curves, "wall"))
+    print()
+    print(format_lbo_curves(curves, "task"))
+    return 0
+
+
+def cmd_latency(args: argparse.Namespace) -> int:
+    spec = registry.workload(args.benchmark)
+    if not spec.latency_sensitive:
+        print(f"{spec.name} is not a latency-sensitive workload", file=sys.stderr)
+        return 2
+    config = _config(args)
+    reports = {
+        collector: latency_experiment(spec, collector, args.heap, config).report
+        for collector in COLLECTOR_NAMES
+    }
+    print(format_latency_comparison(reports, "simple"))
+    print()
+    print(format_latency_comparison(reports, 0.1))
+    print()
+    print(format_latency_comparison(reports, None))
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    from repro.jvm.collectors import COLLECTORS
+
+    for name in (args.collector_a, args.collector_b):
+        if name not in COLLECTORS:
+            print(f"unknown collector {name!r}; choose from {sorted(COLLECTORS)}", file=sys.stderr)
+            return 2
+    spec = registry.workload(args.benchmark)
+    for metric in ("wall", "task"):
+        result = compare_collectors(
+            spec, args.collector_a, args.collector_b, args.heap, metric, _config(args)
+        )
+        print(result.summary())
+    return 0
+
+
+def cmd_insights(args: argparse.Namespace) -> int:
+    print(format_insights(args.benchmark, limit=args.limit))
+    return 0
+
+
+def cmd_characterize(args: argparse.Namespace) -> int:
+    spec = registry.workload(args.benchmark)
+    measured = characterize(spec, _config(args), include_min_heap=args.minheap)
+    published = nominal_data.stats_for(args.benchmark)
+    rows = []
+    for metric in sorted(measured):
+        pub = published.get(metric)
+        rows.append(
+            [metric, f"{measured[metric]:.1f}", f"{pub:g}" if pub is not None else "-"]
+        )
+    print(f"Measured vs published nominal statistics for {spec.name}")
+    print(format_table(["metric", "measured", "published"], rows))
+    return 0
+
+
+def cmd_runbms(args: argparse.Namespace) -> int:
+    from repro.harness.configs import EXPERIMENTS, run_experiment
+
+    if args.experiment not in EXPERIMENTS:
+        print(
+            f"unknown experiment {args.experiment!r}; available: "
+            f"{', '.join(sorted(EXPERIMENTS))}",
+            file=sys.stderr,
+        )
+        return 2
+    definition = EXPERIMENTS[args.experiment]
+    if args.scale is not None:
+        definition = definition.scaled(args.scale)
+    written = run_experiment(definition, args.results_dir, prefix=args.prefix)
+    for name, path in sorted(written.items()):
+        print(f"wrote {path}")
+    print(f"{len(written)} artefacts for experiment '{definition.name}'")
+    return 0
+
+
+def cmd_pca(args: argparse.Namespace) -> int:
+    result = suite_pca(n_components=4)
+    print("Principal components analysis of the DaCapo Chopin workloads")
+    print(f"metrics with complete coverage: {len(result.metrics)}")
+    print()
+    print(format_pca_projection(result, (0, 1)))
+    print()
+    print(format_pca_projection(result, (2, 3)))
+    print()
+    top = determinant_metrics(result, count=12)
+    print(f"twelve most determinant metrics: {', '.join(top)}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="chopin",
+        description="DaCapo Chopin methodology suite over a simulated JVM",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the 22 workloads").set_defaults(func=cmd_list)
+
+    p_stats = sub.add_parser("stats", help="print nominal statistics (-p report)")
+    p_stats.add_argument("benchmark", choices=nominal_data.BENCHMARK_NAMES)
+    p_stats.set_defaults(func=cmd_stats)
+
+    p_lbo = sub.add_parser("lbo", help="lower-bound overhead curves for a benchmark")
+    p_lbo.add_argument("benchmark", choices=nominal_data.BENCHMARK_NAMES)
+    _add_run_options(p_lbo)
+    p_lbo.set_defaults(func=cmd_lbo)
+
+    p_lat = sub.add_parser("latency", help="user-experienced latency for a benchmark")
+    p_lat.add_argument("benchmark", choices=nominal_data.BENCHMARK_NAMES)
+    p_lat.add_argument("--heap", type=float, default=2.0, help="heap multiple of min heap")
+    _add_run_options(p_lat)
+    p_lat.set_defaults(func=cmd_latency)
+
+    sub.add_parser("pca", help="suite diversity analysis (Figure 4)").set_defaults(func=cmd_pca)
+
+    p_char = sub.add_parser(
+        "characterize", help="measure nominal statistics from the simulator"
+    )
+    p_char.add_argument("benchmark", choices=nominal_data.BENCHMARK_NAMES)
+    p_char.add_argument("--minheap", action="store_true", help="include the GMD search")
+    _add_run_options(p_char)
+    p_char.set_defaults(func=cmd_characterize)
+
+    p_cmp = sub.add_parser(
+        "compare", help="statistically sound collector comparison (bootstrap)"
+    )
+    p_cmp.add_argument("benchmark", choices=nominal_data.BENCHMARK_NAMES)
+    p_cmp.add_argument("collector_a")
+    p_cmp.add_argument("collector_b")
+    p_cmp.add_argument("--heap", type=float, default=2.0, help="heap multiple of min heap")
+    _add_run_options(p_cmp)
+    p_cmp.set_defaults(func=cmd_compare)
+
+    p_ins = sub.add_parser(
+        "insights", help="appendix-style qualitative characterization"
+    )
+    p_ins.add_argument("benchmark", choices=nominal_data.BENCHMARK_NAMES)
+    p_ins.add_argument("--limit", type=int, default=10, help="statements to include")
+    p_ins.set_defaults(func=cmd_insights)
+
+    p_run = sub.add_parser(
+        "runbms", help="run a predefined experiment (the running-ng analogue)"
+    )
+    p_run.add_argument("results_dir", help="directory to write rendered results into")
+    p_run.add_argument("experiment", help="experiment name (see repro.harness.configs)")
+    p_run.add_argument("-p", "--prefix", default="", help="artefact filename prefix")
+    p_run.add_argument("-s", "--scale", type=float, default=None, help="duration scale override")
+    p_run.set_defaults(func=cmd_runbms)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

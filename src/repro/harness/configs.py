@@ -1,0 +1,144 @@
+"""Predefined experiment definitions — the ``running-ng`` analogue.
+
+The paper's artifact drives its experiments with the running-ng framework
+and composable YAML definitions (``kick-the-tires.yml``, ``lbo.yml``,
+``latency.yml``).  This module provides the same notion for the simulated
+suite: named, composable experiment definitions that the ``chopin runbms``
+command executes, writing rendered results into a directory.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.harness.experiments import latency_experiment, lbo_experiment, suite_lbo
+from repro.harness.report import (
+    format_latency_comparison,
+    format_lbo_curves,
+    format_lbo_series,
+)
+from repro.harness.runner import RunConfig
+from repro.jvm.collectors import COLLECTOR_NAMES
+from repro.workloads import registry
+
+
+@dataclass(frozen=True)
+class ExperimentDefinition:
+    """One named experiment: what to run and how."""
+
+    name: str
+    description: str
+    kind: str  # "lbo" | "latency"
+    benchmarks: Tuple[str, ...]
+    collectors: Tuple[str, ...] = COLLECTOR_NAMES
+    heap_multiples: Tuple[float, ...] = (1.0, 1.25, 1.5, 2.0, 3.0, 4.0, 6.0)
+    run_config: RunConfig = field(default_factory=lambda: RunConfig(invocations=3, duration_scale=0.15))
+    #: For latency experiments: smoothing windows to render.
+    latency_windows: Tuple = ("simple", 0.1, None)
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("lbo", "latency"):
+            raise ValueError(f"unknown experiment kind {self.kind!r}")
+        if not self.benchmarks:
+            raise ValueError("an experiment needs at least one benchmark")
+
+    def scaled(self, duration_scale: float, invocations: Optional[int] = None) -> "ExperimentDefinition":
+        """A copy with a different run scale (the ``-s`` analogue)."""
+        config = replace(
+            self.run_config,
+            duration_scale=duration_scale,
+            invocations=invocations or self.run_config.invocations,
+        )
+        return replace(self, run_config=config)
+
+
+def _all_names() -> Tuple[str, ...]:
+    return tuple(s.name for s in registry.all_workloads())
+
+
+def _latency_names() -> Tuple[str, ...]:
+    return tuple(s.name for s in registry.latency_workloads())
+
+
+#: The artifact's experiment definitions, translated.
+EXPERIMENTS: Dict[str, ExperimentDefinition] = {
+    "kick-the-tires": ExperimentDefinition(
+        name="kick-the-tires",
+        description="fast smoke run: two benchmarks, two collectors, two heaps",
+        kind="lbo",
+        benchmarks=("fop", "lusearch"),
+        collectors=("Serial", "G1"),
+        heap_multiples=(2.0, 6.0),
+        run_config=RunConfig(invocations=2, duration_scale=0.05),
+    ),
+    "lbo": ExperimentDefinition(
+        name="lbo",
+        description="time-space tradeoff and lower bound overheads (Figures 1 and 5)",
+        kind="lbo",
+        benchmarks=_all_names(),
+    ),
+    "latency": ExperimentDefinition(
+        name="latency",
+        description="user-experienced latency (Figures 3 and 6)",
+        kind="latency",
+        benchmarks=_latency_names(),
+        heap_multiples=(2.0, 6.0),
+    ),
+}
+
+
+def run_experiment(definition: ExperimentDefinition, results_dir: pathlib.Path, prefix: str = "") -> Dict[str, pathlib.Path]:
+    """Execute an experiment definition, writing rendered tables.
+
+    Returns a mapping of artefact name to written path.  Mirrors
+    ``running runbms <results> <experiment>``.
+    """
+    results_dir = pathlib.Path(results_dir)
+    results_dir.mkdir(parents=True, exist_ok=True)
+    written: Dict[str, pathlib.Path] = {}
+
+    def emit(name: str, text: str) -> None:
+        stem = f"{prefix}-{name}" if prefix else name
+        path = results_dir / f"{stem}.txt"
+        path.write_text(text + "\n")
+        written[name] = path
+
+    if definition.kind == "lbo":
+        specs = [registry.workload(b) for b in definition.benchmarks]
+        result = suite_lbo(
+            specs,
+            collectors=definition.collectors,
+            multiples=definition.heap_multiples,
+            config=definition.run_config,
+        )
+        emit("geomean-wall", format_lbo_series(result.geomean_wall, "geomean wall-clock LBO"))
+        emit("geomean-task", format_lbo_series(result.geomean_task, "geomean task-clock LBO"))
+        for curves in result.per_benchmark:
+            emit(f"{curves.benchmark}-wall", format_lbo_curves(curves, "wall"))
+            emit(f"{curves.benchmark}-task", format_lbo_curves(curves, "task"))
+        return written
+
+    for bench in definition.benchmarks:
+        spec = registry.workload(bench)
+        for multiple in definition.heap_multiples:
+            reports = {}
+            for collector in definition.collectors:
+                try:
+                    reports[collector] = latency_experiment(
+                        spec, collector, multiple, definition.run_config
+                    ).report
+                except Exception:
+                    continue
+            for window in definition.latency_windows:
+                label = (
+                    "simple"
+                    if window == "simple"
+                    else ("metered-full" if window is None else f"metered-{window * 1e3:g}ms")
+                )
+                emit(
+                    f"{bench}-{multiple:g}x-{label}",
+                    format_latency_comparison(reports, window),
+                )
+    return written

@@ -1,0 +1,81 @@
+"""Raw-data export.
+
+DaCapo Chopin can optionally save every event's complete timing data to
+file for offline analysis (Section 4.4); the artifact likewise produces
+"raw latency CSVs for latency-sensitive benchmarks".  This module provides
+those exports for the simulated suite: per-event latency CSVs and per-GC
+event logs.
+"""
+
+from __future__ import annotations
+
+import csv
+import pathlib
+from typing import Union
+
+from repro.core.latency import metered_latencies
+from repro.jvm.telemetry import Telemetry
+from repro.workloads.requests import EventRecord
+
+PathLike = Union[str, pathlib.Path]
+
+
+def write_latency_csv(record: EventRecord, path: PathLike) -> pathlib.Path:
+    """Write per-event start/end/latency data, in seconds.
+
+    Columns: event index, actual start, end, simple latency, and metered
+    latency under full smoothing — everything needed to recompute any
+    percentile or smoothing window offline.
+    """
+    path = pathlib.Path(path)
+    metered = metered_latencies(record, None)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["event", "start_s", "end_s", "simple_latency_s", "metered_full_s"])
+        for i in range(record.count):
+            writer.writerow(
+                [
+                    i,
+                    f"{record.starts[i]:.9f}",
+                    f"{record.ends[i]:.9f}",
+                    f"{record.ends[i] - record.starts[i]:.9f}",
+                    f"{metered[i]:.9f}",
+                ]
+            )
+    return path
+
+
+def write_gc_log_csv(telemetry: Telemetry, path: PathLike) -> pathlib.Path:
+    """Write the GC event log: one row per collection."""
+    path = pathlib.Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(
+            ["time_s", "kind", "pause_s", "reclaimed_mb", "heap_before_mb", "heap_after_mb"]
+        )
+        for event in telemetry.gc_log:
+            writer.writerow(
+                [
+                    f"{event.time:.9f}",
+                    event.kind,
+                    f"{event.pause_s:.9f}",
+                    f"{event.reclaimed_mb:.3f}",
+                    f"{event.heap_before_mb:.3f}",
+                    f"{event.heap_after_mb:.3f}",
+                ]
+            )
+    return path
+
+
+def read_latency_csv(path: PathLike) -> EventRecord:
+    """Round-trip loader for :func:`write_latency_csv` output."""
+    import numpy as np
+
+    path = pathlib.Path(path)
+    starts, ends = [], []
+    with path.open() as fh:
+        reader = csv.DictReader(fh)
+        for row in reader:
+            starts.append(float(row["start_s"]))
+            ends.append(float(row["end_s"]))
+    return EventRecord(starts=np.array(starts), ends=np.array(ends))

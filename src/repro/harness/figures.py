@@ -1,0 +1,135 @@
+"""Structured figure data: every paper figure as a JSON-serializable object.
+
+The benchmark harness renders figures as fixed-width tables; this module
+exposes the same underlying data with a stable schema, so users with a
+plotting stack (matplotlib, gnuplot, a notebook) can regenerate the actual
+graphs.  Each builder returns a plain dict of lists/numbers — json.dumps
+works directly — with a ``figure`` tag, axis labels, and one entry per
+plotted series.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.latency import latency_cdf, metered_latencies
+from repro.core.lbo import LboCurves
+from repro.core.pca import PcaResult
+from repro.harness.experiments import LatencyRun, SuiteLbo
+
+PathLike = Union[str, pathlib.Path]
+
+
+def lbo_figure(curves: LboCurves, metric: str) -> Dict:
+    """Per-benchmark LBO curve data (Figure 5 / appendix LBO figures)."""
+    if metric not in ("wall", "task"):
+        raise ValueError("metric must be 'wall' or 'task'")
+    source = curves.wall if metric == "wall" else curves.task
+    series = []
+    for collector in sorted(source):
+        points = sorted(source[collector], key=lambda p: p.heap_multiple)
+        series.append(
+            {
+                "label": collector,
+                "heap_multiples": [p.heap_multiple for p in points],
+                "overheads": [p.overhead.mean for p in points],
+                "ci_half_widths": [p.overhead.half_width for p in points],
+            }
+        )
+    return {
+        "figure": f"lbo-{metric}",
+        "benchmark": curves.benchmark,
+        "x_label": "Heap size (x minheap)",
+        "y_label": f"Normalized {'time' if metric == 'wall' else 'CPU'} overhead (LBO)",
+        "series": series,
+    }
+
+
+def geomean_figure(result: SuiteLbo, metric: str) -> Dict:
+    """Suite geomean LBO data (Figure 1)."""
+    source = result.geomean_wall if metric == "wall" else result.geomean_task
+    series = []
+    for collector in sorted(source):
+        points = sorted(source[collector])
+        series.append(
+            {
+                "label": collector,
+                "heap_multiples": [m for m, _ in points],
+                "overheads": [v for _, v in points],
+            }
+        )
+    return {
+        "figure": f"fig1-{'a' if metric == 'wall' else 'b'}",
+        "x_label": "Heap size (x minheap)",
+        "y_label": f"Normalized {'time' if metric == 'wall' else 'CPU'} overhead (LBO)",
+        "series": series,
+    }
+
+
+def latency_figure(
+    runs: Sequence[LatencyRun], window_s: Optional[float] = "simple", points: int = 120
+) -> Dict:
+    """Latency CDF data in the paper's percentile-axis style (Figures 3/6).
+
+    ``window_s='simple'`` plots simple latency; a float or None plots
+    metered latency at that smoothing window.
+    """
+    if not runs:
+        raise ValueError("need at least one latency run")
+    series = []
+    for run in runs:
+        if window_s == "simple":
+            latencies = run.events.latencies
+        else:
+            latencies = metered_latencies(run.events, window_s)
+        percentiles, values = latency_cdf(latencies, points=points)
+        series.append(
+            {
+                "label": run.collector,
+                "percentiles": percentiles.tolist(),
+                "latency_ms": (np.asarray(values) * 1e3).tolist(),
+            }
+        )
+    label = (
+        "simple"
+        if window_s == "simple"
+        else ("metered (full smoothing)" if window_s is None else f"metered ({window_s * 1e3:g} ms)")
+    )
+    return {
+        "figure": "latency-cdf",
+        "benchmark": runs[0].benchmark,
+        "heap_multiple": runs[0].heap_multiple,
+        "variant": label,
+        "x_label": "Percentile",
+        "y_label": "Request latency (ms)",
+        "series": series,
+    }
+
+
+def pca_figure(result: PcaResult, components: Sequence[int] = (0, 1)) -> Dict:
+    """PCA scatter data (Figure 4)."""
+    a, b = components
+    return {
+        "figure": "fig4-pca",
+        "x_label": f"PC{a + 1} {result.explained_variance_ratio[a] * 100:.0f}% variance explained",
+        "y_label": f"PC{b + 1} {result.explained_variance_ratio[b] * 100:.0f}% variance explained",
+        "points": [
+            {
+                "benchmark": name,
+                "x": float(result.projections[i, a]),
+                "y": float(result.projections[i, b]),
+            }
+            for i, name in enumerate(result.benchmarks)
+        ],
+    }
+
+
+def write_figure_json(figure: Dict, path: PathLike) -> pathlib.Path:
+    """Persist a figure object; raises if it is not JSON-serializable."""
+    path = pathlib.Path(path)
+    path.write_text(json.dumps(figure, indent=2, sort_keys=True) + "\n")
+    return path

@@ -1,0 +1,116 @@
+"""Rendering: the tables and series the paper's figures report.
+
+The benchmark harness is console-based, so every figure is regenerated as
+its underlying data series (exact rows/columns), formatted for reading and
+for diffing against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.latency import LatencyReport
+from repro.core.lbo import LboCurves
+from repro.core.stats import LATENCY_PERCENTILES
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """A plain fixed-width table."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match header width")
+        widths = [max(w, len(cell)) for w, cell in zip(widths, row)]
+    def line(cells):
+        return "  ".join(cell.ljust(w) for cell, w in zip(cells, widths)).rstrip()
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in rows)
+    return "\n".join(out)
+
+
+def format_lbo_series(
+    series: Mapping[str, Sequence[Tuple[float, float]]], title: str
+) -> str:
+    """Render geomean LBO curves (Figure 1) as a multiples x collectors table."""
+    multiples = sorted({m for pts in series.values() for m, _ in pts})
+    collectors = list(series)
+    headers = ["heap (x min)"] + collectors
+    rows = []
+    for multiple in multiples:
+        row = [f"{multiple:.2f}"]
+        for collector in collectors:
+            match = [v for m, v in series[collector] if abs(m - multiple) < 1e-9]
+            row.append(f"{match[0]:.3f}" if match else "-")
+        rows.append(row)
+    return f"{title}\n{format_table(headers, rows)}"
+
+
+def format_lbo_curves(curves: LboCurves, metric: str) -> str:
+    """Render one benchmark's LBO curve (Figure 5 / appendix) with CIs."""
+    source = curves.wall if metric == "wall" else curves.task
+    multiples = sorted({p.heap_multiple for pts in source.values() for p in pts})
+    collectors = sorted(source)
+    headers = ["heap (x min)"] + collectors
+    rows = []
+    for multiple in multiples:
+        row = [f"{multiple:.2f}"]
+        for collector in collectors:
+            match = [p for p in source[collector] if abs(p.heap_multiple - multiple) < 1e-9]
+            if match:
+                ci = match[0].overhead
+                row.append(f"{ci.mean:.3f}+-{ci.half_width:.3f}")
+            else:
+                row.append("-")
+        rows.append(row)
+    title = f"{curves.benchmark}: normalized {'time' if metric == 'wall' else 'CPU'} overhead (LBO)"
+    return f"{title}\n{format_table(headers, rows)}"
+
+
+def format_latency_comparison(
+    reports: Mapping[str, LatencyReport],
+    window_s: Optional[float] = "simple",
+    unit_ms: bool = True,
+) -> str:
+    """Render a per-collector latency percentile table (Figures 3 and 6).
+
+    ``window_s='simple'`` prints simple latency; a float or ``None`` prints
+    metered latency at that smoothing window (None = full smoothing).
+    """
+    collectors = list(reports)
+    headers = ["percentile"] + collectors
+    rows = []
+    for q in LATENCY_PERCENTILES:
+        row = [f"{q:g}"]
+        for collector in collectors:
+            report = reports[collector]
+            ladder = report.simple if window_s == "simple" else report.metered_at(window_s)
+            value = ladder[q]
+            row.append(f"{value * 1e3:.3f}" if unit_ms else f"{value:.6f}")
+        rows.append(row)
+    label = "simple" if window_s == "simple" else (
+        "metered, full smoothing" if window_s is None else f"metered, {window_s * 1e3:g} ms smoothing"
+    )
+    unit = "ms" if unit_ms else "s"
+    return f"Request latency ({label}, {unit})\n{format_table(headers, rows)}"
+
+
+def format_pca_projection(result, components: Tuple[int, int] = (0, 1)) -> str:
+    """Render PCA scatter coordinates (Figure 4) as a table."""
+    a, b = components
+    headers = [
+        "benchmark",
+        f"PC{a + 1} ({result.explained_variance_ratio[a] * 100:.0f}% var)",
+        f"PC{b + 1} ({result.explained_variance_ratio[b] * 100:.0f}% var)",
+    ]
+    rows = [
+        [name, f"{result.projections[i, a]:+.3f}", f"{result.projections[i, b]:+.3f}"]
+        for i, name in enumerate(result.benchmarks)
+    ]
+    return format_table(headers, rows)
+
+
+def format_heap_series(series: Sequence[Tuple[float, float]], benchmark: str) -> str:
+    """Render a post-GC heap-size time series (appendix heap graphs)."""
+    headers = ["time (s)", "heap after GC (MB)"]
+    rows = [[f"{t:.4f}", f"{mb:.2f}"] for t, mb in series]
+    return f"{benchmark}: heap size after each GC (G1, 2.0x heap)\n{format_table(headers, rows)}"

@@ -1,0 +1,104 @@
+"""The experiment runner: invocations, iterations, warmup discipline.
+
+Encodes the paper's Section 6.1 methodology as defaults:
+
+- five iterations per invocation, timing the last (``-n 5``);
+- multiple invocations per configuration with 95 % confidence intervals
+  (the paper uses ten; the default here is configurable because simulated
+  runs are cheap to repeat but test suites want speed);
+- heap sizes controlled per benchmark as multiples of the nominal minimum
+  heap (Recommendation H2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.stats import ConfidenceInterval, confidence_interval_95
+from repro.jvm.collectors.base import GcTuning
+from repro.jvm.cpu import DEFAULT_MACHINE, Machine
+from repro.jvm.environment import BASELINE_ENVIRONMENT, EnvironmentProfile
+from repro.jvm.simulator import IterationResult, collector_label, simulate_run
+from repro.workloads.spec import WorkloadSpec
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Knobs for one experimental campaign."""
+
+    invocations: int = 5
+    iterations: Optional[int] = None  # None: the workload's default (-n 5)
+    machine: Machine = DEFAULT_MACHINE
+    tuning: GcTuning = field(default_factory=GcTuning)
+    #: Scales iteration length (and so allocation volume and request
+    #: streams); < 1 makes tests fast without changing curve shapes.
+    duration_scale: float = 1.0
+    #: Execution environment (memory speed, LLC, frequency, compiler).
+    environment: EnvironmentProfile = BASELINE_ENVIRONMENT
+
+    def __post_init__(self) -> None:
+        if self.invocations < 1:
+            raise ValueError("need at least one invocation")
+        if self.duration_scale <= 0:
+            raise ValueError("duration scale must be positive")
+
+
+DEFAULT_CONFIG = RunConfig()
+
+
+@dataclass(frozen=True)
+class BenchmarkMeasurement:
+    """Timed iterations for one (workload, collector, heap) cell."""
+
+    benchmark: str
+    collector: str
+    heap_mb: float
+    results: List[IterationResult]
+
+    @property
+    def wall(self) -> ConfidenceInterval:
+        return confidence_interval_95([r.wall_s for r in self.results])
+
+    @property
+    def task(self) -> ConfidenceInterval:
+        return confidence_interval_95([r.task_clock_s for r in self.results])
+
+    @property
+    def gc_count(self) -> float:
+        return sum(r.gc_count for r in self.results) / len(self.results)
+
+
+def measure(
+    spec: WorkloadSpec,
+    collector: str,
+    heap_mb: float,
+    config: RunConfig = DEFAULT_CONFIG,
+) -> BenchmarkMeasurement:
+    """Run ``config.invocations`` invocations and collect the timed
+    (final) iteration of each.
+
+    Propagates :class:`~repro.jvm.heap.OutOfMemoryError` if the workload
+    cannot run in ``heap_mb`` — callers doing heap sweeps treat that as
+    "no data point", matching the paper's plotting rule.
+    """
+    results = []
+    for invocation in range(config.invocations):
+        run = simulate_run(
+            spec,
+            collector,
+            heap_mb,
+            iterations=config.iterations,
+            invocation=invocation,
+            machine=config.machine,
+            tuning=config.tuning,
+            duration_scale=config.duration_scale,
+            environment=config.environment,
+        )
+        results.append(run.timed)
+    return BenchmarkMeasurement(
+        benchmark=spec.name,
+        collector=collector_label(collector),
+        heap_mb=heap_mb,
+        results=results,
+    )

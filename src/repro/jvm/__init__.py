@@ -1,0 +1,1 @@
+"""The simulated JVM substrate: machine, heap, collectors, simulator."""

@@ -1,0 +1,135 @@
+"""Barrier cost model: what collectors charge the mutator, per workload.
+
+Every collector design instruments some subset of the mutator's memory
+operations:
+
+- **card-table write barriers** (Serial, Parallel) mark the card of every
+  reference store;
+- **SATB write barriers + remembered-set maintenance** (G1) additionally
+  log overwritten values and cross-region references;
+- **load-reference barriers** (Shenandoah) intercept every reference load
+  to forward to-space pointers;
+- **colored-pointer load barriers** (ZGC, GenZGC) test and heal loaded
+  references.
+
+How much these cost a *particular* workload depends on how often it
+performs the instrumented operations — which is exactly what the suite's
+bytecode-group nominal statistics measure: BPF (putfield/us), BAS
+(aastore/us), BGF (getfield/us), BAL (aaload/us).  This module turns a
+collector's barrier set and a workload's operation rates into a mutator
+tax, anchored so the *suite-median* workload pays the collector's baseline
+tax (the constants calibrated against the paper's Figure 1).
+
+Workloads without bytecode statistics (tradebeans, tradesoap: the paper's
+35-dimension benchmarks) fall back to the baseline tax.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+#: Suite-median operation rates (events per microsecond), computed from the
+#: published bytecode statistics.  Anchoring on the median keeps the
+#: Figure 1 calibration intact while spreading taxes across workloads.
+MEDIAN_WRITE_RATE_PER_US = 98.5  # median of BPF + BAS
+MEDIAN_READ_RATE_PER_US = 642.0  # median of BGF + BAL
+
+#: Bounds on how far a workload's operation mix can move the barrier
+#: portion of the tax relative to baseline.
+MIN_BARRIER_SCALE = 0.5
+MAX_BARRIER_SCALE = 1.8
+
+
+@dataclass(frozen=True)
+class BarrierSet:
+    """A collector's barrier configuration.
+
+    ``write_weight`` and ``read_weight`` apportion the collector's barrier
+    overhead between store-side and load-side instrumentation; they sum to
+    at most 1, with any remainder treated as operation-independent
+    (allocation path, TLAB bump checks).
+    """
+
+    name: str
+    write_weight: float
+    read_weight: float
+
+    def __post_init__(self) -> None:
+        if self.write_weight < 0 or self.read_weight < 0:
+            raise ValueError("barrier weights cannot be negative")
+        if self.write_weight + self.read_weight > 1.0 + 1e-9:
+            raise ValueError("barrier weights cannot sum above 1")
+
+    @property
+    def fixed_weight(self) -> float:
+        return max(0.0, 1.0 - self.write_weight - self.read_weight)
+
+
+#: Barrier sets per collector design.
+CARD_TABLE = BarrierSet(name="card-table", write_weight=0.6, read_weight=0.0)
+SATB_RSET = BarrierSet(name="satb+rset", write_weight=0.7, read_weight=0.0)
+LOAD_REFERENCE = BarrierSet(name="load-reference", write_weight=0.2, read_weight=0.6)
+COLORED_POINTER = BarrierSet(name="colored-pointer", write_weight=0.05, read_weight=0.7)
+
+
+@dataclass(frozen=True)
+class WorkloadOperationRates:
+    """A workload's reference-operation rates, events per microsecond."""
+
+    putfield_per_us: float
+    aastore_per_us: float
+    getfield_per_us: float
+    aaload_per_us: float
+
+    def __post_init__(self) -> None:
+        for field_name in ("putfield_per_us", "aastore_per_us", "getfield_per_us", "aaload_per_us"):
+            if getattr(self, field_name) < 0:
+                raise ValueError(f"{field_name} cannot be negative")
+
+    @property
+    def write_rate(self) -> float:
+        return self.putfield_per_us + self.aastore_per_us
+
+    @property
+    def read_rate(self) -> float:
+        return self.getfield_per_us + self.aaload_per_us
+
+
+def _dampened_ratio(rate: float, median: float) -> float:
+    """Rate relative to the suite median, dampened and clipped.
+
+    A square-root dampening reflects that barrier work overlaps with the
+    instrumented operation itself on an out-of-order core: doubling the
+    operation rate does not double the barrier bill.
+    """
+    if median <= 0:
+        raise ValueError("median rate must be positive")
+    ratio = (max(rate, 0.0) / median) ** 0.5
+    return min(max(ratio, MIN_BARRIER_SCALE), MAX_BARRIER_SCALE)
+
+
+def mutator_tax(
+    baseline_tax: float,
+    barriers: BarrierSet,
+    rates: Optional[WorkloadOperationRates],
+) -> float:
+    """The mutator CPU multiplier a collector charges a workload.
+
+    ``baseline_tax`` is the collector's calibrated suite-median tax (e.g.
+    1.09 for Shenandoah).  The barrier *overhead* portion
+    (``baseline_tax - 1``) is rescaled by the workload's operation mix;
+    the operation-independent share is untouched.  With ``rates=None``
+    (no bytecode statistics) the baseline is returned unchanged.
+    """
+    if baseline_tax < 1.0:
+        raise ValueError("a tax below 1.0 would mean barriers speed code up")
+    if rates is None:
+        return baseline_tax
+    overhead = baseline_tax - 1.0
+    scale = (
+        barriers.fixed_weight
+        + barriers.write_weight * _dampened_ratio(rates.write_rate, MEDIAN_WRITE_RATE_PER_US)
+        + barriers.read_weight * _dampened_ratio(rates.read_rate, MEDIAN_READ_RATE_PER_US)
+    )
+    return 1.0 + overhead * scale

@@ -1,0 +1,49 @@
+"""The five OpenJDK 21 production collector models.
+
+``COLLECTORS`` maps each collector's name to its class, ordered by the year
+its design entered the JVM — the ordering the paper uses when it observes
+that newer collectors consume more resources than older ones.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+from repro.jvm.collectors.base import Collector, CyclePlan, GcTuning, PauseSegment
+from repro.jvm.collectors.g1 import G1Collector
+from repro.jvm.collectors.genzgc import GenZgcCollector
+from repro.jvm.collectors.parallel import ParallelCollector
+from repro.jvm.collectors.serial import SerialCollector
+from repro.jvm.collectors.shenandoah import ShenandoahCollector
+from repro.jvm.collectors.zgc import ZgcCollector
+
+COLLECTORS: Dict[str, Type[Collector]] = {
+    cls.NAME: cls
+    for cls in (
+        SerialCollector,
+        ParallelCollector,
+        G1Collector,
+        ShenandoahCollector,
+        ZgcCollector,
+        GenZgcCollector,
+    )
+}
+
+#: The five collectors the paper's main figures plot (GenZGC is available
+#: by name as a sixth, as in the paper's appendix).
+COLLECTOR_NAMES = ("Serial", "Parallel", "G1", "Shenandoah", "ZGC")
+
+__all__ = [
+    "Collector",
+    "CyclePlan",
+    "GcTuning",
+    "PauseSegment",
+    "SerialCollector",
+    "ParallelCollector",
+    "G1Collector",
+    "ShenandoahCollector",
+    "ZgcCollector",
+    "GenZgcCollector",
+    "COLLECTORS",
+    "COLLECTOR_NAMES",
+]

@@ -1,0 +1,88 @@
+"""Shared machinery for the fully concurrent collectors (Shenandoah, ZGC).
+
+Both collectors mark, evacuate, and update references while the application
+runs, trigger cycles adaptively from projected allocation, and size their
+concurrent worker team to the allocation pressure: when the mutator
+allocates fast enough to exhaust the heap before a cycle would finish with
+the default team, more workers are enlisted (up to the core count) — the
+analogue of the adaptive ``ConcGCThreads`` heuristics in OpenJDK.  When
+even a full team cannot keep up, the collector's degradation mechanism
+takes over: Shenandoah paces (throttles) allocating threads, ZGC lets them
+stall outright.
+"""
+
+from __future__ import annotations
+
+from repro.jvm.collectors.base import Collector
+from repro.jvm.heap import Heap
+
+
+class ConcurrentCollector(Collector):
+    """Base for collectors doing the bulk of their work concurrently."""
+
+    #: Cycle work (mark + evacuate + update) in multiples of the live set.
+    CYCLE_WORK_FACTOR = 1.3
+    #: Fraction of young (freshly allocated) data a cycle must also scan
+    #: (fresh objects are implicitly live but cheap to skip over).
+    YOUNG_SCAN_FACTOR = 0.08
+    #: Safety factor on the adaptive trigger.
+    TRIGGER_SAFETY = 1.3
+    #: Fraction of the free space a cycle should leave unconsumed when the
+    #: team is sized (headroom against prediction error).
+    PACING_TARGET = 0.6
+
+    def stw_workers(self) -> int:
+        return min(self.machine.cores, 16)
+
+    def default_concurrent_workers(self) -> float:
+        raise NotImplementedError
+
+    def max_concurrent_workers(self) -> float:
+        """Upper bound on the adaptive team.
+
+        Concurrent collectors do not commandeer the whole machine: beyond
+        roughly half the cores they throttle or stall the application
+        instead.  This bounded expansion is what makes wall-clock overhead
+        exceed task-clock overhead under allocation pressure (the paper's
+        lusearch analysis): mutators sleep (wall grows) while GC CPU stays
+        proportional to the work done.
+        """
+        return max(self.default_concurrent_workers(), self.machine.cores / 2.0)
+
+    def cycle_work_mb(self, heap: Heap) -> float:
+        return self.CYCLE_WORK_FACTOR * (
+            heap.live_mb + self.YOUNG_SCAN_FACTOR * heap.young_mb
+        )
+
+    def concurrent_workers(self, heap: Heap) -> float:
+        """Adaptive team size: enough workers that the cycle finishes within
+        the allocation budget, within [default, core count]."""
+        base = self.default_concurrent_workers()
+        alloc_rate = self.spec.alloc_rate_mb_s
+        if alloc_rate <= 0 or heap.free_mb <= 0:
+            return base
+        budget_s = self.PACING_TARGET * heap.free_mb / alloc_rate
+        if budget_s <= 0:
+            return float(self.machine.cores)
+        needed_speedup = self.cycle_work_mb(heap) / (
+            self.tuning.concurrent_rate_mb_s * budget_s
+        )
+        if needed_speedup <= 1.0:
+            needed = 1.0
+        else:
+            needed = needed_speedup ** (1.0 / self.tuning.efficiency_exponent)
+        return float(min(max(base, needed), self.max_concurrent_workers()))
+
+    def cycle_duration_s(self, heap: Heap) -> float:
+        workers = self.concurrent_workers(heap)
+        rate = self.tuning.concurrent_rate_mb_s * self.machine.parallel_speedup(
+            max(int(workers), 1), self.tuning.efficiency_exponent
+        )
+        return self.cycle_work_mb(heap) / rate
+
+    def trigger_free_mb(self, heap: Heap) -> float:
+        expected_alloc = self.spec.alloc_rate_mb_s * self.cycle_duration_s(heap)
+        headroom = max(heap.usable_mb - self.live_footprint_mb(), 0.0)
+        trigger = self.TRIGGER_SAFETY * expected_alloc
+        # Never wait past 90% of headroom, never trigger below 10% used.
+        return float(min(max(trigger, 0.10 * headroom), 0.90 * headroom))

@@ -1,0 +1,26 @@
+"""The Parallel collector (2005): stop-the-world with a worker team.
+
+Parallel is Serial with hardware parallelism thrown at the pauses: wall
+clock improves dramatically, but — as the paper's Figure 1(b) shows —
+imperfect parallel scaling means it consumes *more* total CPU than Serial.
+The model expresses that directly: pause wall time divides by a sub-linear
+team speedup while pause CPU multiplies by the full team size.
+"""
+
+from __future__ import annotations
+
+from repro.jvm.collectors.serial import SerialCollector
+
+
+class ParallelCollector(SerialCollector):
+    """Throughput-oriented parallel scavenge + parallel compact."""
+
+    NAME = "Parallel"
+    YEAR = 2005
+    MUTATOR_TAX = 1.02
+    RESERVE_FRACTION = 0.02
+
+    def stw_workers(self) -> int:
+        # ParallelGCThreads defaults to ~5/8 of hardware threads on big
+        # machines; a full core count is a good model on 16c/32t.
+        return min(self.machine.cores, 16)

@@ -1,0 +1,61 @@
+"""Shenandoah (2014): concurrent mark *and* evacuation, with a pacer.
+
+Shenandoah keeps pauses tiny by doing marking, evacuation, and reference
+updating concurrently, paying for it with a load-reference barrier in the
+mutator and a lot of concurrent CPU.  Its distinguishing mechanism in the
+paper's analysis is the *pacer*: when the application allocates faster than
+the collector can reclaim, Shenandoah stalls allocating threads a little at
+a time ("taxing" allocations) so the cycle can finish.
+
+This is what produces the paper's lusearch result (Section 6.2): wall-clock
+overhead beyond 2x at every heap size — the 32 allocating client threads
+are throttled — while the *task clock* overhead is far smaller, because
+throttled threads are off-CPU.
+"""
+
+from __future__ import annotations
+
+from repro.jvm import barriers as barrier_model
+from repro.jvm.collectors.base import CyclePlan
+from repro.jvm.collectors.concurrent import ConcurrentCollector
+from repro.jvm.heap import Heap
+
+
+class ShenandoahCollector(ConcurrentCollector):
+    """Concurrent compacting collector with pacing."""
+
+    NAME = "Shenandoah"
+    YEAR = 2014
+    MUTATOR_TAX = 1.09  # load-reference barrier + SATB
+    BARRIERS = barrier_model.LOAD_REFERENCE
+    RESERVE_FRACTION = 0.08  # evacuation reserve
+
+    CYCLE_WORK_FACTOR = 1.35
+    #: Pacer headroom: the fraction of free space the pacer budgets for
+    #: allocation during a cycle.  Deliberately conservative — the pacer
+    #: reserves space for evacuation and prediction error, which is why
+    #: allocation-heavy workloads stay throttled even at generous heaps.
+    PACE_HEADROOM = 0.55
+
+    def default_concurrent_workers(self) -> float:
+        # ConcGCThreads for Shenandoah defaults to half the parallel team.
+        return max(1.0, self.stw_workers() / 2.0)
+
+    def _brief_pause(self, heap: Heap, fraction: float, kind: str):
+        # Init/final mark pauses scan roots; cost scales weakly with live.
+        return self.stw_pause_for(
+            fraction * self.live_footprint_mb(), self.tuning.mark_rate_mb_s, kind
+        )
+
+    def plan_cycle(self, heap: Heap) -> CyclePlan:
+        duration = self.cycle_duration_s(heap)
+        pace = self.PACE_HEADROOM * heap.free_mb / duration if duration > 0 else None
+        return CyclePlan(
+            kind="concurrent",
+            pre_pauses=(self._brief_pause(heap, 0.010, "init-mark"),),
+            concurrent_work_mb=self.cycle_work_mb(heap),
+            concurrent_threads=self.concurrent_workers(heap),
+            post_pauses=(self._brief_pause(heap, 0.015, "final-mark"),),
+            full_live_target_mb=self.live_footprint_mb(),
+            pace_alloc_to_mb_s=pace,
+        )

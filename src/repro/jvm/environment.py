@@ -1,0 +1,114 @@
+"""Execution environments: the experiment axes of Section 6.1.3.
+
+The paper characterizes each workload's sensitivity to its execution
+environment by re-running it under controlled perturbations:
+
+- **memory speed** — DDR5-4800 downclocked to DDR5-2000 (the PMS statistic),
+- **last-level cache** — restricted to 1/16 capacity via cache-allocation
+  enforcement (PLS),
+- **frequency scaling** — enabling Core Performance Boost (PFS),
+- **compiler configuration** — forced C2 (PCC), worst-vs-best configuration
+  (PCS), or interpreter-only execution (PIN).
+
+An :class:`EnvironmentProfile` describes one such configuration.  Workload
+models respond through their published sensitivity coefficients (carried on
+the spec); the harness then runs the *same* measurement methodology the
+paper used and recovers those statistics — see
+:mod:`repro.core.characterize`, which closes the loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Compiler configurations the runtime can be pinned to.
+COMPILER_MODES = ("tiered", "c2-only", "interpreter")
+
+#: Processor designs the suite was characterized on (Section 6.4): the
+#: baseline AMD Zen 4 (Ryzen 9 7950X), ARM Neoverse N1 (Ampere Altra
+#: Q80-30), and Intel Golden Cove (i9-12900KF).
+ARCHITECTURES = ("zen4", "neoverse-n1", "golden-cove")
+
+
+@dataclass(frozen=True)
+class EnvironmentSensitivity:
+    """A workload's published environment sensitivities (percent effects).
+
+    Field names follow the nominal statistics: ``pms`` percent slowdown
+    with slow DRAM, ``pls`` percent slowdown at 1/16 LLC, ``pfs`` percent
+    speedup with frequency boost, ``pcc`` percent slowdown under forced C2
+    compilation, ``pin`` percent slowdown on the interpreter.
+    """
+
+    pms: float = 0.0
+    pls: float = 0.0
+    pfs: float = 0.0
+    pcc: float = 0.0
+    pin: float = 0.0
+    #: Single-core slowdown on ARM Neoverse N1 vs Zen 4 (UAA) and on Intel
+    #: Golden Cove vs Zen 4 (UAI); UAI can be negative (Intel faster).
+    uaa: float = 0.0
+    uai: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("pms", "pls", "pcc", "pin"):
+            if getattr(self, name) < -5.0:
+                raise ValueError(f"{name} is a slowdown percentage; {getattr(self, name)} is implausible")
+
+
+@dataclass(frozen=True)
+class EnvironmentProfile:
+    """One execution-environment configuration.
+
+    The default profile is the paper's baseline: full-speed DDR5-4800,
+    full LLC, frequency scaling off, tiered compilation.
+    """
+
+    slow_memory: bool = False
+    llc_fraction: float = 1.0
+    frequency_boost: bool = False
+    compiler: str = "tiered"
+    architecture: str = "zen4"
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.llc_fraction <= 1.0:
+            raise ValueError("llc_fraction must be in (0, 1]")
+        if self.compiler not in COMPILER_MODES:
+            raise ValueError(f"compiler must be one of {COMPILER_MODES}")
+        if self.architecture not in ARCHITECTURES:
+            raise ValueError(f"architecture must be one of {ARCHITECTURES}")
+
+    def execution_time_factor(self, sensitivity: EnvironmentSensitivity) -> float:
+        """Multiplier on a workload's intrinsic execution time.
+
+        Effects compose multiplicatively, each driven by the workload's own
+        sensitivity coefficient.  LLC restriction interpolates linearly in
+        lost capacity toward the published 1/16-capacity slowdown.
+        """
+        factor = 1.0
+        if self.slow_memory:
+            factor *= 1.0 + max(sensitivity.pms, 0.0) / 100.0
+        if self.llc_fraction < 1.0:
+            lost = (1.0 - self.llc_fraction) / (1.0 - 1.0 / 16.0)
+            factor *= 1.0 + max(sensitivity.pls, 0.0) / 100.0 * min(lost, 1.0)
+        if self.frequency_boost:
+            factor /= 1.0 + max(sensitivity.pfs, -50.0) / 100.0
+        if self.compiler == "c2-only":
+            factor *= 1.0 + max(sensitivity.pcc, 0.0) / 100.0
+        elif self.compiler == "interpreter":
+            factor *= 1.0 + max(sensitivity.pin, 0.0) / 100.0
+        if self.architecture == "neoverse-n1":
+            factor *= max(1.0 + sensitivity.uaa / 100.0, 0.1)
+        elif self.architecture == "golden-cove":
+            factor *= max(1.0 + sensitivity.uai / 100.0, 0.1)
+        return factor
+
+
+BASELINE_ENVIRONMENT = EnvironmentProfile()
+SLOW_MEMORY = EnvironmentProfile(slow_memory=True)
+SMALL_LLC = EnvironmentProfile(llc_fraction=1.0 / 16.0)
+BOOSTED = EnvironmentProfile(frequency_boost=True)
+FORCED_C2 = EnvironmentProfile(compiler="c2-only")
+INTERPRETER_ONLY = EnvironmentProfile(compiler="interpreter")
+ON_NEOVERSE_N1 = EnvironmentProfile(architecture="neoverse-n1")
+ON_GOLDEN_COVE = EnvironmentProfile(architecture="golden-cove")

@@ -1,0 +1,105 @@
+"""GC logs in OpenJDK unified-logging format.
+
+The paper's analyses lean on GC logs ("We also confirm this by reviewing
+Shenandoah's GC log", Section 6.3).  This module renders a simulated run's
+telemetry as ``-Xlog:gc``-style log lines and parses them back, so
+downstream tooling built for real JVM logs — and humans used to reading
+them — can work against simulated runs, and real logs can be compared
+side by side.
+
+Example output::
+
+    [0.523s][info][gc] GC(12) Pause Young (Normal) 188M->45M(348M) 2.531ms
+    [1.201s][info][gc] GC(13) Concurrent Mark Cycle 211M->140M(348M) 48.220ms
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List
+
+from repro.jvm.telemetry import GcEvent, Telemetry
+
+#: Map from the simulator's cycle kinds to the phrasing OpenJDK uses.
+_KIND_LABELS = {
+    "young": "Pause Young (Normal)",
+    "mixed": "Pause Young (Mixed)",
+    "full": "Pause Full",
+    "concurrent": "Concurrent Cycle",
+    "concurrent-mark": "Concurrent Mark Cycle",
+    "concurrent-young": "Concurrent Young Cycle",
+}
+
+_LINE_RE = re.compile(
+    r"^\[(?P<time>\d+\.\d{3})s\]\[info\]\[gc\] "
+    r"GC\((?P<number>\d+)\) (?P<label>.+?) "
+    r"(?P<before>\d+)M->(?P<after>\d+)M\((?P<capacity>\d+)M\) "
+    r"(?P<duration>\d+\.\d{3})ms$"
+)
+
+
+def _label_for(kind: str) -> str:
+    return _KIND_LABELS.get(kind, f"Pause ({kind})")
+
+
+def format_gc_log(telemetry: Telemetry, heap_capacity_mb: float) -> List[str]:
+    """Render a run's GC events as unified-logging lines."""
+    if heap_capacity_mb <= 0:
+        raise ValueError("heap capacity must be positive")
+    lines = []
+    for number, event in enumerate(telemetry.gc_log):
+        lines.append(
+            f"[{event.time:.3f}s][info][gc] GC({number}) {_label_for(event.kind)} "
+            f"{event.heap_before_mb:.0f}M->{event.heap_after_mb:.0f}M"
+            f"({heap_capacity_mb:.0f}M) {event.pause_s * 1e3:.3f}ms"
+        )
+    return lines
+
+
+def parse_gc_log(lines: List[str]) -> List[GcEvent]:
+    """Parse unified-logging lines back into GC events.
+
+    Only the fields the log carries are recovered; ``reclaimed_mb`` is
+    derived from the before/after occupancy.  Unknown labels map to a
+    ``parsed`` kind rather than failing, since real logs carry phrasing
+    this emitter does not produce.
+    """
+    reverse = {v: k for k, v in _KIND_LABELS.items()}
+    events = []
+    for line in lines:
+        match = _LINE_RE.match(line.strip())
+        if not match:
+            raise ValueError(f"unparseable GC log line: {line!r}")
+        before = float(match.group("before"))
+        after = float(match.group("after"))
+        events.append(
+            GcEvent(
+                time=float(match.group("time")),
+                kind=reverse.get(match.group("label"), "parsed"),
+                pause_s=float(match.group("duration")) / 1e3,
+                reclaimed_mb=max(before - after, 0.0),
+                heap_before_mb=before,
+                heap_after_mb=after,
+            )
+        )
+    return events
+
+
+@dataclass(frozen=True)
+class GcLogSummary:
+    """Aggregate view of a GC log — what a quick log review extracts."""
+
+    collections: int
+    total_pause_s: float
+    max_pause_s: float
+    reclaimed_mb: float
+
+    @classmethod
+    def from_events(cls, events: List[GcEvent]) -> "GcLogSummary":
+        return cls(
+            collections=len(events),
+            total_pause_s=sum(e.pause_s for e in events),
+            max_pause_s=max((e.pause_s for e in events), default=0.0),
+            reclaimed_mb=sum(e.reclaimed_mb for e in events),
+        )

@@ -1,0 +1,116 @@
+"""Heap model: capacity, occupancy, and the live set.
+
+The heap is the arena the time–space tradeoff plays out in (Recommendations
+H1/H2): the smaller the headroom between capacity and live set, the more
+often the collector must run and the more CPU it burns.  The model tracks
+occupancy in MB; object identity is not represented — demographics
+(`repro.jvm.objects`) summarise what the collector would see.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class OutOfMemoryError(RuntimeError):
+    """Raised when a workload's live set cannot fit in the configured heap.
+
+    Mirrors the JVM's ``java.lang.OutOfMemoryError``: benchmarks below their
+    minimum heap size do not complete, which is exactly the behaviour the
+    minimum-heap search (GMD/GMU statistics) probes for.
+    """
+
+
+@dataclass
+class Heap:
+    """A bump-allocated heap with a long-lived live set.
+
+    ``capacity_mb`` plays the role of ``-Xmx``.  ``live_mb`` is the
+    long-lived (old-generation) live set; ``young_mb`` is un-collected fresh
+    allocation.  ``reserve_fraction`` models per-collector metadata and
+    fragmentation overhead — space the application can never use.
+    """
+
+    capacity_mb: float
+    live_mb: float = 0.0
+    young_mb: float = 0.0
+    reserve_fraction: float = 0.0
+
+    allocated_total_mb: float = field(default=0.0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.capacity_mb <= 0:
+            raise ValueError("heap capacity must be positive")
+        if not 0.0 <= self.reserve_fraction < 1.0:
+            raise ValueError("reserve fraction must be in [0, 1)")
+        if self.live_mb < 0 or self.young_mb < 0:
+            raise ValueError("heap occupancy cannot be negative")
+
+    @property
+    def usable_mb(self) -> float:
+        """Capacity available to the application after collector reserve."""
+        return self.capacity_mb * (1.0 - self.reserve_fraction)
+
+    @property
+    def occupied_mb(self) -> float:
+        return self.live_mb + self.young_mb
+
+    @property
+    def free_mb(self) -> float:
+        return max(self.usable_mb - self.occupied_mb, 0.0)
+
+    def allocate(self, mb: float) -> None:
+        """Allocate ``mb`` of fresh objects into the young space.
+
+        Raises :class:`OutOfMemoryError` if the allocation exceeds free
+        space — the caller (the simulator loop) is responsible for
+        scheduling collections before that happens.
+        """
+        if mb < 0:
+            raise ValueError("cannot allocate a negative amount")
+        if mb > self.free_mb + 1e-9:
+            raise OutOfMemoryError(
+                f"allocation of {mb:.1f} MB exceeds free space "
+                f"{self.free_mb:.1f} MB (capacity {self.capacity_mb:.1f} MB)"
+            )
+        self.young_mb += mb
+        self.allocated_total_mb += mb
+
+    def collect_young(self, survival_rate: float, promotion_fraction: float) -> float:
+        """Perform the accounting of a young collection.
+
+        Surviving young bytes either stay young (aging) or are promoted to
+        the live set.  Returns the MB reclaimed.
+        """
+        if not 0.0 <= survival_rate <= 1.0:
+            raise ValueError("survival rate must be in [0, 1]")
+        if not 0.0 <= promotion_fraction <= 1.0:
+            raise ValueError("promotion fraction must be in [0, 1]")
+        survivors = self.young_mb * survival_rate
+        reclaimed = self.young_mb - survivors
+        promoted = survivors * promotion_fraction
+        self.young_mb = survivors - promoted
+        self.live_mb += promoted
+        return reclaimed
+
+    def collect_full(self, live_target_mb: float) -> float:
+        """Perform the accounting of a full collection.
+
+        The heap is compacted down to ``live_target_mb``; everything else is
+        reclaimed.  Returns the MB reclaimed.
+        """
+        if live_target_mb < 0:
+            raise ValueError("live target cannot be negative")
+        before = self.occupied_mb
+        after = min(live_target_mb, before)
+        self.live_mb = after
+        self.young_mb = 0.0
+        return before - after
+
+    def require_fits(self, mb: float) -> None:
+        """Raise :class:`OutOfMemoryError` unless ``mb`` fits in usable space."""
+        if mb > self.usable_mb:
+            raise OutOfMemoryError(
+                f"live set of {mb:.1f} MB cannot fit usable heap of "
+                f"{self.usable_mb:.1f} MB ({self.capacity_mb:.1f} MB capacity)"
+            )

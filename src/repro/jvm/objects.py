@@ -1,0 +1,94 @@
+"""Object demographics: sizes and lifetimes.
+
+DaCapo Chopin characterizes each workload's allocation behaviour with the
+AOA/AOL/AOM/AOS nominal statistics (average / 90th / median / 10th percentile
+object size) and its lifetime behaviour through the GC statistics (GCA, GCM,
+GTO).  This module turns those published numbers into samplable
+distributions so the simulated heap sees the same demographics the real
+workload produced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ObjectSizeDistribution:
+    """A log-normal object-size model fitted to nominal percentiles.
+
+    Parameters are the paper's per-workload statistics, in bytes:
+
+    - ``average`` — AOA, nominal average object size
+    - ``p90`` — AOL, 90th percentile size
+    - ``median`` — AOM, median size
+    - ``p10`` — AOS, 10th percentile size
+    """
+
+    average: float
+    p90: float
+    median: float
+    p10: float
+
+    def __post_init__(self) -> None:
+        if min(self.average, self.p90, self.median, self.p10) <= 0:
+            raise ValueError("object sizes must be positive")
+        if not self.p10 <= self.median <= self.p90:
+            raise ValueError("size percentiles must be ordered p10 <= median <= p90")
+
+    @property
+    def mu(self) -> float:
+        """Log-space mean of the fitted log-normal (median-anchored)."""
+        return float(np.log(self.median))
+
+    @property
+    def sigma(self) -> float:
+        """Log-space standard deviation fitted to the p10–p90 spread.
+
+        For a log-normal, ``ln p90 - ln p10 = 2 * z90 * sigma`` with
+        ``z90 = 1.2816``.  Degenerate spreads (p10 == p90) fall back to a
+        small positive sigma so sampling still works.
+        """
+        spread = float(np.log(self.p90) - np.log(self.p10))
+        z90 = 1.2815515655446004
+        return max(spread / (2.0 * z90), 0.05)
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Sample ``n`` object sizes in bytes."""
+        if n < 0:
+            raise ValueError("cannot sample a negative number of objects")
+        return rng.lognormal(mean=self.mu, sigma=self.sigma, size=n)
+
+    def mean_of_model(self) -> float:
+        """Analytic mean of the fitted log-normal, for sanity checks."""
+        return float(np.exp(self.mu + self.sigma**2 / 2.0))
+
+
+@dataclass(frozen=True)
+class LifetimeModel:
+    """Weak-generational-hypothesis lifetime model.
+
+    ``survival_rate`` is the fraction of freshly allocated bytes that
+    survives a young collection; ``long_lived_fraction`` is the share of the
+    survivors promoted into the long-lived live set.  Both are derived from
+    the workload's GC statistics by the registry.
+    """
+
+    survival_rate: float
+    long_lived_fraction: float
+
+    def __post_init__(self) -> None:
+        for name in ("survival_rate", "long_lived_fraction"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be within [0, 1], got {value}")
+
+    def surviving_bytes(self, allocated_mb: float) -> float:
+        """MB of ``allocated_mb`` that survive a young collection."""
+        return allocated_mb * self.survival_rate
+
+    def promoted_bytes(self, allocated_mb: float) -> float:
+        """MB of ``allocated_mb`` promoted to the old generation."""
+        return self.surviving_bytes(allocated_mb) * self.long_lived_fraction

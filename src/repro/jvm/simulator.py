@@ -1,0 +1,428 @@
+"""The simulated JVM: mutator, heap, and collector on a shared timeline.
+
+One :func:`simulate_iteration` call plays a single benchmark iteration: the
+mutator makes progress and allocates, the collector interjects cycles, and
+the telemetry records everything.  :func:`simulate_run` strings iterations
+together the way the harness runs DaCapo (``-n 5``, timing the last), with
+JIT warmup modelled as a decaying slowdown and heap leakage carried across
+iterations.
+
+Accounting follows the paper's Recommendation O2 exactly: every run yields
+both a wall-clock time and a task clock (total CPU over all threads, the
+simulator's TASK_CLOCK analogue).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.rng import generator_for
+from repro.jvm.collectors.base import Collector, CyclePlan, GcTuning
+from repro.jvm.cpu import DEFAULT_MACHINE, Machine
+from repro.jvm.environment import BASELINE_ENVIRONMENT, EnvironmentProfile
+from repro.jvm.heap import Heap, OutOfMemoryError
+from repro.jvm.telemetry import GcEvent, Telemetry
+from repro.jvm.timeline import ConcurrentSpan, Timeline
+
+#: Hard cap on GC cycles per iteration: a run that needs more than this is
+#: thrashing and is treated as unable to complete in the given heap.
+MAX_CYCLES_PER_ITERATION = 200_000
+
+
+@dataclass(frozen=True)
+class IterationResult:
+    """Everything measured about one benchmark iteration."""
+
+    wall_s: float
+    mutator_cpu_s: float
+    gc_pause_cpu_s: float
+    gc_concurrent_cpu_s: float
+    stw_wall_s: float
+    stall_wall_s: float
+    gc_count: int
+    allocated_mb: float
+    #: Long-lived live set at iteration end (heap introspection; the basis
+    #: of the leakage statistic GLK).
+    live_end_mb: float
+    timeline: Timeline
+    telemetry: Telemetry
+
+    @property
+    def gc_cpu_s(self) -> float:
+        return self.gc_pause_cpu_s + self.gc_concurrent_cpu_s
+
+    @property
+    def task_clock_s(self) -> float:
+        """Total CPU over all threads — the Linux perf TASK_CLOCK analogue."""
+        return self.mutator_cpu_s + self.gc_cpu_s
+
+    @property
+    def distilled_wall_s(self) -> float:
+        """Wall time minus easily-attributable STW time (LBO numeratorless
+        view: the conservative approximation to app-only cost)."""
+        return self.wall_s - self.stw_wall_s
+
+    @property
+    def distilled_task_s(self) -> float:
+        """Task clock minus attributable GC CPU (pauses + GC threads)."""
+        return self.task_clock_s - self.gc_pause_cpu_s - self.gc_concurrent_cpu_s
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """A full invocation: several iterations in one simulated JVM."""
+
+    iterations: List[IterationResult]
+    #: Reachable footprint observed after each forced inter-iteration full
+    #: GC (populated only when ``force_full_gc_between_iterations`` is on).
+    forced_gc_footprints_mb: List[float] = field(default_factory=list)
+
+    @property
+    def timed(self) -> IterationResult:
+        """The measured iteration — the last, per the paper's methodology."""
+        return self.iterations[-1]
+
+
+@dataclass
+class _MutatorState:
+    """Progress bookkeeping for the iteration in flight."""
+
+    target_progress_s: float
+    alloc_rate_mb_s: float  # allocation per second of mutator progress
+    progress_s: float = 0.0
+    wall_s: float = 0.0
+
+    @property
+    def remaining_s(self) -> float:
+        return max(self.target_progress_s - self.progress_s, 0.0)
+
+    @property
+    def done(self) -> bool:
+        return self.progress_s >= self.target_progress_s - 1e-12
+
+
+def warmup_factor(iteration: int, spec) -> float:
+    """Per-iteration slowdown from cold JIT/classloading.
+
+    Iteration 1 runs ``spec.warmup_excess`` slower; the excess decays so the
+    workload is within 1.5 % of peak by iteration ``spec.warmup_iterations``
+    (the PWU nominal statistic) — matching the paper's observation that
+    ``-n 5`` suffices for default-sized workloads.
+    """
+    if iteration < 1:
+        raise ValueError("iterations are numbered from 1")
+    excess = spec.warmup_excess
+    if excess <= 0.015:
+        return 1.0
+    pwu = max(spec.warmup_iterations, 1)
+    if pwu == 1:
+        return 1.0 if iteration > 1 else 1.0 + excess
+    decay = math.log(excess / 0.015) / (pwu - 1)
+    return 1.0 + excess * math.exp(-decay * (iteration - 1))
+
+
+class _IterationSim:
+    """Runs one iteration; split out of the function for readability."""
+
+    def __init__(
+        self,
+        spec,
+        collector: Collector,
+        heap: Heap,
+        machine: Machine,
+        rng: np.random.Generator,
+        speed_factor: float,
+        duration_scale: float,
+    ):
+        self.spec = spec
+        self.collector = collector
+        self.heap = heap
+        self.machine = machine
+        self.rng = rng
+        self.telemetry = Telemetry()
+        intrinsic = spec.execution_time_s * duration_scale * speed_factor
+        # Run-to-run noise: the PSD nominal statistic is the relative
+        # standard deviation among invocations at peak performance.
+        noise = float(np.exp(rng.normal(0.0, spec.run_noise)))
+        target = intrinsic * collector.mutator_tax * noise
+        # Allocation volume is a property of the workload, not the
+        # collector: accrue it against untaxed progress.
+        alloc_rate = spec.alloc_rate_mb_s / collector.mutator_tax
+        self.state = _MutatorState(target_progress_s=target, alloc_rate_mb_s=alloc_rate)
+        # The heap persists across iterations; report per-iteration allocation.
+        self._alloc_at_start_mb = heap.allocated_total_mb
+
+    # -- helpers -------------------------------------------------------
+    def _run_mutator(self, progress_s: float) -> None:
+        """Advance the mutator outside any GC cycle (rate 1, no dilation)."""
+        self.heap.allocate(progress_s * self.state.alloc_rate_mb_s)
+        self.state.progress_s += progress_s
+        self.state.wall_s += progress_s
+
+    def _execute_pauses(self, segments, cycle_kind: str) -> None:
+        for seg in segments:
+            self.telemetry.record_pause(
+                start=self.state.wall_s,
+                duration=seg.duration_s,
+                kind=f"{cycle_kind}:{seg.kind}",
+                workers=seg.workers,
+            )
+            self.state.wall_s += seg.duration_s
+
+    def _execute_concurrent(self, plan: CyclePlan) -> None:
+        """Run the concurrent phase: GC works for ``duration`` wall seconds
+        while the mutator runs diluted, paced, or stalled beside it."""
+        workers = plan.concurrent_threads
+        rate = self.collector.tuning.concurrent_rate_mb_s * self.machine.parallel_speedup(
+            max(int(workers), 1), self.collector.tuning.efficiency_exponent
+        )
+        duration = plan.concurrent_work_mb / rate
+        if duration <= 0:
+            return
+        contention = self.machine.mutator_dilation(self.spec.cpu_cores, workers)
+        progress_rate = 1.0 / contention
+        if plan.pace_alloc_to_mb_s is not None and self.state.alloc_rate_mb_s > 0:
+            paced = plan.pace_alloc_to_mb_s / self.state.alloc_rate_mb_s
+            progress_rate = min(progress_rate, paced)
+        start = self.state.wall_s
+
+        max_by_space = (
+            self.heap.free_mb / self.state.alloc_rate_mb_s
+            if self.state.alloc_rate_mb_s > 0
+            else math.inf
+        )
+        max_by_work = self.state.remaining_s
+        achievable = progress_rate * duration
+        progress = min(achievable, max_by_space, max_by_work)
+        run_wall = progress / progress_rate if progress_rate > 0 else 0.0
+
+        finished_workload = progress >= max_by_work - 1e-12
+        span_end = start + (run_wall if finished_workload else duration)
+        dilation = 1.0 / progress_rate if progress_rate > 0 else 1.0
+        self.telemetry.record_span(
+            ConcurrentSpan(start=start, end=span_end, gc_threads=workers, dilation=max(1.0, dilation))
+        )
+        self.heap.allocate(progress * self.state.alloc_rate_mb_s)
+        self.state.progress_s += progress
+        if finished_workload:
+            self.state.wall_s = start + run_wall
+            return
+        if run_wall < duration:
+            # Heap exhausted mid-cycle: allocation stall until the cycle ends.
+            self.telemetry.record_stall(start + run_wall, duration - run_wall)
+        self.state.wall_s = start + duration
+
+    def _apply_heap_effect(self, plan: CyclePlan, young_at_start: float) -> float:
+        heap = self.heap
+        before = heap.occupied_mb
+        if plan.full_live_target_mb is not None:
+            # Allocation performed during a concurrent cycle survives it as
+            # floating garbage; STW full collections have none.
+            floating = max(heap.young_mb - young_at_start, 0.0)
+            heap.live_mb = min(plan.full_live_target_mb, before)
+            heap.young_mb = floating
+            heap.live_mb = min(heap.live_mb, heap.usable_mb - floating)
+        else:
+            heap.collect_young(plan.survival_rate, plan.promotion_fraction)
+            if plan.old_reclaim_mb > 0.0:
+                floor = self.collector.live_footprint_mb()
+                heap.live_mb = max(floor, heap.live_mb - plan.old_reclaim_mb)
+        return before - heap.occupied_mb
+
+    def _execute_cycle(self, plan: CyclePlan) -> float:
+        heap_before = self.heap.occupied_mb
+        started = self.state.wall_s
+        young_at_start = self.heap.young_mb
+        self._execute_pauses(plan.pre_pauses, plan.kind)
+        if plan.concurrent_work_mb > 0:
+            self._execute_concurrent(plan)
+        self._execute_pauses(plan.post_pauses, plan.kind)
+        reclaimed = self._apply_heap_effect(plan, young_at_start)
+        self.telemetry.record_gc(
+            GcEvent(
+                time=started,
+                kind=plan.kind,
+                pause_s=sum(p.duration_s for p in plan.pre_pauses + plan.post_pauses),
+                reclaimed_mb=reclaimed,
+                heap_before_mb=heap_before,
+                heap_after_mb=self.heap.occupied_mb,
+            )
+        )
+        self.collector.notify_cycle_complete(self.heap, plan)
+        return reclaimed
+
+    # -- main loop -----------------------------------------------------
+    def run(self) -> IterationResult:
+        state = self.state
+        unproductive = 0
+        cycles = 0
+        while not state.done:
+            trigger_free = self.collector.trigger_free_mb(self.heap)
+            budget_mb = self.heap.free_mb - trigger_free
+            if budget_mb > 0 and state.alloc_rate_mb_s > 0:
+                progress_to_trigger = budget_mb / state.alloc_rate_mb_s
+                step = min(progress_to_trigger, state.remaining_s)
+                self._run_mutator(step)
+                if state.done:
+                    break
+            elif state.alloc_rate_mb_s <= 0:
+                # Non-allocating remainder: run to completion, no GC needed.
+                self._run_mutator(state.remaining_s)
+                break
+            cycles += 1
+            if cycles > MAX_CYCLES_PER_ITERATION:
+                raise OutOfMemoryError(
+                    f"{self.spec.name}: thrashing — more than "
+                    f"{MAX_CYCLES_PER_ITERATION} GC cycles in one iteration"
+                )
+            reclaimed = self._execute_cycle(self.collector.plan_cycle(self.heap))
+            if reclaimed < 0.25 and self.heap.free_mb < 0.5:
+                unproductive += 1
+                if unproductive >= 3:
+                    raise OutOfMemoryError(
+                        f"{self.spec.name}: heap of {self.heap.capacity_mb:.0f} MB "
+                        f"cannot make progress with {self.collector.NAME}"
+                    )
+            else:
+                unproductive = 0
+        self.telemetry.record_background_cpu(
+            self.collector.background_concurrent_cpu_s(
+                self.heap.allocated_total_mb, state.wall_s
+            )
+        )
+        return self._result()
+
+    def _result(self) -> IterationResult:
+        state = self.state
+        telem = self.telemetry
+        mutator_cpu = state.progress_s * self.spec.cpu_cores
+        return IterationResult(
+            wall_s=state.wall_s,
+            mutator_cpu_s=mutator_cpu,
+            gc_pause_cpu_s=telem.pause_cpu_s,
+            gc_concurrent_cpu_s=telem.concurrent_cpu_s,
+            stw_wall_s=telem.stw_wall_s,
+            stall_wall_s=sum(s.duration for s in telem.stalls),
+            gc_count=telem.gc_count,
+            allocated_mb=self.heap.allocated_total_mb - self._alloc_at_start_mb,
+            live_end_mb=self.heap.live_mb,
+            timeline=telem.to_timeline(end_time=state.wall_s),
+            telemetry=telem,
+        )
+
+
+def collector_label(collector) -> str:
+    """Display/seed label for a collector given by name or by class."""
+    return collector if isinstance(collector, str) else collector.NAME
+
+
+def make_collector(
+    collector,
+    spec,
+    machine: Machine = DEFAULT_MACHINE,
+    tuning: Optional[GcTuning] = None,
+    rng: Optional[np.random.Generator] = None,
+):
+    """Instantiate a collector for a workload.
+
+    ``collector`` is either a registered name or a ``Collector`` subclass
+    (the latter lets experiments run ablated variants without touching the
+    registry).
+    """
+    from repro.jvm.collectors import COLLECTORS
+
+    if isinstance(collector, str):
+        if collector not in COLLECTORS:
+            raise KeyError(f"unknown collector {collector!r}; choose from {sorted(COLLECTORS)}")
+        cls = COLLECTORS[collector]
+    elif isinstance(collector, type) and issubclass(collector, Collector):
+        cls = collector
+    else:
+        raise TypeError(f"collector must be a name or Collector subclass, got {collector!r}")
+    return cls(
+        spec, machine, tuning or GcTuning(), rng or generator_for(cls.NAME, spec.name)
+    )
+
+
+def simulate_iteration(
+    spec,
+    collector: Collector,
+    heap: Heap,
+    machine: Machine = DEFAULT_MACHINE,
+    rng: Optional[np.random.Generator] = None,
+    speed_factor: float = 1.0,
+    duration_scale: float = 1.0,
+) -> IterationResult:
+    """Simulate one benchmark iteration in an existing heap."""
+    rng = rng if rng is not None else generator_for(spec.name, collector.NAME)
+    sim = _IterationSim(spec, collector, heap, machine, rng, speed_factor, duration_scale)
+    return sim.run()
+
+
+def simulate_run(
+    spec,
+    collector_name: str,
+    heap_mb: float,
+    iterations: Optional[int] = None,
+    invocation: int = 0,
+    machine: Machine = DEFAULT_MACHINE,
+    tuning: Optional[GcTuning] = None,
+    duration_scale: float = 1.0,
+    environment: EnvironmentProfile = BASELINE_ENVIRONMENT,
+    force_full_gc_between_iterations: bool = False,
+) -> RunResult:
+    """Simulate one JVM invocation: ``iterations`` back-to-back iterations.
+
+    ``force_full_gc_between_iterations`` is the harness analogue of calling
+    ``System.gc()`` at iteration boundaries — used by leakage measurement
+    to observe the reachable footprint without floating garbage.
+
+    ``heap_mb`` is the ``-Xms``/``-Xmx`` setting.  ``environment`` selects
+    the execution-environment configuration (memory speed, LLC, frequency,
+    compiler — Section 6.1.3); the default is the paper's baseline.
+    Raises :class:`OutOfMemoryError` if the workload cannot run in that
+    heap with that collector — the signal the minimum-heap search relies
+    on.
+    """
+    if iterations is None:
+        iterations = spec.default_iterations
+    if iterations < 1:
+        raise ValueError("need at least one iteration")
+    rng = generator_for(spec.name, collector_label(collector_name), f"{heap_mb:.3f}", invocation)
+    collector = make_collector(collector_name, spec, machine, tuning, rng)
+    environment_factor = environment.execution_time_factor(spec.sensitivities)
+
+    heap = Heap(capacity_mb=heap_mb, reserve_fraction=collector.RESERVE_FRACTION)
+    live = collector.live_footprint_mb()
+    heap.require_fits(live + max(0.5, 0.04 * live))
+    heap.live_mb = live
+
+    results = []
+    footprints = []
+    for i in range(1, iterations + 1):
+        result = simulate_iteration(
+            spec,
+            collector,
+            heap,
+            machine,
+            rng,
+            speed_factor=warmup_factor(i, spec) * environment_factor,
+            duration_scale=duration_scale,
+        )
+        results.append(result)
+        # Memory leakage across iterations (the GLK nominal statistic is
+        # percent growth over ten iterations).  Leaked memory is reachable:
+        # it joins the collector's live footprint and no collection can
+        # reclaim it.
+        if spec.leak_rate > 0:
+            leak = live * spec.leak_rate
+            collector.extra_live_mb += leak
+            heap.live_mb = min(heap.live_mb + leak, heap.usable_mb)
+        if force_full_gc_between_iterations:
+            heap.collect_full(min(collector.live_footprint_mb(), heap.usable_mb))
+            footprints.append(heap.occupied_mb)
+    return RunResult(iterations=results, forced_gc_footprints_mb=footprints)

@@ -1,0 +1,117 @@
+"""JVMTI-analogue telemetry: what the harness can observe about a run.
+
+The LBO methodology (Section 6.2) relies on capturing the easily
+attributable stop-the-world periods of each collector via JVMTI; the
+simulator's equivalent is this module.  It records every pause with its
+kind and CPU cost, every allocation stall, every concurrent span, and the
+heap occupancy after every collection (the appendix's post-GC heap-size
+graphs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.jvm.timeline import ConcurrentSpan, Pause, Stall, Timeline
+
+
+@dataclass(frozen=True)
+class GcEvent:
+    """One garbage-collection event in the GC log."""
+
+    time: float
+    kind: str
+    pause_s: float
+    reclaimed_mb: float
+    heap_before_mb: float
+    heap_after_mb: float
+
+
+@dataclass
+class Telemetry:
+    """Accumulates observations during one simulated iteration."""
+
+    pauses: List[Pause] = field(default_factory=list)
+    stalls: List[Stall] = field(default_factory=list)
+    spans: List[ConcurrentSpan] = field(default_factory=list)
+    gc_log: List[GcEvent] = field(default_factory=list)
+    pause_cpu_s: float = 0.0
+    concurrent_cpu_s: float = 0.0
+
+    def record_pause(self, start: float, duration: float, kind: str, workers: float) -> None:
+        """Record a stop-the-world pause and its CPU cost."""
+        self.pauses.append(Pause(start=start, duration=duration, kind=kind))
+        self.pause_cpu_s += duration * workers
+
+    def record_stall(self, start: float, duration: float) -> None:
+        """Record an allocation stall (mutators blocked, not a GC pause)."""
+        self.stalls.append(Stall(start=start, duration=duration))
+
+    def record_span(self, span: ConcurrentSpan) -> None:
+        """Record a span of concurrent collector work."""
+        self.spans.append(span)
+        self.concurrent_cpu_s += span.cpu_seconds
+
+    def record_gc(self, event: GcEvent) -> None:
+        self.gc_log.append(event)
+
+    def record_background_cpu(self, cpu_s: float) -> None:
+        """Account CPU burned by always-on collector service threads
+        (e.g. G1 refinement) that never appears as a pause or cycle span."""
+        if cpu_s < 0:
+            raise ValueError("background CPU cannot be negative")
+        self.concurrent_cpu_s += cpu_s
+
+    @property
+    def gc_count(self) -> int:
+        return len(self.gc_log)
+
+    @property
+    def stw_wall_s(self) -> float:
+        """Total wall time spent in stop-the-world pauses."""
+        return sum(p.duration for p in self.pauses)
+
+    @property
+    def gc_cpu_s(self) -> float:
+        """Total CPU attributable to the collector (pauses + concurrent)."""
+        return self.pause_cpu_s + self.concurrent_cpu_s
+
+    def heap_after_gc_series(self) -> List[Tuple[float, float]]:
+        """(time, heap occupancy MB) after each collection, for the
+        appendix's post-GC heap graphs."""
+        return [(e.time, e.heap_after_mb) for e in self.gc_log]
+
+    def average_footprint_mb(self, end_time: float) -> float:
+        """Time-averaged heap occupancy — the 'area under the memory use
+        curve' the paper suggests as a better net-footprint measure than
+        the peak-driven minimum heap size (Section 4.2).
+
+        Occupancy is integrated piecewise: between collections it ramps
+        linearly from one GC's post-occupancy to the next GC's
+        pre-occupancy.
+        """
+        if end_time <= 0:
+            raise ValueError("end time must be positive")
+        if not self.gc_log:
+            return 0.0
+        area = 0.0
+        prev_time = 0.0
+        prev_occupancy = 0.0
+        for event in self.gc_log:
+            dt = max(event.time - prev_time, 0.0)
+            area += dt * (prev_occupancy + event.heap_before_mb) / 2.0
+            prev_time = event.time
+            prev_occupancy = event.heap_after_mb
+        tail = max(end_time - prev_time, 0.0)
+        area += tail * prev_occupancy
+        return area / end_time
+
+    def to_timeline(self, end_time: float) -> Timeline:
+        """Freeze the observations into a :class:`Timeline`."""
+        return Timeline(
+            pauses=list(self.pauses),
+            stalls=list(self.stalls),
+            spans=list(self.spans),
+            end_time=end_time,
+        )

@@ -1,0 +1,250 @@
+"""The execution timeline: pauses, stalls, concurrent spans, and the
+mutator clock.
+
+A simulated iteration produces a :class:`Timeline` — the complete schedule
+of stop-the-world pauses, allocation stalls, and concurrent-GC spans laid
+over wall-clock time.  The :class:`MutatorClock` converts between wall time
+and *mutator progress* (useful work done by one application thread), which
+is what the request-replay engine needs: a request that takes ``s`` seconds
+of service must be stretched across every pause, stall, and
+contention-dilated span it overlaps.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class Pause:
+    """A stop-the-world pause: no mutator progress, collector owns the CPU."""
+
+    start: float
+    duration: float
+    kind: str = "stw"
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise ValueError("pause duration cannot be negative")
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+@dataclass(frozen=True)
+class Stall:
+    """An allocation stall: mutators blocked waiting for the collector.
+
+    Functionally like a pause from the mutator's perspective, but it is
+    *not* a reported GC pause — this is how concurrent collectors hide
+    their latency from naive pause-time metrics (Section 4.4's critique).
+    """
+
+    start: float
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise ValueError("stall duration cannot be negative")
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+@dataclass(frozen=True)
+class ConcurrentSpan:
+    """A span of concurrent collector work occupying ``gc_threads`` threads.
+
+    ``dilation`` is the mutator slowdown during the span as computed by the
+    machine model (1.0 when spare cores absorb the collector).
+    """
+
+    start: float
+    end: float
+    gc_threads: float
+    dilation: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError("span must end after it starts")
+        if self.dilation < 1.0:
+            raise ValueError("dilation is a slowdown factor, must be >= 1")
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def cpu_seconds(self) -> float:
+        return self.duration * self.gc_threads
+
+
+@dataclass
+class Timeline:
+    """The full schedule of one simulated benchmark iteration."""
+
+    pauses: List[Pause] = field(default_factory=list)
+    stalls: List[Stall] = field(default_factory=list)
+    spans: List[ConcurrentSpan] = field(default_factory=list)
+    end_time: float = 0.0
+
+    def blocked_intervals(self) -> List[tuple]:
+        """Merged, sorted (start, end) intervals where mutators cannot run."""
+        raw = [(p.start, p.end) for p in self.pauses]
+        raw += [(s.start, s.end) for s in self.stalls]
+        raw.sort()
+        merged: List[tuple] = []
+        for start, end in raw:
+            if merged and start <= merged[-1][1]:
+                merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+            else:
+                merged.append((start, end))
+        return merged
+
+    def total_pause_time(self) -> float:
+        return sum(p.duration for p in self.pauses)
+
+    def total_stall_time(self) -> float:
+        return sum(s.duration for s in self.stalls)
+
+    def max_pause(self) -> float:
+        return max((p.duration for p in self.pauses), default=0.0)
+
+
+class MutatorClock:
+    """Piecewise-linear map between wall time and mutator progress.
+
+    Progress accrues at rate 0 inside blocked intervals, at ``1/dilation``
+    inside concurrent spans, and at rate 1 elsewhere.  Both directions
+    (``progress_at`` and ``wall_at``) are O(log n) lookups over precomputed
+    breakpoints.
+    """
+
+    def __init__(self, timeline: Timeline, horizon: Optional[float] = None):
+        self._breaks, self._rates = self._build(timeline, horizon)
+        # Cumulative progress at each breakpoint.
+        self._progress = [0.0]
+        for i in range(1, len(self._breaks)):
+            dt = self._breaks[i] - self._breaks[i - 1]
+            self._progress.append(self._progress[-1] + dt * self._rates[i - 1])
+
+    @staticmethod
+    def _build(timeline: Timeline, horizon: Optional[float]):
+        horizon = horizon if horizon is not None else max(
+            timeline.end_time,
+            max((p.end for p in timeline.pauses), default=0.0),
+            max((s.end for s in timeline.stalls), default=0.0),
+            max((c.end for c in timeline.spans), default=0.0),
+        )
+        events = {0.0, horizon}
+        for p in timeline.pauses:
+            events.update((p.start, min(p.end, horizon)))
+        for s in timeline.stalls:
+            events.update((s.start, min(s.end, horizon)))
+        for c in timeline.spans:
+            events.update((c.start, min(c.end, horizon)))
+        breaks = sorted(t for t in events if 0.0 <= t <= horizon)
+        blocked = timeline.blocked_intervals()
+        blocked_starts = [b[0] for b in blocked]
+        spans = sorted(timeline.spans, key=lambda s: s.start)
+        span_starts = [s.start for s in spans]
+        rates = []
+        for i in range(len(breaks) - 1):
+            mid = (breaks[i] + breaks[i + 1]) / 2.0
+            rate = 1.0
+            j = bisect.bisect_right(blocked_starts, mid) - 1
+            if j >= 0 and blocked[j][1] > mid:
+                rate = 0.0
+            else:
+                k = bisect.bisect_right(span_starts, mid) - 1
+                if k >= 0 and spans[k].end > mid:
+                    rate = 1.0 / spans[k].dilation
+            rates.append(rate)
+        return breaks, rates
+
+    @property
+    def horizon(self) -> float:
+        return self._breaks[-1]
+
+    @property
+    def total_progress(self) -> float:
+        return self._progress[-1]
+
+    def progress_at(self, t: float) -> float:
+        """Mutator progress accumulated by wall time ``t``."""
+        if t <= self._breaks[0]:
+            return 0.0
+        if t >= self._breaks[-1]:
+            # Beyond the horizon the machine is idle: progress at rate 1.
+            return self._progress[-1] + (t - self._breaks[-1])
+        i = bisect.bisect_right(self._breaks, t) - 1
+        return self._progress[i] + (t - self._breaks[i]) * self._rates[i]
+
+    def wall_at(self, progress: float) -> float:
+        """Wall time at which cumulative mutator progress reaches ``progress``."""
+        if progress <= 0.0:
+            return self._breaks[0]
+        if progress >= self._progress[-1]:
+            return self._breaks[-1] + (progress - self._progress[-1])
+        i = bisect.bisect_right(self._progress, progress) - 1
+        # Skip zero-rate segments (cannot accrue progress inside them).
+        while self._rates[i] == 0.0:
+            i += 1
+        remaining = progress - self._progress[i]
+        return self._breaks[i] + remaining / self._rates[i]
+
+    def advance(self, start_wall: float, work: float) -> float:
+        """Wall time when ``work`` seconds of mutator progress, started at
+        wall time ``start_wall``, completes.
+
+        Clamped to ``start_wall``: ``wall_at`` returns the *earliest* time
+        achieving a progress level, which can precede ``start_wall`` when
+        the start sits inside a blocked interval and ``work`` is zero.
+        """
+        if work < 0:
+            raise ValueError("work cannot be negative")
+        return max(start_wall, self.wall_at(self.progress_at(start_wall) + work))
+
+
+def minimum_mutator_utilization(
+    pauses: Sequence[Pause], window: float, horizon: float
+) -> float:
+    """Minimum mutator utilization (MMU) for a sliding ``window``.
+
+    Cheng and Blelloch's metric (paper Figure 2): the minimum, over all
+    window placements, of the fraction of the window in which the mutator
+    could run.  Several short pauses clustered together can be worse than
+    one long pause — which is precisely why GC pause time is a poor proxy
+    for user-experienced latency.
+    """
+    if window <= 0:
+        raise ValueError("window must be positive")
+    if horizon <= 0:
+        raise ValueError("horizon must be positive")
+    if window >= horizon:
+        total = sum(min(p.end, horizon) - max(p.start, 0.0) for p in pauses if p.end > 0 and p.start < horizon)
+        return max(0.0, 1.0 - total / horizon)
+    if not pauses:
+        return 1.0
+    # Candidate window placements: aligned to pause starts and ends.
+    candidates = {0.0, horizon - window}
+    for p in pauses:
+        candidates.add(max(0.0, min(p.start, horizon - window)))
+        candidates.add(max(0.0, min(p.end - window, horizon - window)))
+    ordered = sorted(pauses, key=lambda p: p.start)
+    worst = 1.0
+    for t0 in candidates:
+        t1 = t0 + window
+        paused = 0.0
+        for p in ordered:
+            if p.end <= t0:
+                continue
+            if p.start >= t1:
+                break
+            paused += min(p.end, t1) - max(p.start, t0)
+        worst = min(worst, 1.0 - paused / window)
+    return max(worst, 0.0)

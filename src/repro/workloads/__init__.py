@@ -1,0 +1,1 @@
+"""The 22 DaCapo Chopin workload models and the request-replay engine."""

@@ -1,0 +1,132 @@
+"""Workload specifications: everything the simulator needs to know about a
+benchmark.
+
+A :class:`WorkloadSpec` is the simulator-facing distillation of a DaCapo
+Chopin workload.  Most fields are derived directly from the paper's
+published nominal statistics (see :mod:`repro.workloads.nominal_data`); the
+registry (:mod:`repro.workloads.registry`) performs that derivation so the
+mapping from paper statistic to model parameter lives in one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.jvm.barriers import WorkloadOperationRates
+from repro.jvm.environment import EnvironmentSensitivity
+from repro.jvm.objects import ObjectSizeDistribution
+
+
+@dataclass(frozen=True)
+class RequestProfile:
+    """How a latency-sensitive workload issues requests.
+
+    Mirrors the DaCapo design (Section 4.4): a pre-determined set of
+    ``count`` requests consumed by ``workers`` threads, each worker taking
+    the next request as soon as its previous one completes.
+    """
+
+    count: int
+    workers: int
+    #: Log-space sigma of the log-normal service-time distribution.
+    service_sigma: float = 0.7
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError("a request profile needs at least one request")
+        if self.workers < 1:
+            raise ValueError("a request profile needs at least one worker")
+        if self.service_sigma < 0:
+            raise ValueError("service sigma cannot be negative")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A benchmark workload as the simulator sees it."""
+
+    name: str
+    description: str
+    #: Intrinsic wall-clock seconds of one warmed-up iteration (PET).
+    execution_time_s: float
+    #: Allocation rate in MB per second of mutator progress (ARA).
+    alloc_rate_mb_s: float
+    #: Long-lived live set, MB (derived from GMD).
+    live_mb: float
+    #: Nominal minimum heap, default config with compressed oops (GMD), MB.
+    minheap_mb: float
+    #: Nominal minimum heap without compressed oops (GMU), MB.
+    minheap_nocomp_mb: float
+    #: Average hardware threads busy with application work (from PPE).
+    cpu_cores: float
+    #: Fraction of fresh allocation surviving a young collection.
+    survival_rate: float = 0.10
+    #: Fraction of survivors promoted to the old generation per young GC.
+    promotion_fraction: float = 0.25
+    #: Relative run-to-run noise (PSD / 100).
+    run_noise: float = 0.01
+    #: First-iteration slowdown from cold JIT (derived from PIN/PCS).
+    warmup_excess: float = 0.35
+    #: Iterations to reach within 1.5 % of peak (PWU).
+    warmup_iterations: int = 3
+    #: Per-iteration live-set growth fraction (GLK / 100 / 10).
+    leak_rate: float = 0.0
+    #: Iterations per invocation; the harness times the last (paper: -n 5).
+    default_iterations: int = 5
+    #: Object demographics for heap-level analyses.
+    object_sizes: Optional[ObjectSizeDistribution] = None
+    #: Environment sensitivities (memory speed, LLC, frequency, compiler).
+    sensitivities: EnvironmentSensitivity = field(default_factory=EnvironmentSensitivity)
+    #: Reference-operation rates (BPF/BAS/BGF/BAL); None when the workload
+    #: lacks bytecode statistics (tradebeans, tradesoap).
+    operation_rates: Optional[WorkloadOperationRates] = None
+    #: Workload input size this spec describes (small/default/large/vlarge).
+    size: str = "default"
+    #: Request profile; present exactly for the nine latency-sensitive
+    #: workloads.
+    requests: Optional[RequestProfile] = None
+    #: True for the eight workloads new in Chopin.
+    new_in_chopin: bool = False
+    #: Heap multiples (of GMD) the standard sweep evaluates.
+    sweep_multiples: Tuple[float, ...] = field(
+        default=(1.0, 1.25, 1.5, 2.0, 3.0, 4.0, 5.0, 6.0)
+    )
+
+    def __post_init__(self) -> None:
+        if self.execution_time_s <= 0:
+            raise ValueError(f"{self.name}: execution time must be positive")
+        if self.alloc_rate_mb_s < 0:
+            raise ValueError(f"{self.name}: allocation rate cannot be negative")
+        if self.live_mb <= 0:
+            raise ValueError(f"{self.name}: live set must be positive")
+        if self.minheap_mb <= 0:
+            raise ValueError(f"{self.name}: minimum heap must be positive")
+        if self.minheap_nocomp_mb < self.minheap_mb * 0.5:
+            raise ValueError(
+                f"{self.name}: uncompressed minheap implausibly small "
+                f"({self.minheap_nocomp_mb} vs {self.minheap_mb})"
+            )
+        if self.cpu_cores < 0.25:
+            raise ValueError(f"{self.name}: cpu_cores must be at least 0.25")
+        if not 0.0 <= self.survival_rate <= 1.0:
+            raise ValueError(f"{self.name}: survival rate out of range")
+        if not 0.0 <= self.promotion_fraction <= 1.0:
+            raise ValueError(f"{self.name}: promotion fraction out of range")
+
+    @property
+    def latency_sensitive(self) -> bool:
+        return self.requests is not None
+
+    def heap_mb_for(self, multiple: float) -> float:
+        """Heap size for a multiple of the nominal minimum heap
+        (Recommendation H2: heap sizes in multiples of min heap)."""
+        if multiple <= 0:
+            raise ValueError("heap multiple must be positive")
+        return multiple * self.minheap_mb
+
+    def mean_service_time_s(self) -> float:
+        """Mean request service time that keeps all workers busy for the
+        length of one iteration."""
+        if self.requests is None:
+            raise ValueError(f"{self.name} is not latency-sensitive")
+        return self.execution_time_s * self.requests.workers / self.requests.count

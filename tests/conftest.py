@@ -1,0 +1,44 @@
+"""Shared fixtures: fast run configurations and common workloads.
+
+Simulated iterations are scaled down (``duration_scale``) in most tests;
+curve *shapes* are scale-invariant, so assertions on orderings and
+monotonicity remain meaningful while the suite stays fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import RunConfig, registry
+
+
+@pytest.fixture(scope="session")
+def fast_config() -> RunConfig:
+    """Small, quick runs for shape tests."""
+    return RunConfig(invocations=2, iterations=2, duration_scale=0.05)
+
+
+@pytest.fixture(scope="session")
+def medium_config() -> RunConfig:
+    """Longer runs for tests that look at distributions."""
+    return RunConfig(invocations=2, iterations=3, duration_scale=0.2)
+
+
+@pytest.fixture(scope="session")
+def lusearch():
+    return registry.workload("lusearch")
+
+
+@pytest.fixture(scope="session")
+def cassandra():
+    return registry.workload("cassandra")
+
+
+@pytest.fixture(scope="session")
+def h2():
+    return registry.workload("h2")
+
+
+@pytest.fixture(scope="session")
+def avrora():
+    return registry.workload("avrora")

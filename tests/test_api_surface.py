@@ -1,0 +1,40 @@
+"""Public API surface: exports resolve and are documented."""
+
+import inspect
+
+import repro
+
+
+class TestExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_no_duplicate_exports(self):
+        assert len(repro.__all__) == len(set(repro.__all__))
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+
+class TestDocumentation:
+    def test_public_functions_have_docstrings(self):
+        for name in repro.__all__:
+            obj = getattr(repro, name)
+            if inspect.isfunction(obj) or inspect.isclass(obj):
+                assert obj.__doc__, f"{name} lacks a docstring"
+
+    def test_modules_have_docstrings(self):
+        import importlib
+        import pkgutil
+
+        for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+            module = importlib.import_module(info.name)
+            assert module.__doc__, f"{info.name} lacks a module docstring"
+
+    def test_collector_classes_documented(self):
+        from repro.jvm.collectors import COLLECTORS
+
+        for cls in COLLECTORS.values():
+            assert cls.__doc__
+            assert inspect.getmodule(cls).__doc__

@@ -1,0 +1,100 @@
+"""Barrier cost model: operation rates to per-workload mutator taxes."""
+
+import pytest
+
+from repro.core.rng import generator_for
+from repro.jvm import barriers
+from repro.jvm.collectors import COLLECTORS
+from repro.jvm.collectors.base import GcTuning
+from repro.jvm.cpu import DEFAULT_MACHINE
+from repro.workloads.registry import workload
+
+
+def rates(w=98.5, r=642.0):
+    return barriers.WorkloadOperationRates(
+        putfield_per_us=w, aastore_per_us=0.0, getfield_per_us=r, aaload_per_us=0.0
+    )
+
+
+class TestBarrierSet:
+    def test_weights_validated(self):
+        with pytest.raises(ValueError):
+            barriers.BarrierSet(name="x", write_weight=-0.1, read_weight=0.0)
+        with pytest.raises(ValueError):
+            barriers.BarrierSet(name="x", write_weight=0.7, read_weight=0.7)
+
+    def test_fixed_weight_complement(self):
+        bs = barriers.BarrierSet(name="x", write_weight=0.3, read_weight=0.4)
+        assert bs.fixed_weight == pytest.approx(0.3)
+
+    def test_design_lineage(self):
+        # Write-barrier-only designs (card table, SATB) vs load-barrier
+        # designs (Shenandoah's LRB, ZGC's colored pointers).
+        assert barriers.CARD_TABLE.read_weight == 0.0
+        assert barriers.SATB_RSET.read_weight == 0.0
+        assert barriers.LOAD_REFERENCE.read_weight > barriers.LOAD_REFERENCE.write_weight
+        assert barriers.COLORED_POINTER.read_weight > 0.5
+
+
+class TestOperationRates:
+    def test_aggregates(self):
+        r = barriers.WorkloadOperationRates(1.0, 2.0, 3.0, 4.0)
+        assert r.write_rate == 3.0
+        assert r.read_rate == 7.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            barriers.WorkloadOperationRates(-1.0, 0.0, 0.0, 0.0)
+
+
+class TestMutatorTax:
+    def test_median_workload_pays_baseline(self):
+        tax = barriers.mutator_tax(1.09, barriers.LOAD_REFERENCE, rates())
+        assert tax == pytest.approx(1.09, abs=0.002)
+
+    def test_none_rates_fall_back(self):
+        assert barriers.mutator_tax(1.04, barriers.SATB_RSET, None) == 1.04
+
+    def test_write_heavy_workload_pays_more_under_write_barriers(self):
+        hot = rates(w=4000.0)
+        assert barriers.mutator_tax(1.04, barriers.SATB_RSET, hot) > 1.04
+
+    def test_read_heavy_workload_pays_more_under_load_barriers(self):
+        hot = rates(r=12000.0)
+        assert barriers.mutator_tax(1.07, barriers.COLORED_POINTER, hot) > 1.07
+
+    def test_read_rate_irrelevant_to_card_table(self):
+        low = barriers.mutator_tax(1.015, barriers.CARD_TABLE, rates(r=1.0))
+        high = barriers.mutator_tax(1.015, barriers.CARD_TABLE, rates(r=30000.0))
+        assert low == pytest.approx(high)
+
+    def test_tax_bounded(self):
+        extreme = rates(w=1e6, r=1e6)
+        tax = barriers.mutator_tax(1.09, barriers.LOAD_REFERENCE, extreme)
+        assert tax <= 1.0 + 0.09 * barriers.MAX_BARRIER_SCALE + 1e-9
+
+    def test_baseline_validated(self):
+        with pytest.raises(ValueError):
+            barriers.mutator_tax(0.9, barriers.CARD_TABLE, rates())
+
+
+class TestCollectorsUseBarrierModel:
+    def build(self, name, bench):
+        spec = workload(bench)
+        return COLLECTORS[name](spec, DEFAULT_MACHINE, GcTuning(), generator_for("bt"))
+
+    def test_lusearch_pays_more_than_batik_under_shenandoah(self):
+        # lusearch: BPF 3863/us (suite max); batik: BPF 28/us.
+        hot = self.build("Shenandoah", "lusearch")
+        cold = self.build("Shenandoah", "batik")
+        assert hot.mutator_tax > cold.mutator_tax
+
+    def test_tradebeans_without_bytecode_stats_uses_baseline(self):
+        c = self.build("G1", "tradebeans")
+        assert c.mutator_tax == c.MUTATOR_TAX
+
+    def test_tax_ordering_preserved_on_median_workload(self):
+        # For a typical workload the collector ordering of taxes matches
+        # the class constants' ordering.
+        taxes = {name: self.build(name, "kafka").mutator_tax for name in COLLECTORS}
+        assert taxes["Serial"] < taxes["G1"] < taxes["Shenandoah"]

@@ -1,0 +1,142 @@
+"""The characterization engine: measured vs published nominal statistics."""
+
+import numpy as np
+import pytest
+
+from repro import RunConfig, registry
+from repro.core import characterize
+from repro.workloads import nominal_data
+
+CONFIG = RunConfig(invocations=2, iterations=2, duration_scale=0.05)
+
+
+class TestGcStatistics:
+    def test_lusearch_gc_heavy(self):
+        stats = characterize.measure_gc_statistics(registry.workload("lusearch"), CONFIG)
+        # lusearch: highest GC count and turnover in the suite.
+        assert stats["GCC"] > 1000
+        assert stats["GTO"] > 500
+        assert stats["GCP"] > 5.0
+
+    def test_jme_gc_light(self):
+        stats = characterize.measure_gc_statistics(registry.workload("jme"), CONFIG)
+        assert stats["GCC"] < 500
+        assert stats["GCP"] < 2.0
+
+    def test_post_gc_occupancy_near_published(self):
+        stats = characterize.measure_gc_statistics(registry.workload("cassandra"), CONFIG)
+        published = nominal_data.value("cassandra", "GCA")
+        assert stats["GCA"] == pytest.approx(published, rel=0.35)
+
+    def test_gss_ranks_sensitive_above_insensitive(self):
+        sensitive = characterize.measure_gc_statistics(registry.workload("lusearch"), CONFIG)
+        insensitive = characterize.measure_gc_statistics(registry.workload("jme"), CONFIG)
+        assert sensitive["GSS"] > insensitive["GSS"]
+
+
+class TestLeakage:
+    def test_zxing_leaks(self):
+        assert characterize.measure_leakage(registry.workload("zxing"), CONFIG) > 20.0
+
+    def test_fop_does_not(self):
+        assert characterize.measure_leakage(registry.workload("fop"), CONFIG) < 10.0
+
+
+class TestWarmup:
+    def test_pwu_roundtrip(self):
+        # The warmup model is built from PWU; measuring it back must agree.
+        for name in ("jython", "jme", "fop"):
+            spec = registry.workload(name)
+            measured = characterize.measure_warmup_iterations(spec)
+            assert measured == pytest.approx(spec.warmup_iterations, abs=1)
+
+
+class TestSensitivities:
+    def test_roundtrip_pms(self):
+        spec = registry.workload("h2")  # PMS = 40
+        measured = characterize.measure_sensitivities(spec, CONFIG)
+        assert measured["PMS"] == pytest.approx(40.0, abs=6.0)
+
+    def test_roundtrip_pin(self):
+        spec = registry.workload("graphchi")  # PIN = 323, the suite max
+        measured = characterize.measure_sensitivities(spec, CONFIG)
+        assert measured["PIN"] == pytest.approx(323.0, rel=0.1)
+
+    def test_pfs_speedup_positive_for_sensitive(self):
+        spec = registry.workload("batik")  # PFS = 20, the suite max
+        measured = characterize.measure_sensitivities(spec, CONFIG)
+        assert measured["PFS"] == pytest.approx(20.0, abs=4.0)
+
+
+class TestFullCharacterization:
+    def test_characterize_returns_all_measurable(self):
+        stats = characterize.characterize(registry.workload("fop"), CONFIG)
+        expected = {"GCC", "GCP", "GCA", "GCM", "GTO", "GSS", "GLK", "PET", "PSD", "PWU",
+                    "PMS", "PLS", "PFS", "PCC", "PIN"}
+        assert expected <= set(stats)
+
+    def test_min_heap_included_on_request(self):
+        stats = characterize.characterize(
+            registry.workload("fop"), CONFIG, include_min_heap=True
+        )
+        assert 0.4 * 13 < stats["GMD"] < 1.5 * 13  # fop's published GMD = 13
+
+
+class TestSpearman:
+    def test_perfect_agreement(self):
+        assert characterize.spearman_rank_correlation([1, 2, 3], [10, 20, 30]) == pytest.approx(1.0)
+
+    def test_perfect_disagreement(self):
+        assert characterize.spearman_rank_correlation([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_ties_averaged(self):
+        rho = characterize.spearman_rank_correlation([1, 1, 2], [1, 1, 2])
+        assert rho == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            characterize.spearman_rank_correlation([1], [1])
+        with pytest.raises(ValueError):
+            characterize.spearman_rank_correlation([1, 2], [1, 2, 3])
+
+    def test_constant_input_zero(self):
+        assert characterize.spearman_rank_correlation([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_matches_numpy_on_random_data(self):
+        rng = np.random.default_rng(0)
+        a, b = rng.normal(size=30), rng.normal(size=30)
+        # Spearman == Pearson on ranks; cross-check with numpy corrcoef.
+        ra = np.argsort(np.argsort(a)).astype(float)
+        rb = np.argsort(np.argsort(b)).astype(float)
+        expected = np.corrcoef(ra, rb)[0, 1]
+        assert characterize.spearman_rank_correlation(a, b) == pytest.approx(expected, abs=1e-9)
+
+
+class TestSizes:
+    def test_available_sizes(self):
+        assert registry.available_sizes("h2") == ["small", "default", "large", "vlarge"]
+        assert "large" not in registry.available_sizes("fop")
+
+    def test_size_scales_heap_and_time(self):
+        default = registry.workload("h2")
+        large = registry.workload("h2", "large")
+        assert large.minheap_mb == 10201
+        assert large.execution_time_s > default.execution_time_s
+        assert large.size == "large"
+
+    def test_vlarge_h2_20gb(self):
+        vlarge = registry.workload("h2", "vlarge")
+        assert vlarge.minheap_mb == pytest.approx(20641)
+
+    def test_missing_size_rejected(self):
+        with pytest.raises(ValueError):
+            registry.workload("fop", "vlarge")
+        with pytest.raises(ValueError):
+            registry.workload("fop", "huge")
+
+    def test_small_size_runs(self):
+        spec = registry.workload("lusearch", "small")
+        from repro.harness.runner import measure
+
+        m = measure(spec, "G1", spec.heap_mb_for(2.0), CONFIG)
+        assert m.wall.mean > 0

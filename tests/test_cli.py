@@ -1,0 +1,89 @@
+"""The ``chopin`` command-line interface."""
+
+import pytest
+
+from repro.harness.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["stats", "specjbb"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "h2" in out and "lusearch" in out
+        assert "[new, latency]" in out  # cassandra et al.
+
+    def test_stats(self, capsys):
+        assert main(["stats", "lusearch"]) == 0
+        out = capsys.readouterr().out
+        assert "ARA" in out and "23556" in out
+
+    def test_lbo(self, capsys):
+        assert main(["lbo", "fop", "--invocations", "2", "--scale", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "normalized time overhead" in out
+        assert "normalized CPU overhead" in out
+
+    def test_latency(self, capsys):
+        assert main(["latency", "spring", "--invocations", "1", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "simple" in out
+        assert "full smoothing" in out
+
+    def test_latency_rejects_non_latency_workload(self, capsys):
+        assert main(["latency", "fop", "--invocations", "1", "--scale", "0.05"]) == 2
+
+    def test_pca(self, capsys):
+        assert main(["pca"]) == 0
+        out = capsys.readouterr().out
+        assert "PC1" in out
+        assert "twelve most determinant" in out
+
+
+class TestCharacterizeCommand:
+    def test_characterize(self, capsys):
+        assert main(["characterize", "fop", "--invocations", "2", "--scale", "0.03"]) == 0
+        out = capsys.readouterr().out
+        assert "GCC" in out and "PMS" in out
+        assert "measured" in out and "published" in out
+
+
+class TestRunbmsCommand:
+    def test_kick_the_tires(self, capsys, tmp_path):
+        assert main(["runbms", str(tmp_path), "kick-the-tires", "-p", "kt"]) == 0
+        out = capsys.readouterr().out
+        assert "artefacts for experiment" in out
+        assert (tmp_path / "kt-geomean-wall.txt").exists()
+
+    def test_unknown_experiment(self, capsys, tmp_path):
+        assert main(["runbms", str(tmp_path), "nope"]) == 2
+
+    def test_scale_override(self, capsys, tmp_path):
+        assert main(["runbms", str(tmp_path), "kick-the-tires", "-s", "0.02"]) == 0
+
+
+class TestCompareCommand:
+    def test_compare(self, capsys):
+        assert main(["compare", "lusearch", "Parallel", "Serial",
+                     "--heap", "2", "--invocations", "5", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "(wall)" in out and "(task)" in out
+
+    def test_unknown_collector(self, capsys):
+        assert main(["compare", "fop", "G1", "CMS"]) == 2
+
+
+class TestInsightsCommand:
+    def test_insights(self, capsys):
+        assert main(["insights", "avrora"]) == 0
+        out = capsys.readouterr().out
+        assert "kernel mode" in out

@@ -1,0 +1,86 @@
+"""Bootstrap intervals and significance-aware collector comparison."""
+
+import numpy as np
+import pytest
+
+from repro import RunConfig, registry
+from repro.core.compare import BootstrapInterval, bootstrap_ci, compare_collectors
+
+CONFIG = RunConfig(invocations=6, iterations=2, duration_scale=0.05)
+
+
+class TestBootstrapCi:
+    def test_contains_estimate(self):
+        rng = np.random.default_rng(0)
+        ci = bootstrap_ci(rng.normal(5.0, 1.0, 40))
+        assert ci.low <= ci.estimate <= ci.high
+
+    def test_coverage_of_true_mean(self):
+        rng = np.random.default_rng(1)
+        hits = 0
+        for _ in range(100):
+            ci = bootstrap_ci(rng.exponential(2.0, 30), resamples=600,
+                              rng=np.random.default_rng(rng.integers(1 << 30)))
+            if ci.low <= 2.0 <= ci.high:
+                hits += 1
+        assert hits >= 80  # nominal 95%, generous slack for 100 trials
+
+    def test_narrower_with_more_samples(self):
+        rng = np.random.default_rng(2)
+        data = rng.normal(0, 1, 400)
+        wide = bootstrap_ci(data[:10])
+        narrow = bootstrap_ci(data)
+        assert (narrow.high - narrow.low) < (wide.high - wide.low)
+
+    def test_custom_statistic(self):
+        data = np.concatenate([np.ones(50), np.full(50, 3.0)])
+        ci = bootstrap_ci(data, statistic=np.median)
+        assert 1.0 <= ci.estimate <= 3.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0])
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0, 2.0], confidence=0.3)
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0, 2.0], resamples=10)
+        with pytest.raises(ValueError):
+            BootstrapInterval(estimate=5.0, low=1.0, high=2.0, confidence=0.95, resamples=100)
+
+    def test_excludes(self):
+        ci = BootstrapInterval(estimate=1.5, low=1.2, high=1.8, confidence=0.95, resamples=100)
+        assert ci.excludes(1.0)
+        assert not ci.excludes(1.5)
+
+    def test_deterministic_default_rng(self):
+        data = list(np.random.default_rng(3).normal(size=25))
+        assert bootstrap_ci(data).low == bootstrap_ci(data).low
+
+
+class TestCompareCollectors:
+    def test_clear_difference_is_significant(self):
+        # Serial vs Parallel wall time on lusearch: night and day.
+        spec = registry.workload("lusearch")
+        result = compare_collectors(spec, "Parallel", "Serial", 2.0, "wall", CONFIG)
+        assert result.significant
+        assert result.winner == "Parallel"
+        assert result.ratio.estimate > 1.5
+        assert "wins" in result.summary()
+
+    def test_task_clock_flips_the_winner(self):
+        # The paper's central point: the winner depends on the metric.
+        spec = registry.workload("lusearch")
+        result = compare_collectors(spec, "Parallel", "Serial", 2.0, "task", CONFIG)
+        assert result.winner == "Serial"
+
+    def test_same_collector_not_significant(self):
+        spec = registry.workload("fop")
+        result = compare_collectors(spec, "G1", "G1", 3.0, "wall", CONFIG)
+        assert not result.significant
+        assert result.winner is None
+        assert "no significant difference" in result.summary()
+
+    def test_metric_validated(self):
+        spec = registry.workload("fop")
+        with pytest.raises(ValueError):
+            compare_collectors(spec, "G1", "Serial", 2.0, "cycles", CONFIG)

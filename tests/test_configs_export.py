@@ -1,0 +1,118 @@
+"""Experiment definitions (runbms), raw-data export, footprint metric."""
+
+import numpy as np
+import pytest
+
+from repro import RunConfig, registry
+from repro.core.rng import generator_for
+from repro.harness.configs import EXPERIMENTS, ExperimentDefinition, run_experiment
+from repro.harness.export import read_latency_csv, write_gc_log_csv, write_latency_csv
+from repro.harness.runner import measure
+from repro.jvm.telemetry import GcEvent, Telemetry
+from repro.jvm.timeline import Timeline
+from repro.workloads.requests import EventRecord, replay
+
+
+class TestExperimentDefinitions:
+    def test_artifact_experiments_present(self):
+        # The artifact appendix names kick-the-tires, lbo, and latency.
+        assert {"kick-the-tires", "lbo", "latency"} <= set(EXPERIMENTS)
+
+    def test_lbo_covers_the_suite(self):
+        assert len(EXPERIMENTS["lbo"].benchmarks) == 22
+
+    def test_latency_covers_latency_workloads(self):
+        assert len(EXPERIMENTS["latency"].benchmarks) == 9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentDefinition(name="x", description="", kind="pca", benchmarks=("fop",))
+        with pytest.raises(ValueError):
+            ExperimentDefinition(name="x", description="", kind="lbo", benchmarks=())
+
+    def test_scaled_copies(self):
+        scaled = EXPERIMENTS["lbo"].scaled(0.01, invocations=1)
+        assert scaled.run_config.duration_scale == 0.01
+        assert scaled.run_config.invocations == 1
+        assert EXPERIMENTS["lbo"].run_config.duration_scale != 0.01
+
+
+class TestRunExperiment:
+    def test_kick_the_tires(self, tmp_path):
+        written = run_experiment(EXPERIMENTS["kick-the-tires"], tmp_path, prefix="kt")
+        assert "geomean-wall" in written
+        assert "fop-wall" in written
+        for path in written.values():
+            assert path.exists()
+            assert path.name.startswith("kt-")
+            assert path.read_text().strip()
+
+    def test_latency_experiment_definition(self, tmp_path):
+        definition = ExperimentDefinition(
+            name="mini-latency",
+            description="one workload",
+            kind="latency",
+            benchmarks=("spring",),
+            collectors=("G1",),
+            heap_multiples=(2.0,),
+            run_config=RunConfig(invocations=1, duration_scale=0.05),
+        )
+        written = run_experiment(definition, tmp_path)
+        assert "spring-2x-simple" in written
+        assert "spring-2x-metered-full" in written
+        assert "spring-2x-metered-100ms" in written
+
+
+class TestLatencyCsv:
+    def make_record(self):
+        spec = registry.workload("spring")
+        timeline = Timeline(end_time=50.0)
+        return replay(spec, timeline, generator_for("csv"))
+
+    def test_roundtrip(self, tmp_path):
+        record = self.make_record()
+        path = write_latency_csv(record, tmp_path / "latency.csv")
+        loaded = read_latency_csv(path)
+        assert loaded.count == record.count
+        assert np.allclose(loaded.starts, record.starts)
+        assert np.allclose(loaded.ends, record.ends)
+
+    def test_header_and_columns(self, tmp_path):
+        path = write_latency_csv(self.make_record(), tmp_path / "latency.csv")
+        header = path.read_text().splitlines()[0]
+        assert header == "event,start_s,end_s,simple_latency_s,metered_full_s"
+
+
+class TestGcLogCsv:
+    def test_export(self, tmp_path, fast_config):
+        spec = registry.workload("fop")
+        m = measure(spec, "G1", spec.heap_mb_for(2.0), fast_config)
+        path = write_gc_log_csv(m.results[0].telemetry, tmp_path / "gc.csv")
+        lines = path.read_text().splitlines()
+        assert lines[0].startswith("time_s,kind")
+        assert len(lines) == m.results[0].gc_count + 1
+
+
+class TestAverageFootprint:
+    def test_empty_log(self):
+        assert Telemetry().average_footprint_mb(10.0) == 0.0
+
+    def test_validates_end_time(self):
+        with pytest.raises(ValueError):
+            Telemetry().average_footprint_mb(0.0)
+
+    def test_triangle_area(self):
+        telem = Telemetry()
+        # One GC at t=1: occupancy ramps 0 -> 10, drops to 2, holds to t=2.
+        telem.record_gc(GcEvent(time=1.0, kind="young", pause_s=0.0,
+                                reclaimed_mb=8.0, heap_before_mb=10.0, heap_after_mb=2.0))
+        avg = telem.average_footprint_mb(2.0)
+        assert avg == pytest.approx((5.0 * 1.0 + 2.0 * 1.0) / 2.0)
+
+    def test_footprint_below_peak(self, fast_config):
+        spec = registry.workload("lusearch")
+        m = measure(spec, "G1", spec.heap_mb_for(2.0), fast_config)
+        timed = m.results[0]
+        avg = timed.telemetry.average_footprint_mb(timed.wall_s)
+        peaks = [e.heap_before_mb for e in timed.telemetry.gc_log]
+        assert 0.0 < avg < max(peaks)

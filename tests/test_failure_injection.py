@@ -1,0 +1,118 @@
+"""Failure injection and degenerate configurations.
+
+The simulator must fail loudly and correctly at the edges: impossible
+heaps, starved machines, extreme workload parameters.
+"""
+
+from dataclasses import replace
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import OutOfMemoryError, registry, simulate_run
+from repro.jvm.collectors import COLLECTOR_NAMES
+from repro.jvm.cpu import Machine
+from repro.workloads.spec import WorkloadSpec
+
+SCALE = 0.03
+
+
+def toy_spec(**over):
+    base = dict(
+        name="toy",
+        description="synthetic workload",
+        execution_time_s=1.0,
+        alloc_rate_mb_s=500.0,
+        live_mb=16.0,
+        minheap_mb=20.0,
+        minheap_nocomp_mb=26.0,
+        cpu_cores=2.0,
+        warmup_iterations=1,
+        warmup_excess=0.0,
+        run_noise=0.002,
+    )
+    base.update(over)
+    return WorkloadSpec(**base)
+
+
+class TestDegenerateWorkloads:
+    def test_zero_allocation_rate(self):
+        spec = toy_spec(alloc_rate_mb_s=0.0)
+        run = simulate_run(spec, "G1", 40.0, iterations=1, duration_scale=SCALE)
+        assert run.timed.gc_count == 0
+        assert run.timed.wall_s > 0
+
+    def test_extreme_allocation_rate(self):
+        spec = toy_spec(alloc_rate_mb_s=50_000.0)
+        for collector in COLLECTOR_NAMES:
+            run = simulate_run(spec, collector, 60.0, iterations=1, duration_scale=SCALE)
+            assert run.timed.gc_count > 0
+
+    def test_thrashing_raises_oom(self):
+        # Enormous allocation into a sliver of headroom: the cycle cap
+        # converts livelock into a clean failure.
+        spec = toy_spec(alloc_rate_mb_s=1e6, live_mb=19.0, execution_time_s=100.0)
+        with pytest.raises(OutOfMemoryError):
+            simulate_run(spec, "Serial", 20.0, iterations=1, duration_scale=1.0)
+
+    def test_leak_eventually_ooms(self):
+        spec = toy_spec(leak_rate=0.5)  # +50% live per iteration
+        with pytest.raises(OutOfMemoryError):
+            simulate_run(spec, "G1", 24.0, iterations=10, duration_scale=SCALE)
+
+
+class TestDegenerateMachines:
+    def test_single_core_machine(self):
+        machine = Machine(cores=1, smt=1)
+        spec = registry.workload("fop")
+        for collector in COLLECTOR_NAMES:
+            run = simulate_run(
+                spec, collector, spec.heap_mb_for(3.0),
+                iterations=1, machine=machine, duration_scale=SCALE,
+            )
+            assert run.timed.wall_s > 0
+
+    def test_concurrent_collector_on_saturated_tiny_machine(self):
+        machine = Machine(cores=2, smt=1)
+        spec = registry.workload("lusearch")  # demands ~11 cores
+        run = simulate_run(
+            spec, "Shenandoah", spec.heap_mb_for(3.0),
+            iterations=1, machine=machine, duration_scale=SCALE,
+        )
+        # Contention dilation must stretch wall time well beyond intrinsic.
+        assert run.timed.wall_s > spec.execution_time_s * SCALE * 2.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    alloc=st.floats(min_value=0.0, max_value=20_000.0),
+    live_frac=st.floats(min_value=0.1, max_value=0.9),
+    heap_multiple=st.floats(min_value=1.2, max_value=8.0),
+    cores=st.floats(min_value=1.0, max_value=28.0),
+    collector=st.sampled_from(COLLECTOR_NAMES),
+)
+def test_property_accounting_invariants(alloc, live_frac, heap_multiple, cores, collector):
+    """For any workload shape that completes: the accounting identities and
+    bounds hold."""
+    spec = toy_spec(
+        alloc_rate_mb_s=alloc,
+        live_mb=live_frac * 20.0,
+        cpu_cores=cores,
+    )
+    try:
+        run = simulate_run(
+            spec, collector, spec.heap_mb_for(heap_multiple),
+            iterations=1, duration_scale=SCALE,
+        )
+    except OutOfMemoryError:
+        return  # legitimate outcome at tight heaps/footprints
+    r = run.timed
+    assert r.wall_s > 0
+    assert r.task_clock_s == pytest.approx(r.mutator_cpu_s + r.gc_cpu_s)
+    assert 0.0 <= r.stw_wall_s <= r.wall_s + 1e-9
+    assert r.stall_wall_s >= 0.0
+    assert r.distilled_wall_s > 0
+    assert r.distilled_task_s > 0
+    assert r.allocated_mb >= 0
+    # Wall time is at least the intrinsic work divided across threads.
+    assert r.wall_s >= spec.execution_time_s * SCALE * 0.9

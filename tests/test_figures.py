@@ -1,0 +1,98 @@
+"""Structured figure data and its schema."""
+
+import json
+
+import pytest
+
+from repro import RunConfig, registry
+from repro.core.pca import suite_pca
+from repro.harness.experiments import latency_experiment, lbo_experiment, suite_lbo
+from repro.harness.figures import (
+    geomean_figure,
+    latency_figure,
+    lbo_figure,
+    pca_figure,
+    write_figure_json,
+)
+
+CONFIG = RunConfig(invocations=2, iterations=2, duration_scale=0.05)
+
+
+@pytest.fixture(scope="module")
+def curves():
+    return lbo_experiment(
+        registry.workload("fop"), collectors=("Serial", "G1"), multiples=(2.0, 6.0), config=CONFIG
+    )
+
+
+@pytest.fixture(scope="module")
+def latency_runs():
+    spec = registry.workload("spring")
+    return [latency_experiment(spec, c, 2.0, CONFIG) for c in ("Serial", "G1")]
+
+
+class TestLboFigure:
+    def test_schema(self, curves):
+        fig = lbo_figure(curves, "wall")
+        assert fig["benchmark"] == "fop"
+        assert {s["label"] for s in fig["series"]} == {"Serial", "G1"}
+        for series in fig["series"]:
+            assert len(series["heap_multiples"]) == len(series["overheads"])
+            assert series["heap_multiples"] == sorted(series["heap_multiples"])
+
+    def test_metric_validated(self, curves):
+        with pytest.raises(ValueError):
+            lbo_figure(curves, "cycles")
+
+    def test_json_serializable(self, curves, tmp_path):
+        path = write_figure_json(lbo_figure(curves, "task"), tmp_path / "fig.json")
+        loaded = json.loads(path.read_text())
+        assert loaded["figure"] == "lbo-task"
+
+
+class TestGeomeanFigure:
+    def test_schema(self):
+        result = suite_lbo(
+            [registry.workload("fop"), registry.workload("lusearch")],
+            collectors=("Serial", "G1"),
+            multiples=(2.0, 6.0),
+            config=CONFIG,
+        )
+        fig = geomean_figure(result, "task")
+        assert fig["figure"] == "fig1-b"
+        for series in fig["series"]:
+            assert all(v > 0 for v in series["overheads"])
+
+
+class TestLatencyFigure:
+    def test_simple_and_metered_variants(self, latency_runs):
+        simple = latency_figure(latency_runs, "simple")
+        metered = latency_figure(latency_runs, None)
+        assert simple["variant"] == "simple"
+        assert "full smoothing" in metered["variant"]
+        for series in simple["series"]:
+            assert len(series["percentiles"]) == len(series["latency_ms"])
+            assert series["latency_ms"] == sorted(series["latency_ms"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            latency_figure([])
+
+    def test_json_roundtrip(self, latency_runs, tmp_path):
+        path = write_figure_json(latency_figure(latency_runs, 0.1), tmp_path / "lat.json")
+        loaded = json.loads(path.read_text())
+        assert loaded["benchmark"] == "spring"
+        assert "100 ms" in loaded["variant"]
+
+
+class TestPcaFigure:
+    def test_schema(self):
+        fig = pca_figure(suite_pca(), (0, 1))
+        assert len(fig["points"]) == 22
+        assert fig["x_label"].startswith("PC1")
+        names = {p["benchmark"] for p in fig["points"]}
+        assert "h2" in names and "lusearch" in names
+
+    def test_other_components(self):
+        fig = pca_figure(suite_pca(), (2, 3))
+        assert fig["x_label"].startswith("PC3")

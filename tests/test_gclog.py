@@ -1,0 +1,75 @@
+"""GC log rendering and parsing (unified-logging format)."""
+
+import pytest
+
+from repro import registry
+from repro.harness.runner import measure
+from repro.jvm.gclog import GcLogSummary, format_gc_log, parse_gc_log
+from repro.jvm.telemetry import GcEvent, Telemetry
+
+
+def sample_telemetry():
+    telem = Telemetry()
+    telem.record_gc(GcEvent(time=0.5234, kind="young", pause_s=0.002531,
+                            reclaimed_mb=143.0, heap_before_mb=188.0, heap_after_mb=45.0))
+    telem.record_gc(GcEvent(time=1.2011, kind="concurrent-mark", pause_s=0.04822,
+                            reclaimed_mb=71.0, heap_before_mb=211.0, heap_after_mb=140.0))
+    return telem
+
+
+class TestFormatting:
+    def test_openjdk_shape(self):
+        lines = format_gc_log(sample_telemetry(), heap_capacity_mb=348.0)
+        assert lines[0] == "[0.523s][info][gc] GC(0) Pause Young (Normal) 188M->45M(348M) 2.531ms"
+        assert "Concurrent Mark Cycle" in lines[1]
+
+    def test_numbering_sequential(self):
+        lines = format_gc_log(sample_telemetry(), 348.0)
+        assert "GC(0)" in lines[0] and "GC(1)" in lines[1]
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            format_gc_log(sample_telemetry(), 0.0)
+
+    def test_unknown_kind_still_renders(self):
+        telem = Telemetry()
+        telem.record_gc(GcEvent(time=0.1, kind="exotic", pause_s=0.001,
+                                reclaimed_mb=1.0, heap_before_mb=2.0, heap_after_mb=1.0))
+        (line,) = format_gc_log(telem, 10.0)
+        assert "Pause (exotic)" in line
+
+
+class TestParsing:
+    def test_roundtrip(self):
+        telem = sample_telemetry()
+        events = parse_gc_log(format_gc_log(telem, 348.0))
+        assert len(events) == 2
+        assert events[0].kind == "young"
+        assert events[1].kind == "concurrent-mark"
+        assert events[0].pause_s == pytest.approx(0.002531, abs=1e-6)
+        assert events[0].heap_after_mb == 45.0
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            parse_gc_log(["not a gc line"])
+
+    def test_summary(self):
+        events = parse_gc_log(format_gc_log(sample_telemetry(), 348.0))
+        summary = GcLogSummary.from_events(events)
+        assert summary.collections == 2
+        assert summary.max_pause_s == pytest.approx(0.048220, abs=1e-6)
+        assert summary.reclaimed_mb == pytest.approx(143.0 + 71.0)
+
+
+class TestEndToEnd:
+    def test_simulated_run_produces_valid_log(self, fast_config):
+        spec = registry.workload("lusearch")
+        m = measure(spec, "G1", spec.heap_mb_for(2.0), fast_config)
+        telem = m.results[0].telemetry
+        lines = format_gc_log(telem, spec.heap_mb_for(2.0))
+        events = parse_gc_log(lines)
+        assert len(events) == telem.gc_count
+        # Shape: occupancy after <= before, times non-decreasing.
+        times = [e.time for e in events]
+        assert times == sorted(times)
+        assert all(e.heap_after_mb <= e.heap_before_mb + 0.5 for e in events)

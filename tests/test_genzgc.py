@@ -1,0 +1,70 @@
+"""Generational ZGC — the sixth production collector (JEP 439)."""
+
+import pytest
+
+from repro import registry, simulate_run
+from repro.core.rng import generator_for
+from repro.jvm.collectors import COLLECTORS, COLLECTOR_NAMES, GenZgcCollector
+from repro.jvm.collectors.base import GcTuning
+from repro.jvm.cpu import DEFAULT_MACHINE
+from repro.jvm.heap import Heap
+
+SCALE = 0.05
+
+
+def build(bench="lusearch"):
+    spec = registry.workload(bench)
+    return GenZgcCollector(spec, DEFAULT_MACHINE, GcTuning(), generator_for("gz"))
+
+
+class TestRegistration:
+    def test_registered_but_not_in_main_five(self):
+        assert "GenZGC" in COLLECTORS
+        assert "GenZGC" not in COLLECTOR_NAMES
+
+    def test_year_and_footprint(self):
+        assert GenZgcCollector.YEAR == 2023
+        assert not GenZgcCollector.COMPRESSED_OOPS  # still no compressed oops
+
+
+class TestGenerationalBehaviour:
+    def test_young_cycles_dominate(self):
+        c = build()
+        heap = Heap(capacity_mb=c.spec.minheap_mb * 4, live_mb=c.live_footprint_mb())
+        heap.allocate(5.0)
+        kinds = []
+        for _ in range(2 * c.YOUNG_CYCLES_PER_OLD):
+            plan = c.plan_cycle(heap)
+            kinds.append(plan.kind)
+            c.notify_cycle_complete(heap, plan)
+        assert kinds.count("concurrent-young") > kinds.count("concurrent")
+        assert "concurrent" in kinds  # old cycles still happen
+
+    def test_young_cycle_cheaper_than_old(self):
+        c = build("h2")
+        heap = Heap(capacity_mb=c.spec.minheap_mb * 3, live_mb=c.live_footprint_mb())
+        heap.allocate(50.0)
+        young_work = c.cycle_work_mb(heap)
+        c._young_cycles_since_old = c.YOUNG_CYCLES_PER_OLD  # force old
+        old_work = c.cycle_work_mb(heap)
+        assert young_work < old_work
+
+    def test_runs_end_to_end(self):
+        spec = registry.workload("lusearch")
+        run = simulate_run(spec, "GenZGC", spec.heap_mb_for(3.0), iterations=2, duration_scale=SCALE)
+        assert run.timed.gc_count > 0
+        assert run.timed.gc_concurrent_cpu_s > 0
+
+    def test_cheaper_than_zgc_on_generational_workload(self):
+        # The point of JEP 439: most cycles trace only young data, so the
+        # GC CPU bill drops relative to single-generation ZGC.
+        spec = registry.workload("lusearch")
+        heap = spec.heap_mb_for(3.0)
+        gen = simulate_run(spec, "GenZGC", heap, iterations=2, duration_scale=SCALE)
+        zgc = simulate_run(spec, "ZGC", heap, iterations=2, duration_scale=SCALE)
+        assert gen.timed.gc_cpu_s < zgc.timed.gc_cpu_s
+
+    def test_pauses_remain_tiny(self):
+        spec = registry.workload("spring")
+        run = simulate_run(spec, "GenZGC", spec.heap_mb_for(3.0), iterations=2, duration_scale=SCALE)
+        assert run.timed.timeline.max_pause() < 0.002

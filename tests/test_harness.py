@@ -1,0 +1,145 @@
+"""Harness: runner, experiments, and report rendering."""
+
+import pytest
+
+from repro import OutOfMemoryError, RunConfig, registry
+from repro.core.latency import latency_report
+from repro.harness.experiments import (
+    heap_timeseries,
+    latency_experiment,
+    lbo_experiment,
+    suite_lbo,
+)
+from repro.harness.report import (
+    format_heap_series,
+    format_latency_comparison,
+    format_lbo_curves,
+    format_lbo_series,
+    format_pca_projection,
+    format_table,
+)
+from repro.harness.runner import measure
+
+
+class TestRunConfig:
+    def test_defaults(self):
+        config = RunConfig()
+        assert config.invocations == 5
+        assert config.iterations is None
+        assert config.duration_scale == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RunConfig(invocations=0)
+        with pytest.raises(ValueError):
+            RunConfig(duration_scale=0.0)
+
+
+class TestMeasure:
+    def test_collects_invocations(self, lusearch, fast_config):
+        m = measure(lusearch, "G1", lusearch.heap_mb_for(3.0), fast_config)
+        assert len(m.results) == fast_config.invocations
+        assert m.wall.mean > 0
+        assert m.task.mean >= m.wall.mean
+        assert m.gc_count > 0
+
+    def test_oom_propagates(self, h2, fast_config):
+        with pytest.raises(OutOfMemoryError):
+            measure(h2, "G1", h2.live_mb * 0.5, fast_config)
+
+    def test_confidence_interval_nonzero(self, lusearch, fast_config):
+        # Run-to-run noise (PSD) makes invocations differ.
+        m = measure(lusearch, "G1", lusearch.heap_mb_for(3.0), fast_config)
+        assert m.wall.half_width > 0
+
+
+class TestLboExperiment:
+    def test_curve_structure(self, lusearch, fast_config):
+        curves = lbo_experiment(
+            lusearch, collectors=("Serial", "G1"), multiples=(2.0, 6.0), config=fast_config
+        )
+        assert set(curves.collectors()) == {"G1", "Serial"}
+        assert curves.point("wall", "G1", 2.0).overhead.mean >= 1.0
+
+    def test_zgc_missing_small_heaps(self, fast_config):
+        spec = registry.workload("biojava")  # GMU/GMD ~ 2
+        curves = lbo_experiment(
+            spec, collectors=("G1", "ZGC"), multiples=(1.25, 6.0), config=fast_config
+        )
+        g1_multiples = [p.heap_multiple for p in curves.wall["G1"]]
+        zgc_multiples = [p.heap_multiple for p in curves.wall["ZGC"]]
+        assert 1.25 in g1_multiples
+        assert 1.25 not in zgc_multiples
+        assert 6.0 in zgc_multiples
+
+    def test_suite_geomean_requires_completeness(self, fast_config):
+        specs = [registry.workload("fop"), registry.workload("biojava")]
+        result = suite_lbo(specs, collectors=("G1", "ZGC"), multiples=(1.25, 6.0), config=fast_config)
+        assert [m for m, _ in result.geomean_wall["G1"]] == [1.25, 6.0]
+        assert [m for m, _ in result.geomean_wall["ZGC"]] == [6.0]
+
+
+class TestLatencyExperiment:
+    def test_produces_report(self, cassandra, fast_config):
+        run = latency_experiment(cassandra, "G1", 2.0, fast_config)
+        assert run.events.count >= 64
+        assert run.report.simple[99.9] >= run.report.simple[50.0]
+
+    def test_rejects_non_latency_workload(self, fast_config):
+        with pytest.raises(ValueError):
+            latency_experiment(registry.workload("fop"), "G1", 2.0, fast_config)
+
+    def test_request_stream_scaled_with_duration(self, cassandra, fast_config):
+        run = latency_experiment(cassandra, "G1", 2.0, fast_config)
+        assert run.events.count < cassandra.requests.count
+
+
+class TestHeapTimeseries:
+    def test_series(self, lusearch, fast_config):
+        series = heap_timeseries(lusearch, "G1", 2.0, fast_config)
+        assert len(series) > 1
+        assert all(mb >= 0 for _, mb in series)
+
+
+class TestReportRendering:
+    def test_format_table_alignment(self):
+        out = format_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_format_table_validates_width(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [["1", "2"]])
+
+    def test_format_lbo_series(self):
+        out = format_lbo_series({"G1": [(2.0, 1.25), (6.0, 1.10)]}, "Fig 1(a)")
+        assert "Fig 1(a)" in out
+        assert "1.250" in out and "1.100" in out
+
+    def test_format_lbo_curves(self, lusearch, fast_config):
+        curves = lbo_experiment(
+            lusearch, collectors=("Serial",), multiples=(3.0,), config=fast_config
+        )
+        out = format_lbo_curves(curves, "wall")
+        assert "lusearch" in out
+        assert "+-" in out  # confidence intervals rendered
+
+    def test_format_latency_comparison(self, cassandra, fast_config):
+        run = latency_experiment(cassandra, "G1", 2.0, fast_config)
+        out = format_latency_comparison({"G1": run.report}, "simple")
+        assert "99.99" in out
+        out_metered = format_latency_comparison({"G1": run.report}, None)
+        assert "full smoothing" in out_metered
+        out_100ms = format_latency_comparison({"G1": run.report}, 0.1)
+        assert "100 ms" in out_100ms
+
+    def test_format_pca(self):
+        from repro.core.pca import suite_pca
+
+        out = format_pca_projection(suite_pca(), (0, 1))
+        assert "PC1" in out and "h2" in out
+
+    def test_format_heap_series(self):
+        out = format_heap_series([(0.1, 5.0), (0.2, 6.0)], "fop")
+        assert "fop" in out and "5.00" in out

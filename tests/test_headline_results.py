@@ -1,0 +1,121 @@
+"""The paper's headline findings, asserted as curve *shapes*.
+
+These tests run a reduced version of the Figure 1 campaign (a workload
+subset, scaled iterations, two invocations) and assert the qualitative
+claims of Sections 2 and 6.  Absolute numbers are simulator-specific; the
+orderings, crossovers, and blow-ups are what the reproduction must hold.
+"""
+
+import pytest
+
+from repro import RunConfig, registry
+from repro.harness.experiments import lbo_experiment, suite_lbo
+
+# A diverse subset spanning allocation rates, heap sizes, and parallelism;
+# the full 22-benchmark sweep runs in the benchmark harness.
+SUBSET = ("avrora", "biojava", "cassandra", "fop", "h2", "lusearch", "spring", "xalan")
+MULTIPLES = (1.25, 2.0, 3.0, 6.0)
+
+
+@pytest.fixture(scope="module")
+def suite_result():
+    config = RunConfig(invocations=2, iterations=2, duration_scale=0.1)
+    specs = [registry.workload(name) for name in SUBSET]
+    return suite_lbo(specs, multiples=MULTIPLES, config=config)
+
+
+def at(series, collector, multiple):
+    match = [v for m, v in series[collector] if abs(m - multiple) < 1e-9]
+    assert match, f"{collector} has no geomean point at {multiple}x"
+    return match[0]
+
+
+class TestFigure1Shapes:
+    def test_overheads_fall_with_heap_size(self, suite_result):
+        """The time-space tradeoff: more memory, less GC cost (Section 4.2)."""
+        for series in (suite_result.geomean_wall, suite_result.geomean_task):
+            for collector, points in series.items():
+                ordered = [v for _, v in sorted(points)]
+                assert ordered[0] > ordered[-1], collector
+
+    def test_small_heaps_exceed_2x(self, suite_result):
+        """'At smaller heaps, overheads exceed 2x.'"""
+        worst = max(v for _, v in suite_result.geomean_task["Shenandoah"])
+        assert worst > 2.0
+
+    def test_serial_cheapest_cpu(self, suite_result):
+        """'total CPU overheads are 15% (Serial)' — Serial is the task-clock
+        winner at generous heaps."""
+        series = suite_result.geomean_task
+        serial = at(series, "Serial", 6.0)
+        for other in ("Parallel", "G1", "Shenandoah", "ZGC"):
+            assert serial < at(series, other, 6.0)
+        assert 1.02 < serial < 1.45
+
+    def test_task_clock_regression_with_collector_age(self, suite_result):
+        """The paper's central regression: newer collector designs consume
+        more total CPU (Figure 1(b))."""
+        series = suite_result.geomean_task
+        ordering = [at(series, c, 6.0) for c in ("Serial", "Parallel", "G1", "Shenandoah")]
+        assert ordering == sorted(ordering)
+        # ZGC at least as expensive as G1.
+        assert at(series, "ZGC", 6.0) > at(series, "G1", 6.0)
+
+    def test_wall_clock_best_case_modest(self, suite_result):
+        """'In the best case, wall clock overheads are 9% (G1 and
+        Parallel)' — the best wall point is Parallel/G1 territory."""
+        series = suite_result.geomean_wall
+        best = {c: min(v for _, v in pts) for c, pts in series.items()}
+        winner = min(best, key=best.get)
+        assert winner in ("Parallel", "G1")
+        assert 1.0 <= best[winner] < 1.25
+
+    def test_parallel_beats_serial_on_wall_but_not_cpu(self, suite_result):
+        """'Parallel ... runs faster than Serial.  However, parallelism is
+        never perfectly efficient, so Parallel tends to have larger total
+        overhead ... considering the task clock.'"""
+        assert at(suite_result.geomean_wall, "Parallel", 2.0) < at(
+            suite_result.geomean_wall, "Serial", 2.0
+        )
+        assert at(suite_result.geomean_task, "Parallel", 2.0) > at(
+            suite_result.geomean_task, "Serial", 2.0
+        )
+
+    def test_zgc_absent_from_smallest_heaps(self, suite_result):
+        """ZGC* (no compressed pointers) cannot run every benchmark at the
+        smallest multiples; the geomean rule drops those points."""
+        zgc_multiples = [m for m, _ in suite_result.geomean_task["ZGC"]]
+        assert 1.25 not in zgc_multiples
+        assert 6.0 in zgc_multiples
+
+
+class TestFigure5Shapes:
+    @pytest.fixture(scope="class")
+    def config(self):
+        return RunConfig(invocations=2, iterations=2, duration_scale=0.1)
+
+    def test_lusearch_shenandoah_wall_blowup(self, config):
+        """Figure 5(c): Shenandoah's wall-clock overhead for lusearch is
+        extreme at every heap size (pacer throttles 32 allocating threads),
+        while its task clock (5(d)) is far lower."""
+        spec = registry.workload("lusearch")
+        curves = lbo_experiment(spec, multiples=(2.0, 4.0, 6.0), config=config)
+        for point in curves.wall["Shenandoah"]:
+            assert point.overhead.mean > 2.0
+        # Task clock lower than wall where the pacer bites hardest (the
+        # curves converge at generous heaps, where pacing relaxes).
+        wall = curves.point("wall", "Shenandoah", 2.0).overhead.mean
+        task = curves.point("task", "Shenandoah", 2.0).overhead.mean
+        assert task < wall
+
+    def test_cassandra_wall_vs_task_divergence(self, config):
+        """Figure 5(a, b): cassandra's wall overheads are modest for all
+        collectors while task overheads diverge — concurrent collectors
+        burn otherwise-idle cores."""
+        spec = registry.workload("cassandra")
+        curves = lbo_experiment(spec, multiples=(3.0, 6.0), config=config)
+        for collector in ("G1", "Shenandoah", "ZGC"):
+            wall = curves.point("wall", collector, 3.0).overhead.mean
+            task = curves.point("task", collector, 3.0).overhead.mean
+            assert wall < 1.6
+            assert task > wall

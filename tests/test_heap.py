@@ -1,0 +1,127 @@
+"""Heap model invariants."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.jvm.heap import Heap, OutOfMemoryError
+
+
+class TestConstruction:
+    def test_basic(self):
+        heap = Heap(capacity_mb=100.0)
+        assert heap.free_mb == pytest.approx(100.0)
+        assert heap.occupied_mb == 0.0
+
+    def test_reserve_shrinks_usable(self):
+        heap = Heap(capacity_mb=100.0, reserve_fraction=0.1)
+        assert heap.usable_mb == pytest.approx(90.0)
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            Heap(capacity_mb=0.0)
+
+    def test_rejects_bad_reserve(self):
+        with pytest.raises(ValueError):
+            Heap(capacity_mb=10.0, reserve_fraction=1.0)
+
+    def test_rejects_negative_occupancy(self):
+        with pytest.raises(ValueError):
+            Heap(capacity_mb=10.0, live_mb=-1.0)
+
+
+class TestAllocation:
+    def test_allocate_into_young(self):
+        heap = Heap(capacity_mb=100.0)
+        heap.allocate(30.0)
+        assert heap.young_mb == pytest.approx(30.0)
+        assert heap.allocated_total_mb == pytest.approx(30.0)
+
+    def test_allocate_beyond_free_raises(self):
+        heap = Heap(capacity_mb=10.0, live_mb=8.0)
+        with pytest.raises(OutOfMemoryError):
+            heap.allocate(3.0)
+
+    def test_allocate_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Heap(capacity_mb=10.0).allocate(-1.0)
+
+    def test_total_accumulates(self):
+        heap = Heap(capacity_mb=100.0)
+        heap.allocate(10.0)
+        heap.collect_full(0.0)
+        heap.allocate(20.0)
+        assert heap.allocated_total_mb == pytest.approx(30.0)
+
+
+class TestCollection:
+    def test_young_collection_accounting(self):
+        heap = Heap(capacity_mb=100.0, live_mb=10.0)
+        heap.allocate(40.0)
+        reclaimed = heap.collect_young(survival_rate=0.25, promotion_fraction=0.5)
+        assert reclaimed == pytest.approx(30.0)
+        assert heap.young_mb == pytest.approx(5.0)  # survivors kept young
+        assert heap.live_mb == pytest.approx(15.0)  # promoted
+
+    def test_full_collection(self):
+        heap = Heap(capacity_mb=100.0, live_mb=50.0)
+        heap.allocate(20.0)
+        reclaimed = heap.collect_full(live_target_mb=30.0)
+        assert reclaimed == pytest.approx(40.0)
+        assert heap.occupied_mb == pytest.approx(30.0)
+        assert heap.young_mb == 0.0
+
+    def test_full_collection_never_grows(self):
+        heap = Heap(capacity_mb=100.0, live_mb=10.0)
+        heap.collect_full(live_target_mb=50.0)
+        assert heap.live_mb == pytest.approx(10.0)
+
+    def test_parameter_validation(self):
+        heap = Heap(capacity_mb=10.0)
+        with pytest.raises(ValueError):
+            heap.collect_young(-0.1, 0.2)
+        with pytest.raises(ValueError):
+            heap.collect_young(0.1, 1.2)
+        with pytest.raises(ValueError):
+            heap.collect_full(-1.0)
+
+    def test_require_fits(self):
+        heap = Heap(capacity_mb=10.0, reserve_fraction=0.1)
+        heap.require_fits(9.0)
+        with pytest.raises(OutOfMemoryError):
+            heap.require_fits(9.5)
+
+
+@given(
+    capacity=st.floats(min_value=1.0, max_value=10000.0),
+    live=st.floats(min_value=0.0, max_value=0.5),
+    allocs=st.lists(st.floats(min_value=0.0, max_value=0.05), max_size=20),
+    sr=st.floats(min_value=0.0, max_value=1.0),
+    promo=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_occupancy_never_exceeds_usable(capacity, live, allocs, sr, promo):
+    """Property: the heap never over-commits under any alloc/GC sequence."""
+    heap = Heap(capacity_mb=capacity, live_mb=live * capacity)
+    for fraction in allocs:
+        amount = fraction * capacity
+        if amount <= heap.free_mb:
+            heap.allocate(amount)
+        else:
+            heap.collect_young(sr, promo)
+        assert heap.occupied_mb <= heap.usable_mb + 1e-6
+        assert heap.young_mb >= 0.0
+        assert heap.live_mb >= 0.0
+
+
+@given(
+    young=st.floats(min_value=0.0, max_value=100.0),
+    sr=st.floats(min_value=0.0, max_value=1.0),
+    promo=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_young_collection_conserves_bytes(young, sr, promo):
+    """Property: reclaimed + retained == pre-GC young occupancy."""
+    heap = Heap(capacity_mb=1000.0)
+    heap.allocate(young)
+    live_before = heap.live_mb
+    reclaimed = heap.collect_young(sr, promo)
+    retained = heap.young_mb + (heap.live_mb - live_before)
+    assert reclaimed + retained == pytest.approx(young, abs=1e-9)

@@ -1,0 +1,121 @@
+"""Instrumented allocation profiling (the bytecode-instrumentation analogue)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.rng import generator_for
+from repro.jvm import instrumented
+from repro.workloads.registry import workload
+
+
+class TestAllocationProfile:
+    def test_median_roundtrips_published_aom(self):
+        for bench in ("lusearch", "h2", "batik"):
+            spec = workload(bench)
+            profile = instrumented.profile_allocation(spec)
+            # The size model is anchored on the published median.
+            assert profile.median_bytes == pytest.approx(
+                spec.object_sizes.median, rel=0.08
+            ), bench
+
+    def test_statistics_ordered(self):
+        profile = instrumented.profile_allocation(workload("graphchi"))
+        assert profile.p10_bytes <= profile.median_bytes <= profile.p90_bytes
+        assert profile.median_bytes <= profile.max_bytes
+        assert profile.total_bytes == pytest.approx(
+            profile.average_bytes * profile.object_count, rel=1e-9
+        )
+
+    def test_histogram_covers_all_objects(self):
+        profile = instrumented.profile_allocation(workload("fop"), sample_objects=10_000)
+        assert sum(count for _, count in profile.histogram) == 10_000
+        edges = [edge for edge, _ in profile.histogram]
+        assert edges == sorted(edges)
+
+    def test_nominal_statistics_keys(self):
+        stats = instrumented.measure_allocation_statistics(workload("jme"))
+        assert set(stats) == {"AOA", "AOL", "AOM", "AOS"}
+
+    def test_deterministic(self):
+        a = instrumented.profile_allocation(workload("pmd"))
+        b = instrumented.profile_allocation(workload("pmd"))
+        assert a.average_bytes == b.average_bytes
+
+    def test_workload_without_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            instrumented.profile_allocation(workload("tradebeans"))
+
+    def test_sample_size_validated(self):
+        with pytest.raises(ValueError):
+            instrumented.profile_allocation(workload("fop"), sample_objects=10)
+
+    def test_rank_agreement_with_published_aoa(self):
+        """Measured average object sizes rank workloads like the published
+        AOA column (log-normal mean differs from empirical mean, so exact
+        values drift; ranks should not)."""
+        from repro.core.characterize import spearman_rank_correlation
+        from repro.workloads import nominal_data
+
+        benches = [b for b in nominal_data.BENCHMARK_NAMES
+                   if nominal_data.value(b, "AOA") is not None]
+        ours, pub = [], []
+        for b in benches:
+            ours.append(instrumented.profile_allocation(workload(b), 20_000).median_bytes)
+            pub.append(nominal_data.value(b, "AOM"))
+        assert spearman_rank_correlation(ours, pub) > 0.75
+
+
+class TestTlabWaste:
+    def test_fraction_bounded(self):
+        waste = instrumented.tlab_waste_fraction(workload("lusearch"))
+        assert 0.0 <= waste < 0.05  # small objects pack well
+
+    def test_tiny_tlabs_waste_more(self):
+        spec = workload("luindex")  # largest objects in the suite
+        small = instrumented.tlab_waste_fraction(spec, tlab_bytes=2_048)
+        large = instrumented.tlab_waste_fraction(spec, tlab_bytes=512 << 10)
+        assert small > large
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            instrumented.tlab_waste_fraction(workload("fop"), tlab_bytes=0)
+        with pytest.raises(ValueError):
+            instrumented.tlab_waste_fraction(workload("tradesoap"))
+
+
+class TestHumongous:
+    def test_typical_workload_has_none(self):
+        # Median object sizes are tens of bytes; 512 KiB humongous
+        # thresholds are far into the tail.
+        assert instrumented.humongous_fraction(workload("fop")) == pytest.approx(0.0, abs=0.01)
+
+    def test_small_regions_create_humongous_objects(self):
+        # Contrived region size so the threshold falls inside the size
+        # distribution's tail: the mechanism, not a realistic config.
+        spec = workload("luindex")
+        tiny_regions = instrumented.humongous_fraction(spec, region_bytes=256)
+        assert tiny_regions > 0.0
+
+    def test_region_tail_waste_zero_without_humongous(self):
+        assert instrumented.region_tail_waste_fraction(workload("fop")) == 0.0
+
+    def test_region_tail_waste_bounded(self):
+        spec = workload("luindex")
+        waste = instrumented.region_tail_waste_fraction(spec, region_bytes=256)
+        assert 0.0 <= waste < 0.5
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    region_kb=st.sampled_from([64, 256, 1024, 4096]),
+    bench=st.sampled_from(["lusearch", "h2", "luindex", "graphchi"]),
+)
+def test_property_humongous_fraction_monotone_in_region_size(region_kb, bench):
+    """Bigger regions can only reduce the humongous share."""
+    spec = workload(bench)
+    rng_a = generator_for("prop", bench)
+    rng_b = generator_for("prop", bench)
+    small = instrumented.humongous_fraction(spec, region_bytes=region_kb << 10, rng=rng_a)
+    bigger = instrumented.humongous_fraction(spec, region_bytes=(region_kb * 4) << 10, rng=rng_b)
+    assert bigger <= small + 1e-12

@@ -1,0 +1,158 @@
+"""Latency metrics: simple, metered, synthetic starts, CDFs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.latency import (
+    DEFAULT_WINDOWS_S,
+    FULL_SMOOTHING,
+    latency_cdf,
+    latency_report,
+    metered_latencies,
+    mmu_curve,
+    simple_latencies,
+    synthetic_starts,
+)
+from repro.jvm.timeline import Pause
+from repro.workloads.requests import EventRecord
+
+
+def record_from(starts, ends):
+    return EventRecord(starts=np.asarray(starts, float), ends=np.asarray(ends, float))
+
+
+class TestSyntheticStarts:
+    def test_full_smoothing_is_uniform(self):
+        starts = np.array([0.0, 0.1, 0.2, 5.0, 9.9, 10.0])
+        synth = synthetic_starts(starts, FULL_SMOOTHING)
+        diffs = np.diff(np.sort(synth))
+        assert np.allclose(diffs, diffs[0])
+        assert synth.min() >= 0.0 and synth.max() <= 10.0
+
+    def test_tiny_window_close_to_actual(self):
+        rng = np.random.default_rng(0)
+        starts = np.sort(rng.uniform(0, 10, 500))
+        synth = synthetic_starts(starts, 1e-4)
+        assert np.max(np.abs(synth - starts)) < 1e-3
+
+    def test_preserves_order(self):
+        rng = np.random.default_rng(1)
+        starts = rng.uniform(0, 10, 300)
+        for window in (0.01, 0.1, 1.0, None):
+            synth = synthetic_starts(starts, window)
+            order_actual = np.argsort(starts, kind="stable")
+            assert np.all(np.diff(synth[order_actual]) >= -1e-12)
+
+    def test_empty_and_single(self):
+        assert synthetic_starts(np.array([]), 0.1).size == 0
+        assert synthetic_starts(np.array([3.0]), 0.1) == pytest.approx([3.0])
+
+    def test_rejects_nonpositive_window(self):
+        with pytest.raises(ValueError):
+            synthetic_starts(np.array([0.0, 1.0]), 0.0)
+
+    def test_burst_is_spread_across_window(self):
+        # 100 events all starting at t=0 within a 1s window get spread.
+        starts = np.zeros(100)
+        starts[-1] = 0.9  # define a span
+        synth = synthetic_starts(starts, 1.0)
+        assert synth.max() > 0.5
+
+
+class TestMeteredLatency:
+    def test_metered_never_below_simple(self):
+        rng = np.random.default_rng(2)
+        starts = np.sort(rng.uniform(0, 10, 1000))
+        ends = starts + rng.exponential(0.01, 1000)
+        rec = record_from(starts, ends)
+        simple = simple_latencies(rec)
+        for window in DEFAULT_WINDOWS_S:
+            metered = metered_latencies(rec, window)
+            assert np.all(metered >= simple - 1e-12)
+
+    def test_uniform_arrivals_unchanged(self):
+        # If events already arrive uniformly, metering changes nothing.
+        starts = np.linspace(0, 10, 1001)[:-1] + 0.005
+        ends = starts + 0.001
+        rec = record_from(starts, ends)
+        metered = metered_latencies(rec, FULL_SMOOTHING)
+        assert np.allclose(metered, rec.latencies, atol=0.02)
+
+    def test_pause_backlog_amplified(self):
+        """The queueing effect: a pause delays not just in-flight events but
+        everything that should have started during it."""
+        # 200 events at uniform rate, then a 1s gap (a pause), then 200 more.
+        first = np.linspace(0.0, 2.0, 200, endpoint=False)
+        second = np.linspace(3.0, 5.0, 200, endpoint=False)
+        starts = np.concatenate([first, second])
+        ends = starts + 0.005
+        rec = record_from(starts, ends)
+        simple_max = rec.latencies.max()
+        metered = metered_latencies(rec, FULL_SMOOTHING)
+        # Events right after the gap inherit ~the full backlog delay.
+        assert metered.max() > simple_max + 0.4
+
+    @settings(max_examples=30)
+    @given(
+        n=st.integers(min_value=2, max_value=200),
+        seed=st.integers(min_value=0, max_value=2**31),
+        window=st.one_of(st.none(), st.floats(min_value=1e-3, max_value=20.0)),
+    )
+    def test_property_metered_ge_simple(self, n, seed, window):
+        rng = np.random.default_rng(seed)
+        starts = np.sort(rng.uniform(0, 10, n))
+        ends = starts + rng.exponential(0.05, n)
+        rec = record_from(starts, ends)
+        assert np.all(metered_latencies(rec, window) >= simple_latencies(rec) - 1e-9)
+
+
+class TestLatencyReport:
+    def make_record(self, n=5000):
+        rng = np.random.default_rng(5)
+        starts = np.sort(rng.uniform(0, 10, n))
+        return record_from(starts, starts + rng.lognormal(-6, 1, n))
+
+    def test_report_structure(self):
+        report = latency_report(self.make_record())
+        assert set(report.metered) == set(DEFAULT_WINDOWS_S)
+        assert report.event_count == 5000
+        assert report.simple[99.9] >= report.simple[50.0]
+
+    def test_window_1ms_closest_to_simple(self):
+        # Small windows afford little smoothing -> close to simple latency.
+        report = latency_report(self.make_record())
+        p999 = report.simple[99.9]
+        assert report.metered_at(0.001)[99.9] <= report.metered_at(FULL_SMOOTHING)[99.9] + 1e-9
+        assert report.metered_at(0.001)[99.9] >= p999 - 1e-9
+
+    def test_missing_window_rejected(self):
+        report = latency_report(self.make_record())
+        with pytest.raises(KeyError):
+            report.metered_at(42.0)
+
+    def test_empty_record_rejected(self):
+        with pytest.raises(ValueError):
+            latency_report(record_from([], []))
+
+
+class TestCdf:
+    def test_axis_shape(self):
+        rng = np.random.default_rng(6)
+        pct, values = latency_cdf(rng.exponential(1.0, 10000), points=50)
+        assert pct.shape == values.shape == (50,)
+        assert pct[0] == 0.0
+        assert pct[-1] == pytest.approx(99.9999)
+        assert np.all(np.diff(values) >= 0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            latency_cdf(np.array([]))
+
+
+class TestMmuCurve:
+    def test_curve_keys(self):
+        pauses = [Pause(start=1.0, duration=0.1)]
+        curve = mmu_curve(pauses, horizon=10.0, windows_s=(0.2, 1.0, 5.0))
+        assert set(curve) == {0.2, 1.0, 5.0}
+        assert all(0.0 <= v <= 1.0 for v in curve.values())

@@ -1,0 +1,58 @@
+"""Minimum-heap search (the GMD/GMU methodology)."""
+
+import pytest
+
+from repro import OutOfMemoryError
+from repro.core.minheap import find_min_heap, runs_in
+from repro.workloads.registry import workload
+
+SCALE = 0.03
+
+
+class TestRunsIn:
+    def test_generous_heap_runs(self):
+        spec = workload("fop")
+        assert runs_in(spec, "G1", spec.heap_mb_for(4.0), duration_scale=SCALE)
+
+    def test_tiny_heap_fails(self):
+        spec = workload("fop")
+        assert not runs_in(spec, "G1", spec.live_mb * 0.5, duration_scale=SCALE)
+
+
+class TestFindMinHeap:
+    def test_bracketing(self):
+        spec = workload("fop")
+        result = find_min_heap(spec, "G1", duration_scale=SCALE)
+        assert result.benchmark == "fop"
+        # The found minimum must actually run, and 10% below must fail...
+        assert runs_in(spec, "G1", result.min_heap_mb, duration_scale=SCALE)
+        assert not runs_in(spec, "G1", result.min_heap_mb * 0.85, duration_scale=SCALE)
+
+    def test_min_heap_near_nominal(self):
+        # The model's G1 minimum should be within ~30% of the paper's GMD.
+        spec = workload("lusearch")
+        result = find_min_heap(spec, "G1", duration_scale=SCALE)
+        assert 0.6 <= result.as_multiple_of(spec.minheap_mb) <= 1.3
+
+    def test_zgc_min_heap_tracks_gmu(self):
+        # ZGC's minimum should exceed the compressed-oops collectors',
+        # in line with the GMU/GMD ratio (the compressed-pointer effect).
+        spec = workload("biojava")  # GMU/GMD = 1.97
+        g1 = find_min_heap(spec, "G1", duration_scale=SCALE)
+        zgc = find_min_heap(spec, "ZGC", duration_scale=SCALE)
+        assert zgc.min_heap_mb > 1.5 * g1.min_heap_mb
+
+    def test_tolerance_respected(self):
+        spec = workload("fop")
+        loose = find_min_heap(spec, "G1", tolerance=0.2, duration_scale=SCALE)
+        tight = find_min_heap(spec, "G1", tolerance=0.01, duration_scale=SCALE)
+        assert tight.min_heap_mb <= loose.min_heap_mb * 1.25
+
+    def test_bad_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            find_min_heap(workload("fop"), "G1", tolerance=0.0)
+
+    def test_impossible_bound_raises(self):
+        spec = workload("h2")
+        with pytest.raises(OutOfMemoryError):
+            find_min_heap(spec, "G1", upper_bound_mb=spec.live_mb * 0.5, duration_scale=SCALE)

@@ -1,0 +1,134 @@
+"""Nominal statistics engine: metric registry, ranks, scores, reports."""
+
+import pytest
+
+from repro.core import nominal
+from repro.workloads import nominal_data
+
+
+class TestMetricRegistry:
+    def test_table1_metric_count(self):
+        # Table 1 lists 48 acronyms (its caption says 47; see DESIGN.md).
+        assert len(nominal.METRICS) == 48
+
+    def test_groups(self):
+        assert nominal.METRICS["ARA"].group == "Allocation"
+        assert nominal.METRICS["BGF"].group == "Bytecode"
+        assert nominal.METRICS["GMD"].group == "Garbage collection"
+        assert nominal.METRICS["PET"].group == "Performance"
+        assert nominal.METRICS["UIP"].group == "u-architecture"
+
+    def test_five_groups_all_populated(self):
+        counts = {}
+        for m in nominal.METRICS.values():
+            counts[m.group] = counts.get(m.group, 0) + 1
+        assert counts == {
+            "Allocation": 5,
+            "Bytecode": 7,
+            "Garbage collection": 12,
+            "Performance": 11,
+            "u-architecture": 13,
+        }
+
+
+class TestScoring:
+    def test_score_range(self):
+        assert nominal.score_from_rank(1, 22) == 10
+        assert nominal.score_from_rank(22, 22) == 0
+
+    def test_single_population(self):
+        assert nominal.score_from_rank(1, 1) == 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            nominal.score_from_rank(0, 22)
+        with pytest.raises(ValueError):
+            nominal.score_from_rank(23, 22)
+        with pytest.raises(ValueError):
+            nominal.score_from_rank(1, 0)
+
+    def test_monotone_in_rank(self):
+        scores = [nominal.score_from_rank(r, 22) for r in range(1, 23)]
+        assert scores == sorted(scores, reverse=True)
+
+
+class TestRanks:
+    def test_lusearch_tops_ara(self):
+        # "the lusearch workload has a nominal allocation rate (ARA) of
+        # 23556 MB/sec ... first in the suite, yielding a score of 10."
+        ranks = nominal.rank_benchmarks("ARA")
+        assert ranks["lusearch"] == 1
+        scored = nominal.score_benchmark("lusearch")
+        assert scored["ARA"].score == 10
+
+    def test_h2_tops_gmd(self):
+        assert nominal.rank_benchmarks("GMD")["h2"] == 1
+
+    def test_avrora_pkp_max(self):
+        # avrora: highest percentage of kernel time in the suite.
+        assert nominal.rank_benchmarks("PKP")["avrora"] == 1
+
+    def test_biojava_uip_max_h2o_min(self):
+        ranks = nominal.rank_benchmarks("UIP")
+        assert ranks["biojava"] == 1
+        assert ranks["h2o"] == max(ranks.values())
+
+    def test_rank_excludes_missing(self):
+        ranks = nominal.rank_benchmarks("AOA")
+        assert "tradebeans" not in ranks
+        assert len(ranks) == 20
+
+    def test_unknown_metric(self):
+        with pytest.raises(KeyError):
+            nominal.rank_benchmarks("XYZ")
+
+
+class TestScoreBenchmark:
+    def test_population_and_summary(self):
+        scored = nominal.score_benchmark("h2")
+        ara = scored["ARA"]
+        assert ara.min <= ara.median <= ara.max
+        assert ara.population == 22
+        assert 0 <= ara.score <= 10
+
+    def test_h2_has_most_metrics(self):
+        # "h2 has the most at 47" of the 48 defined (no GML gap, has GMV).
+        assert len(nominal.score_benchmark("h2")) == len(nominal.METRICS)
+
+    def test_tradebeans_has_fewest(self):
+        counts = {b: len(nominal.score_benchmark(b)) for b in nominal_data.BENCHMARK_NAMES}
+        fewest = min(counts.values())
+        assert counts["tradebeans"] == fewest
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(KeyError):
+            nominal.score_benchmark("specjvm")
+
+
+class TestCompleteMetrics:
+    def test_complete_metric_count_near_paper(self):
+        # The paper's PCA uses "the 33 nominal metrics where all benchmarks
+        # have data points"; our data reproduces a nearby count.
+        complete = nominal.complete_metrics()
+        assert 30 <= len(complete) <= 40
+        assert "GMV" not in complete  # vlarge exists only for some
+        assert "ARA" in complete
+
+    def test_subset_of_metrics(self):
+        assert set(nominal.complete_metrics()) <= set(nominal.METRIC_NAMES)
+
+
+class TestReport:
+    def test_report_mentions_all_available_metrics(self):
+        report = nominal.format_report("lusearch")
+        for metric in nominal.score_benchmark("lusearch"):
+            assert metric in report
+
+    def test_report_contains_values(self):
+        report = nominal.format_report("lusearch")
+        assert "23556" in report  # ARA value
+        assert "allocation rate" in report
+
+    def test_report_skips_missing(self):
+        report = nominal.format_report("tradebeans")
+        assert "\nAOA" not in report

@@ -1,0 +1,72 @@
+"""Object demographics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.jvm.objects import LifetimeModel, ObjectSizeDistribution
+
+
+class TestObjectSizes:
+    def test_from_lusearch_stats(self):
+        dist = ObjectSizeDistribution(average=75, p90=88, median=24, p10=24)
+        assert dist.sigma > 0
+
+    def test_validation_order(self):
+        with pytest.raises(ValueError):
+            ObjectSizeDistribution(average=50, p90=20, median=30, p10=40)
+
+    def test_validation_positive(self):
+        with pytest.raises(ValueError):
+            ObjectSizeDistribution(average=0, p90=1, median=1, p10=1)
+
+    def test_sampling_median_close(self):
+        dist = ObjectSizeDistribution(average=58, p90=88, median=32, p10=24)
+        samples = dist.sample(np.random.default_rng(0), 40000)
+        assert np.median(samples) == pytest.approx(32, rel=0.05)
+
+    def test_sampling_percentile_spread(self):
+        # The fit is symmetric in log space around the median, so a
+        # log-symmetric spread reproduces both percentiles.
+        dist = ObjectSizeDistribution(average=58, p90=160, median=32, p10=6.4)
+        samples = dist.sample(np.random.default_rng(1), 40000)
+        assert np.percentile(samples, 90) == pytest.approx(160, rel=0.1)
+        assert np.percentile(samples, 10) == pytest.approx(6.4, rel=0.1)
+
+    def test_sample_count(self):
+        dist = ObjectSizeDistribution(average=58, p90=88, median=32, p10=24)
+        assert dist.sample(np.random.default_rng(2), 17).shape == (17,)
+        with pytest.raises(ValueError):
+            dist.sample(np.random.default_rng(2), -1)
+
+    def test_degenerate_spread_still_samples(self):
+        dist = ObjectSizeDistribution(average=24, p90=24, median=24, p10=24)
+        samples = dist.sample(np.random.default_rng(3), 100)
+        assert np.all(samples > 0)
+
+    def test_model_mean_reasonable(self):
+        dist = ObjectSizeDistribution(average=58, p90=88, median=32, p10=24)
+        assert dist.mean_of_model() >= 32  # lognormal mean >= median
+
+
+class TestLifetimes:
+    def test_surviving_and_promoted(self):
+        model = LifetimeModel(survival_rate=0.2, long_lived_fraction=0.5)
+        assert model.surviving_bytes(100.0) == pytest.approx(20.0)
+        assert model.promoted_bytes(100.0) == pytest.approx(10.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LifetimeModel(survival_rate=1.5, long_lived_fraction=0.1)
+        with pytest.raises(ValueError):
+            LifetimeModel(survival_rate=0.5, long_lived_fraction=-0.1)
+
+    @given(
+        sr=st.floats(min_value=0.0, max_value=1.0),
+        promo=st.floats(min_value=0.0, max_value=1.0),
+        alloc=st.floats(min_value=0.0, max_value=1e6),
+    )
+    def test_weak_generational_hypothesis(self, sr, promo, alloc):
+        """Property: promoted <= survived <= allocated."""
+        model = LifetimeModel(survival_rate=sr, long_lived_fraction=promo)
+        assert 0.0 <= model.promoted_bytes(alloc) <= model.surviving_bytes(alloc) <= alloc + 1e-9

@@ -1,0 +1,140 @@
+"""Principal components analysis (Figure 4, Table 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.pca import (
+    determinant_metrics,
+    pca,
+    standard_scale,
+    suite_matrix,
+    suite_pca,
+)
+
+
+class TestStandardScale:
+    def test_zero_mean_unit_variance(self):
+        rng = np.random.default_rng(0)
+        scaled = standard_scale(rng.normal(5, 3, size=(50, 4)))
+        assert np.allclose(scaled.mean(axis=0), 0.0, atol=1e-12)
+        assert np.allclose(scaled.std(axis=0), 1.0, atol=1e-12)
+
+    def test_constant_column_zeroed(self):
+        m = np.array([[1.0, 2.0], [1.0, 4.0], [1.0, 6.0]])
+        scaled = standard_scale(m)
+        assert np.allclose(scaled[:, 0], 0.0)
+
+
+class TestPca:
+    def data(self, n=40, m=6, seed=1):
+        rng = np.random.default_rng(seed)
+        base = rng.normal(size=(n, 2))
+        mix = rng.normal(size=(2, m))
+        return standard_scale(base @ mix + 0.05 * rng.normal(size=(n, m)))
+
+    def test_variance_ratios_descend_and_sum_below_one(self):
+        _, ratio, _ = pca(self.data(), 4)
+        assert np.all(np.diff(ratio) <= 1e-12)
+        assert ratio.sum() <= 1.0 + 1e-9
+
+    def test_two_factor_data_explained_by_two_components(self):
+        _, ratio, _ = pca(self.data(), 4)
+        assert ratio[:2].sum() > 0.9
+
+    def test_components_orthonormal(self):
+        comps, _, _ = pca(self.data(), 4)
+        gram = comps @ comps.T
+        assert np.allclose(gram, np.eye(4), atol=1e-8)
+
+    def test_projections_reproduce_distances(self):
+        data = self.data()
+        comps, _, proj = pca(data, data.shape[1])
+        centered = data - data.mean(axis=0)
+        assert np.allclose(proj @ comps, centered, atol=1e-8)
+
+    def test_sign_convention_deterministic(self):
+        comps1, _, _ = pca(self.data(seed=3), 3)
+        comps2, _, _ = pca(self.data(seed=3), 3)
+        assert np.array_equal(comps1, comps2)
+        for row in comps1:
+            assert row[np.argmax(np.abs(row))] > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pca(np.zeros((3, 3)), 0)
+        with pytest.raises(ValueError):
+            pca(np.zeros((3, 3)), 4)
+        with pytest.raises(ValueError):
+            pca(np.zeros(3), 1)
+
+    @settings(max_examples=20)
+    @given(seed=st.integers(min_value=0, max_value=10000))
+    def test_property_total_variance_preserved(self, seed):
+        rng = np.random.default_rng(seed)
+        data = standard_scale(rng.normal(size=(12, 5)))
+        _, ratio, proj = pca(data, 5)
+        centered = data - data.mean(axis=0)
+        assert np.sum(proj**2) == pytest.approx(np.sum(centered**2), rel=1e-9)
+
+
+class TestSuitePca:
+    def test_figure4_shape(self):
+        result = suite_pca(n_components=4)
+        assert len(result.benchmarks) == 22
+        assert result.projections.shape == (22, 4)
+        assert result.components.shape[0] == 4
+
+    def test_variance_explained_in_paper_band(self):
+        # Paper: PC1 18%, PC2 16%, PC3 14%, PC4 11% — over 50% together.
+        result = suite_pca(n_components=4)
+        ratios = result.explained_variance_ratio
+        assert 0.40 <= ratios.sum() <= 0.85
+        assert ratios[0] < 0.5  # no single dominant axis: diversity
+
+    def test_workloads_are_dispersed(self):
+        # Diversity claim: no two workloads project to the same point.
+        result = suite_pca(n_components=4)
+        for i in range(22):
+            for j in range(i + 1, 22):
+                gap = np.linalg.norm(result.projections[i] - result.projections[j])
+                assert gap > 0.1
+
+    def test_projection_lookup(self):
+        result = suite_pca()
+        assert result.projection_of("h2").shape == (4,)
+        with pytest.raises(KeyError):
+            result.projection_of("nope")
+
+    def test_loadings(self):
+        result = suite_pca()
+        loadings = result.loadings(0)
+        assert set(loadings) == set(result.metrics)
+        with pytest.raises(IndexError):
+            result.loadings(10)
+
+    def test_suite_matrix_rejects_incomplete_metric(self):
+        with pytest.raises(ValueError):
+            suite_matrix(metrics=["GMV"])
+
+
+class TestDeterminantMetrics:
+    def test_twelve_metrics(self):
+        result = suite_pca(n_components=4)
+        top = determinant_metrics(result, count=12)
+        assert len(top) == 12
+        assert len(set(top)) == 12
+
+    def test_overlap_with_paper_table2(self):
+        # Table 2's twelve most determinant: GLK GMU PET PFS PKP PWU UAA
+        # UAI UBP UBR UBS USF.  Expect substantive overlap, not identity —
+        # five benchmarks carry synthesized values.
+        result = suite_pca(n_components=4)
+        ours = set(determinant_metrics(result, count=12))
+        paper = {"GLK", "GMU", "PET", "PFS", "PKP", "PWU", "UAA", "UAI", "UBP", "UBR", "UBS", "USF"}
+        assert len(ours & paper) >= 2
+
+    def test_count_validated(self):
+        result = suite_pca()
+        with pytest.raises(ValueError):
+            determinant_metrics(result, count=0)

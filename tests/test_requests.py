@@ -1,0 +1,95 @@
+"""Request replay engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.rng import generator_for
+from repro.jvm.timeline import Pause, Stall, Timeline
+from repro.workloads.registry import workload
+from repro.workloads.requests import EventRecord, replay, sample_service_times
+
+
+def quiet_timeline(end=100.0, pauses=()):
+    return Timeline(pauses=[Pause(start=s, duration=d) for s, d in pauses], end_time=end)
+
+
+class TestEventRecord:
+    def test_latencies(self):
+        rec = EventRecord(starts=np.array([0.0, 1.0]), ends=np.array([0.5, 3.0]))
+        assert rec.latencies == pytest.approx([0.5, 2.0])
+        assert rec.count == 2
+        assert rec.duration == pytest.approx(3.0)
+
+    def test_rejects_end_before_start(self):
+        with pytest.raises(ValueError):
+            EventRecord(starts=np.array([1.0]), ends=np.array([0.5]))
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            EventRecord(starts=np.array([1.0]), ends=np.array([1.0, 2.0]))
+
+    def test_empty(self):
+        rec = EventRecord(starts=np.array([]), ends=np.array([]))
+        assert rec.count == 0
+        assert rec.duration == 0.0
+
+
+class TestServiceTimes:
+    def test_mean_matches_spec(self):
+        spec = workload("h2")
+        services = sample_service_times(spec, generator_for("svc"))
+        assert services.mean() == pytest.approx(spec.mean_service_time_s(), rel=0.05)
+        assert services.shape == (spec.requests.count,)
+
+    def test_non_latency_workload_rejected(self):
+        with pytest.raises(ValueError):
+            sample_service_times(workload("fop"), generator_for("x"))
+
+    def test_deterministic(self):
+        spec = workload("kafka")
+        a = sample_service_times(spec, generator_for("k", 1))
+        b = sample_service_times(spec, generator_for("k", 1))
+        assert np.array_equal(a, b)
+
+
+class TestReplay:
+    def test_workers_consume_consecutively(self):
+        spec = workload("spring")
+        record = replay(spec, quiet_timeline(), generator_for("r"))
+        assert record.count == spec.requests.count
+        # Starts are non-decreasing per the greedy next-free-worker rule
+        # when sorted; overall the first `workers` requests start at 0.
+        assert np.sum(record.starts == 0.0) == spec.requests.workers
+
+    def test_latency_at_least_service(self):
+        spec = workload("spring")
+        rng = generator_for("svc-check")
+        record = replay(spec, quiet_timeline(), rng)
+        assert np.all(record.latencies > 0)
+
+    def test_pause_inflates_overlapping_requests(self):
+        spec = workload("spring")
+        quiet = replay(spec, quiet_timeline(), generator_for("p", 1))
+        pausy_tl = quiet_timeline(pauses=[(0.05, 0.5), (0.3, 0.5)])
+        pausy = replay(spec, pausy_tl, generator_for("p", 1))
+        # Same seeds -> same service times; pauses can only delay.
+        assert pausy.latencies.max() > quiet.latencies.max()
+        assert np.all(pausy.ends >= quiet.ends - 1e-12)
+
+    def test_stall_behaves_like_pause(self):
+        spec = workload("spring")
+        tl = Timeline(stalls=[Stall(start=0.05, duration=1.0)], end_time=100.0)
+        record = replay(spec, tl, generator_for("p", 1))
+        assert record.latencies.max() >= 1.0
+
+    def test_non_latency_rejected(self):
+        with pytest.raises(ValueError):
+            replay(workload("fop"), quiet_timeline(), generator_for("x"))
+
+    def test_jme_single_worker_sequential(self):
+        spec = workload("jme")
+        record = replay(spec, quiet_timeline(end=1000.0), generator_for("jme"))
+        order = np.argsort(record.starts, kind="stable")
+        starts, ends = record.starts[order], record.ends[order]
+        # One worker: each frame starts exactly when the previous ends.
+        assert np.allclose(starts[1:], ends[:-1])

@@ -1,0 +1,159 @@
+"""Timeline, MutatorClock, and MMU."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.jvm.timeline import (
+    ConcurrentSpan,
+    MutatorClock,
+    Pause,
+    Stall,
+    Timeline,
+    minimum_mutator_utilization,
+)
+
+
+def make_timeline(pauses=(), stalls=(), spans=(), end=10.0):
+    return Timeline(
+        pauses=[Pause(start=s, duration=d) for s, d in pauses],
+        stalls=[Stall(start=s, duration=d) for s, d in stalls],
+        spans=[ConcurrentSpan(start=s, end=e, gc_threads=g, dilation=d) for s, e, g, d in spans],
+        end_time=end,
+    )
+
+
+class TestIntervals:
+    def test_pause_end(self):
+        assert Pause(start=1.0, duration=0.5).end == pytest.approx(1.5)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            Pause(start=0.0, duration=-1.0)
+        with pytest.raises(ValueError):
+            Stall(start=0.0, duration=-1.0)
+
+    def test_span_validation(self):
+        with pytest.raises(ValueError):
+            ConcurrentSpan(start=2.0, end=1.0, gc_threads=1.0)
+        with pytest.raises(ValueError):
+            ConcurrentSpan(start=0.0, end=1.0, gc_threads=1.0, dilation=0.5)
+
+    def test_span_cpu_seconds(self):
+        span = ConcurrentSpan(start=0.0, end=2.0, gc_threads=4.0)
+        assert span.cpu_seconds == pytest.approx(8.0)
+
+    def test_blocked_intervals_merge_overlaps(self):
+        t = make_timeline(pauses=[(0.0, 1.0), (0.5, 1.0)], stalls=[(3.0, 0.5)])
+        assert t.blocked_intervals() == [(0.0, 1.5), (3.0, 3.5)]
+
+    def test_totals(self):
+        t = make_timeline(pauses=[(0.0, 1.0), (2.0, 0.5)], stalls=[(5.0, 0.25)])
+        assert t.total_pause_time() == pytest.approx(1.5)
+        assert t.total_stall_time() == pytest.approx(0.25)
+        assert t.max_pause() == pytest.approx(1.0)
+
+
+class TestMutatorClock:
+    def test_identity_without_events(self):
+        clock = MutatorClock(make_timeline(end=10.0))
+        assert clock.progress_at(4.0) == pytest.approx(4.0)
+        assert clock.wall_at(4.0) == pytest.approx(4.0)
+
+    def test_pause_freezes_progress(self):
+        clock = MutatorClock(make_timeline(pauses=[(2.0, 1.0)], end=10.0))
+        assert clock.progress_at(2.0) == pytest.approx(2.0)
+        assert clock.progress_at(3.0) == pytest.approx(2.0)
+        assert clock.progress_at(4.0) == pytest.approx(3.0)
+
+    def test_advance_through_pause(self):
+        clock = MutatorClock(make_timeline(pauses=[(2.0, 1.0)], end=10.0))
+        # 3 units of work starting at 0 must straddle the pause.
+        assert clock.advance(0.0, 3.0) == pytest.approx(4.0)
+
+    def test_dilation_slows_progress(self):
+        clock = MutatorClock(make_timeline(spans=[(0.0, 4.0, 2.0, 2.0)], end=10.0))
+        assert clock.progress_at(4.0) == pytest.approx(2.0)
+        assert clock.advance(0.0, 2.0) == pytest.approx(4.0)
+
+    def test_stall_blocks_like_pause(self):
+        clock = MutatorClock(make_timeline(stalls=[(1.0, 2.0)], end=10.0))
+        assert clock.advance(0.0, 2.0) == pytest.approx(4.0)
+
+    def test_pause_inside_span_wins(self):
+        clock = MutatorClock(
+            make_timeline(pauses=[(1.0, 1.0)], spans=[(0.0, 4.0, 2.0, 2.0)], end=10.0)
+        )
+        # 0-1: rate 0.5; 1-2: rate 0 (pause); 2-4: rate 0.5.
+        assert clock.progress_at(4.0) == pytest.approx(1.5)
+
+    def test_progress_beyond_horizon_is_linear(self):
+        clock = MutatorClock(make_timeline(end=5.0))
+        assert clock.progress_at(8.0) == pytest.approx(8.0)
+        assert clock.wall_at(8.0) == pytest.approx(8.0)
+
+    def test_advance_rejects_negative(self):
+        clock = MutatorClock(make_timeline(end=1.0))
+        with pytest.raises(ValueError):
+            clock.advance(0.0, -1.0)
+
+    @given(
+        pauses=st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=9.0),
+                st.floats(min_value=0.0, max_value=1.0),
+            ),
+            max_size=8,
+        ),
+        start=st.floats(min_value=0.0, max_value=5.0),
+        work=st.floats(min_value=0.0, max_value=5.0),
+    )
+    def test_roundtrip_property(self, pauses, start, work):
+        """Property: advancing by w yields exactly w more progress."""
+        clock = MutatorClock(make_timeline(pauses=pauses, end=12.0))
+        end = clock.advance(start, work)
+        assert end >= start
+        gained = clock.progress_at(end) - clock.progress_at(start)
+        assert gained == pytest.approx(work, abs=1e-6)
+
+
+class TestMmu:
+    def test_no_pauses_is_one(self):
+        assert minimum_mutator_utilization([], window=0.1, horizon=10.0) == 1.0
+
+    def test_single_pause(self):
+        pauses = [Pause(start=5.0, duration=0.1)]
+        # A 0.2s window fully containing the 0.1s pause: utilization 0.5.
+        assert minimum_mutator_utilization(pauses, 0.2, 10.0) == pytest.approx(0.5)
+
+    def test_window_smaller_than_pause_hits_zero(self):
+        pauses = [Pause(start=5.0, duration=0.5)]
+        assert minimum_mutator_utilization(pauses, 0.2, 10.0) == 0.0
+
+    def test_clustered_pauses_worse_than_isolated(self):
+        # The Cheng & Blelloch point (paper Figure 2): several short pauses
+        # close together can be worse than their sum in separate windows.
+        clustered = [Pause(start=5.0 + i * 0.012, duration=0.01) for i in range(4)]
+        isolated = [Pause(start=1.0 + i * 2.0, duration=0.01) for i in range(4)]
+        w = 0.1
+        assert minimum_mutator_utilization(clustered, w, 10.0) < minimum_mutator_utilization(
+            isolated, w, 10.0
+        )
+
+    def test_window_spanning_horizon(self):
+        pauses = [Pause(start=1.0, duration=1.0)]
+        assert minimum_mutator_utilization(pauses, 20.0, 10.0) == pytest.approx(0.9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            minimum_mutator_utilization([], 0.0, 1.0)
+        with pytest.raises(ValueError):
+            minimum_mutator_utilization([], 1.0, 0.0)
+
+    def test_mmu_monotone_in_window(self):
+        # Larger windows can only improve (or keep) the minimum utilization
+        # beyond the largest pause; check loose monotonicity on a sample.
+        pauses = [Pause(start=float(i), duration=0.05) for i in range(1, 9)]
+        values = [
+            minimum_mutator_utilization(pauses, w, 10.0) for w in (0.05, 0.1, 0.5, 1.0, 5.0)
+        ]
+        assert values[0] <= values[-1]

@@ -1,0 +1,35 @@
+"""Unit conversions."""
+
+import pytest
+
+from repro.core import units
+
+
+def test_mb_from_gb():
+    assert units.mb_from_gb(1.0) == 1024.0
+    assert units.mb_from_gb(0.5) == 512.0
+
+
+def test_mb_from_bytes():
+    assert units.mb_from_bytes(1024 * 1024) == 1.0
+    assert units.mb_from_bytes(0) == 0.0
+
+
+def test_seconds_ms_roundtrip():
+    assert units.seconds_from_ms(units.ms_from_seconds(1.25)) == pytest.approx(1.25)
+
+
+def test_ms_from_seconds():
+    assert units.ms_from_seconds(0.001) == pytest.approx(1.0)
+
+
+def test_ara_conversion_close_to_identity():
+    # 1 byte/us is ~0.9537 MB/s: the paper's ARA numbers carry over to MB/s
+    # at roughly face value.
+    assert units.mb_per_s_from_bytes_per_us(1.0) == pytest.approx(0.95367, rel=1e-4)
+
+
+def test_ara_conversion_lusearch():
+    # lusearch's nominal allocation rate: 23556 bytes/us ~ 22.5 GB/s.
+    rate = units.mb_per_s_from_bytes_per_us(23556)
+    assert 22000 < rate < 23000

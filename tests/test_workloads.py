@@ -1,0 +1,167 @@
+"""Workload registry and nominal-data integrity."""
+
+import pytest
+
+from repro.workloads import nominal_data, registry
+from repro.workloads.spec import RequestProfile, WorkloadSpec
+
+
+class TestNominalData:
+    def test_twenty_two_benchmarks(self):
+        assert len(nominal_data.BENCHMARK_STATS) == 22
+
+    def test_eight_new_workloads(self):
+        assert len(nominal_data.NEW_IN_CHOPIN) == 8
+
+    def test_nine_latency_sensitive(self):
+        assert len(nominal_data.LATENCY_SENSITIVE) == 9
+        assert {"jme", "spring"} <= nominal_data.LATENCY_SENSITIVE
+
+    def test_every_benchmark_has_the_same_metric_keys(self):
+        keys = {frozenset(v) for v in nominal_data.BENCHMARK_STATS.values()}
+        assert len(keys) == 1
+
+    def test_paper_headline_values(self):
+        # Values quoted in the paper's prose.
+        assert nominal_data.value("lusearch", "ARA") == 23556  # highest ARA
+        assert nominal_data.value("h2", "GMD") == 681  # largest default heap
+        assert nominal_data.value("avrora", "GMD") == 5  # smallest
+        assert nominal_data.value("h2", "GMV") == 20641  # ~20 GB vlarge
+        assert nominal_data.value("biojava", "UIP") == 476  # highest IPC
+        assert nominal_data.value("h2o", "UIP") == 89  # lowest IPC
+        assert nominal_data.value("zxing", "GLK") == 120  # worst leakage
+
+    def test_minheap_range_5mb_to_20gb(self):
+        # "minimum heap sizes from 5 MB to 20 GB" (paper abstract).
+        gmds = [v["GMD"] for v in nominal_data.BENCHMARK_STATS.values()]
+        assert min(gmds) == 5
+        gmvs = [v["GMV"] for v in nominal_data.BENCHMARK_STATS.values() if v["GMV"]]
+        assert max(gmvs) > 20000
+
+    def test_tradebeans_lacks_bytecode_metrics(self):
+        stats = nominal_data.stats_for("tradebeans")
+        assert stats["BUB"] is None
+        assert stats["AOA"] is None
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(KeyError):
+            nominal_data.stats_for("specjbb")
+        with pytest.raises(KeyError):
+            nominal_data.value("h2", "XYZ")
+
+    def test_stats_for_returns_copy(self):
+        a = nominal_data.stats_for("h2")
+        a["GMD"] = -1
+        assert nominal_data.value("h2", "GMD") == 681
+
+    def test_synthesized_benchmarks_flagged(self):
+        assert "tomcat" in nominal_data.SYNTHESIZED
+        assert "h2" not in nominal_data.SYNTHESIZED
+
+
+class TestRegistry:
+    def test_all_workloads(self):
+        specs = registry.all_workloads()
+        assert len(specs) == 22
+        assert [s.name for s in specs] == sorted(s.name for s in specs)
+
+    def test_latency_workloads_match_set(self):
+        names = {s.name for s in registry.latency_workloads()}
+        assert names == set(nominal_data.LATENCY_SENSITIVE)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            registry.workload("dacapo")
+
+    def test_specs_cached(self):
+        assert registry.workload("h2") is registry.workload("h2")
+
+    def test_live_below_minheap(self):
+        for spec in registry.all_workloads():
+            assert spec.live_mb < spec.minheap_mb
+
+    def test_nocomp_minheap_at_least_default(self):
+        for spec in registry.all_workloads():
+            assert spec.minheap_nocomp_mb >= spec.minheap_mb
+
+    def test_alloc_rates_span_paper_range(self):
+        rates = {s.name: s.alloc_rate_mb_s for s in registry.all_workloads()}
+        assert rates["lusearch"] == max(rates.values())
+        assert rates["jme"] < 100  # ~51 MB/s, lowest band
+
+    def test_cpu_cores_derived_from_ppe(self):
+        assert registry.workload("sunflow").cpu_cores == pytest.approx(32 * 0.87)
+        assert registry.workload("avrora").cpu_cores == 1.0  # floor
+
+    def test_new_in_chopin_flag(self):
+        assert registry.workload("biojava").new_in_chopin
+        assert not registry.workload("fop").new_in_chopin
+
+    def test_leak_rates(self):
+        assert registry.workload("zxing").leak_rate == pytest.approx(0.12)
+        assert registry.workload("fop").leak_rate == 0.0
+
+    def test_request_profiles_only_for_latency_workloads(self):
+        for spec in registry.all_workloads():
+            assert spec.latency_sensitive == (spec.requests is not None)
+
+    def test_survival_and_promotion_in_range(self):
+        for spec in registry.all_workloads():
+            assert 0.05 <= spec.survival_rate <= 0.25
+            assert 0.05 <= spec.promotion_fraction <= 0.35
+
+
+class TestSpecValidation:
+    def kwargs(self, **over):
+        base = dict(
+            name="toy",
+            description="toy workload",
+            execution_time_s=1.0,
+            alloc_rate_mb_s=100.0,
+            live_mb=8.0,
+            minheap_mb=10.0,
+            minheap_nocomp_mb=12.0,
+            cpu_cores=2.0,
+        )
+        base.update(over)
+        return base
+
+    def test_valid(self):
+        WorkloadSpec(**self.kwargs())
+
+    def test_rejects_bad_execution_time(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(**self.kwargs(execution_time_s=0.0))
+
+    def test_rejects_negative_alloc(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(**self.kwargs(alloc_rate_mb_s=-1.0))
+
+    def test_rejects_implausible_nocomp(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(**self.kwargs(minheap_nocomp_mb=1.0))
+
+    def test_heap_mb_for(self):
+        spec = WorkloadSpec(**self.kwargs())
+        assert spec.heap_mb_for(2.5) == pytest.approx(25.0)
+        with pytest.raises(ValueError):
+            spec.heap_mb_for(0.0)
+
+    def test_mean_service_time_requires_requests(self):
+        spec = WorkloadSpec(**self.kwargs())
+        with pytest.raises(ValueError):
+            spec.mean_service_time_s()
+
+    def test_mean_service_time(self):
+        spec = WorkloadSpec(
+            **self.kwargs(requests=RequestProfile(count=1000, workers=10))
+        )
+        assert spec.mean_service_time_s() == pytest.approx(0.01)
+
+    def test_request_profile_validation(self):
+        with pytest.raises(ValueError):
+            RequestProfile(count=0, workers=1)
+        with pytest.raises(ValueError):
+            RequestProfile(count=1, workers=0)
+        with pytest.raises(ValueError):
+            RequestProfile(count=1, workers=1, service_sigma=-1.0)

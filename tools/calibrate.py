@@ -1,0 +1,21 @@
+"""Calibration probe: quick Figure-1-style geomean table."""
+import sys, time
+from repro import registry, RunConfig
+from repro.harness.experiments import suite_lbo
+
+scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.2
+t0 = time.time()
+config = RunConfig(invocations=2, iterations=3, duration_scale=scale)
+result = suite_lbo(registry.all_workloads(), multiples=(1.0, 1.25, 1.5, 2.0, 3.0, 4.0, 6.0), config=config)
+
+for metric, series in (("WALL", result.geomean_wall), ("TASK", result.geomean_task)):
+    print(f"--- geomean {metric} LBO ---")
+    multiples = sorted({m for pts in series.values() for m, _ in pts})
+    print("mult   " + "  ".join(f"{c:<10}" for c in series))
+    for m in multiples:
+        row = [f"{m:<5.2f}"]
+        for c in series:
+            match = [v for mm, v in series[c] if abs(mm-m) < 1e-9]
+            row.append(f"{match[0]:<10.3f}" if match else "-         ")
+        print("  ".join(row))
+print(f"[{time.time()-t0:.1f}s]")
