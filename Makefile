@@ -1,12 +1,16 @@
 # Convenience targets; `pip install -e .` may need --no-build-isolation,
 # and offline setuptools without the `wheel` package needs the legacy path.
-.PHONY: install test bench examples all
+.PHONY: install test ci bench examples all
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
 
 test:
 	pytest tests/
+
+# Exactly what .github/workflows/ci.yml runs, without needing an install.
+ci:
+	PYTHONPATH=src python -m pytest -x -q
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -15,8 +15,18 @@ from __future__ import annotations
 import pathlib
 
 from repro import RunConfig
+from repro.harness.engine import engine_from_env
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Shared execution engine for the sweep-heavy benches.  Controlled by
+#: environment variables so no pytest plumbing is needed:
+#:
+#:   CHOPIN_JOBS=8       fan cells out over 8 worker processes
+#:   CHOPIN_CACHE_DIR=p  memoize cell results under p (reruns are ~free)
+#:   CHOPIN_NO_CACHE=1   ignore CHOPIN_CACHE_DIR
+#:   CHOPIN_PROGRESS=1   log per-cell progress to stderr
+ENGINE = engine_from_env()
 
 #: Scaled-down analogue of the paper's Section 6.1 configuration.
 BENCH_CONFIG = RunConfig(invocations=2, iterations=3, duration_scale=0.15)

@@ -3,7 +3,7 @@ garbage collection over the last iteration, running G1 at 2.0x heap —
 one series per benchmark.
 """
 
-from _common import APPENDIX_CONFIG, save
+from _common import APPENDIX_CONFIG, ENGINE, save
 
 from repro import registry
 from repro.harness.experiments import heap_timeseries
@@ -12,7 +12,7 @@ from repro.harness.report import format_heap_series
 
 def run_heap_series():
     return {
-        spec.name: heap_timeseries(spec, "G1", 2.0, APPENDIX_CONFIG)
+        spec.name: heap_timeseries(spec, "G1", 2.0, APPENDIX_CONFIG, engine=ENGINE)
         for spec in registry.all_workloads()
     }
 

@@ -2,7 +2,7 @@
 and task-clock LBO curves for every workload in the suite.
 """
 
-from _common import APPENDIX_CONFIG, save
+from _common import APPENDIX_CONFIG, ENGINE, save
 
 from repro import registry
 from repro.harness.experiments import lbo_experiment
@@ -13,7 +13,7 @@ MULTIPLES = (1.0, 1.5, 2.0, 3.0, 4.0, 6.0)
 
 def run_appendix_lbo():
     return {
-        spec.name: lbo_experiment(spec, multiples=MULTIPLES, config=APPENDIX_CONFIG)
+        spec.name: lbo_experiment(spec, multiples=MULTIPLES, config=APPENDIX_CONFIG, engine=ENGINE)
         for spec in registry.all_workloads()
     }
 

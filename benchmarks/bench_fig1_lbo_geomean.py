@@ -6,7 +6,7 @@ Points appear only where the collector runs every benchmark to completion,
 which is why ZGC* (no compressed pointers) starts at larger multiples.
 """
 
-from _common import BENCH_CONFIG, RESULTS_DIR, SWEEP_MULTIPLES, save, series_value
+from _common import BENCH_CONFIG, ENGINE, RESULTS_DIR, SWEEP_MULTIPLES, save, series_value
 
 from repro import registry
 from repro.harness.experiments import suite_lbo
@@ -15,7 +15,9 @@ from repro.harness.report import format_lbo_series
 
 
 def run_figure1():
-    return suite_lbo(registry.all_workloads(), multiples=SWEEP_MULTIPLES, config=BENCH_CONFIG)
+    return suite_lbo(
+        registry.all_workloads(), multiples=SWEEP_MULTIPLES, config=BENCH_CONFIG, engine=ENGINE
+    )
 
 
 def test_fig1_lbo_geomean(benchmark):

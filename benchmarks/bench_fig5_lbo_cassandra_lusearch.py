@@ -7,7 +7,7 @@ wall clock beyond the 2.0x axis at every heap size (the pacer throttles 32
 allocating client threads) while its task clock is lower.
 """
 
-from _common import BENCH_CONFIG, SWEEP_MULTIPLES, save
+from _common import BENCH_CONFIG, ENGINE, SWEEP_MULTIPLES, save
 
 from repro import registry
 from repro.harness.experiments import lbo_experiment
@@ -16,7 +16,9 @@ from repro.harness.report import format_lbo_curves
 
 def run_figure5():
     return {
-        name: lbo_experiment(registry.workload(name), multiples=SWEEP_MULTIPLES, config=BENCH_CONFIG)
+        name: lbo_experiment(
+            registry.workload(name), multiples=SWEEP_MULTIPLES, config=BENCH_CONFIG, engine=ENGINE
+        )
         for name in ("cassandra", "lusearch")
     }
 

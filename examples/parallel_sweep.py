@@ -1,0 +1,62 @@
+"""A cached, parallel Figure-1-style sweep.
+
+Every figure in the paper is a sweep over (workload x collector x
+heap-multiple x invocation) cells.  Cells are deterministic functions of
+those coordinates, so they can run on every core at once and be memoized
+on disk: this example runs the same suite-wide LBO sweep twice through an
+ExecutionEngine and shows the second pass costing (almost) nothing.
+
+Try deleting one entry under the cache directory and re-running: only
+that cell is recomputed.
+"""
+
+import os
+import time
+
+from repro import ExecutionEngine, RunConfig, registry, suite_lbo
+
+WORKLOADS = ("fop", "lusearch", "biojava", "avrora", "h2", "spring")
+COLLECTORS = ("Serial", "Parallel", "G1", "Shenandoah", "ZGC")
+MULTIPLES = (1.25, 2.0, 3.0, 6.0)
+CONFIG = RunConfig(invocations=2, iterations=2, duration_scale=0.05)
+
+CACHE_DIR = os.path.join(os.path.dirname(__file__), ".sweep-cache")
+
+
+def sweep(engine):
+    specs = [registry.workload(name) for name in WORKLOADS]
+    started = time.perf_counter()
+    result = suite_lbo(specs, COLLECTORS, MULTIPLES, CONFIG, engine=engine)
+    return result, time.perf_counter() - started
+
+
+def main():
+    jobs = os.cpu_count() or 1
+    cells = len(WORKLOADS) * len(COLLECTORS) * len(MULTIPLES) * CONFIG.invocations
+    print(f"{cells} cells over {jobs} worker processes, cache at {CACHE_DIR}\n")
+
+    cold = ExecutionEngine(jobs=jobs, cache_dir=CACHE_DIR)
+    result, cold_s = sweep(cold)
+    print(
+        f"cold: {cold_s:.2f}s wall ({cold.stats.executed} executed, "
+        f"{cold.stats.cached} cached, {cold.stats.oom} infeasible, "
+        f"{cold.stats.execute_s:.2f}s of simulation)"
+    )
+
+    warm = ExecutionEngine(jobs=jobs, cache_dir=CACHE_DIR)
+    rerun, warm_s = sweep(warm)
+    print(
+        f"warm: {warm_s:.2f}s wall ({warm.stats.executed} executed, "
+        f"{warm.stats.cached} cached)"
+    )
+    assert rerun.geomean_wall == result.geomean_wall  # determinism guarantee
+
+    print("\nGeomean wall-clock LBO at generous heap (6.0x min heap):")
+    for collector, points in result.geomean_wall.items():
+        at6 = dict(points).get(6.0)
+        if at6 is not None:
+            print(f"  {collector:<12} {at6:.3f}")
+
+
+if __name__ == "__main__":
+    main()

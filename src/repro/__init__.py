@@ -39,16 +39,37 @@ from repro.core.minheap import find_min_heap
 from repro.core.nominal import METRICS, format_report, score_benchmark
 from repro.core.pca import determinant_metrics, suite_pca
 from repro.core.stats import confidence_interval_95, geometric_mean
+from repro.harness.engine import (
+    Cell,
+    ExecutionEngine,
+    LogSink,
+    ProgressSink,
+    ResultCache,
+    cell_key,
+)
 from repro.harness.experiments import (
     heap_timeseries,
     latency_experiment,
     lbo_experiment,
     suite_lbo,
 )
+from repro.harness.plans import (
+    ExperimentPlan,
+    LatencyRun,
+    SuiteLbo,
+    plan_latency,
+    plan_lbo,
+    run_plan,
+)
 from repro.harness.runner import RunConfig, measure
 from repro.harness.configs import EXPERIMENTS, run_experiment
 from repro.harness.export import write_gc_log_csv, write_latency_csv
-from repro.jvm.collectors import COLLECTOR_NAMES, COLLECTORS
+from repro.jvm.collectors import (
+    COLLECTOR_NAMES,
+    COLLECTORS,
+    UnknownCollectorError,
+    resolve_collector,
+)
 from repro.jvm.environment import EnvironmentProfile, EnvironmentSensitivity
 from repro.jvm.heap import Heap, OutOfMemoryError
 from repro.jvm.simulator import simulate_iteration, simulate_run
@@ -60,17 +81,27 @@ __version__ = "1.0.0"
 __all__ = [
     "COLLECTORS",
     "COLLECTOR_NAMES",
+    "Cell",
     "EXPERIMENTS",
     "EnvironmentProfile",
     "EnvironmentSensitivity",
+    "ExecutionEngine",
+    "ExperimentPlan",
     "Heap",
+    "LatencyRun",
+    "LogSink",
     "METRICS",
     "OutOfMemoryError",
+    "ProgressSink",
+    "ResultCache",
     "RunConfig",
     "RunCosts",
+    "SuiteLbo",
+    "UnknownCollectorError",
     "all_workloads",
     "available_sizes",
     "bootstrap_ci",
+    "cell_key",
     "characterize",
     "compare_collectors",
     "format_insights",
@@ -90,8 +121,12 @@ __all__ = [
     "lbo_experiment",
     "measure",
     "metered_latencies",
+    "plan_latency",
+    "plan_lbo",
     "registry",
+    "resolve_collector",
     "run_experiment",
+    "run_plan",
     "score_benchmark",
     "simple_latencies",
     "simulate_iteration",

@@ -17,6 +17,7 @@ from repro.core.compare import compare_collectors
 from repro.core.insights import format_insights
 from repro.core.nominal import format_report
 from repro.core.pca import determinant_metrics, suite_pca
+from repro.harness.engine import ExecutionEngine, LogSink
 from repro.harness.experiments import latency_experiment, lbo_experiment
 from repro.harness.report import (
     format_latency_comparison,
@@ -25,8 +26,28 @@ from repro.harness.report import (
     format_table,
 )
 from repro.harness.runner import RunConfig
-from repro.jvm.collectors import COLLECTOR_NAMES
+from repro.jvm.collectors import COLLECTOR_NAMES, UnknownCollectorError, resolve_collector
 from repro.workloads import nominal_data, registry
+
+
+def _add_engine_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for sweep cells (1 = in-process serial)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="content-addressed result cache directory (reruns skip completed cells)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="neither read nor write the result cache"
+    )
+    parser.add_argument(
+        "--cell-progress", action="store_true", help="log per-cell progress to stderr"
+    )
 
 
 def _add_run_options(parser: argparse.ArgumentParser) -> None:
@@ -37,10 +58,17 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
         default=1.0,
         help="iteration duration scale (use <1 for quick looks)",
     )
+    _add_engine_options(parser)
 
 
 def _config(args: argparse.Namespace) -> RunConfig:
     return RunConfig(invocations=args.invocations, duration_scale=args.scale)
+
+
+def _engine(args: argparse.Namespace) -> ExecutionEngine:
+    cache_dir = None if args.no_cache else args.cache_dir
+    progress = LogSink(sys.stderr) if args.cell_progress else None
+    return ExecutionEngine(jobs=args.jobs, cache_dir=cache_dir, progress=progress)
 
 
 def cmd_list(_: argparse.Namespace) -> int:
@@ -62,7 +90,7 @@ def cmd_stats(args: argparse.Namespace) -> int:
 
 def cmd_lbo(args: argparse.Namespace) -> int:
     spec = registry.workload(args.benchmark)
-    curves = lbo_experiment(spec, config=_config(args))
+    curves = lbo_experiment(spec, config=_config(args), engine=_engine(args))
     print(format_lbo_curves(curves, "wall"))
     print()
     print(format_lbo_curves(curves, "task"))
@@ -75,8 +103,9 @@ def cmd_latency(args: argparse.Namespace) -> int:
         print(f"{spec.name} is not a latency-sensitive workload", file=sys.stderr)
         return 2
     config = _config(args)
+    engine = _engine(args)
     reports = {
-        collector: latency_experiment(spec, collector, args.heap, config).report
+        collector: latency_experiment(spec, collector, args.heap, config, engine=engine).report
         for collector in COLLECTOR_NAMES
     }
     print(format_latency_comparison(reports, "simple"))
@@ -88,11 +117,11 @@ def cmd_latency(args: argparse.Namespace) -> int:
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
-    from repro.jvm.collectors import COLLECTORS
-
     for name in (args.collector_a, args.collector_b):
-        if name not in COLLECTORS:
-            print(f"unknown collector {name!r}; choose from {sorted(COLLECTORS)}", file=sys.stderr)
+        try:
+            resolve_collector(name)
+        except UnknownCollectorError as exc:
+            print(str(exc), file=sys.stderr)
             return 2
     spec = registry.workload(args.benchmark)
     for metric in ("wall", "task"):
@@ -136,7 +165,9 @@ def cmd_runbms(args: argparse.Namespace) -> int:
     definition = EXPERIMENTS[args.experiment]
     if args.scale is not None:
         definition = definition.scaled(args.scale)
-    written = run_experiment(definition, args.results_dir, prefix=args.prefix)
+    written = run_experiment(
+        definition, args.results_dir, prefix=args.prefix, engine=_engine(args)
+    )
     for name, path in sorted(written.items()):
         print(f"wrote {path}")
     print(f"{len(written)} artefacts for experiment '{definition.name}'")
@@ -215,6 +246,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("experiment", help="experiment name (see repro.harness.configs)")
     p_run.add_argument("-p", "--prefix", default="", help="artefact filename prefix")
     p_run.add_argument("-s", "--scale", type=float, default=None, help="duration scale override")
+    _add_engine_options(p_run)
     p_run.set_defaults(func=cmd_runbms)
     return parser
 

@@ -11,9 +11,12 @@ from __future__ import annotations
 
 import pathlib
 from dataclasses import dataclass, field, replace
-from typing import Dict, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Sequence, Tuple
 
 from repro.harness.experiments import latency_experiment, lbo_experiment, suite_lbo
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.harness.engine import ExecutionEngine
 from repro.harness.report import (
     format_latency_comparison,
     format_lbo_curves,
@@ -89,11 +92,18 @@ EXPERIMENTS: Dict[str, ExperimentDefinition] = {
 }
 
 
-def run_experiment(definition: ExperimentDefinition, results_dir: pathlib.Path, prefix: str = "") -> Dict[str, pathlib.Path]:
+def run_experiment(
+    definition: ExperimentDefinition,
+    results_dir: pathlib.Path,
+    prefix: str = "",
+    engine: Optional["ExecutionEngine"] = None,
+) -> Dict[str, pathlib.Path]:
     """Execute an experiment definition, writing rendered tables.
 
     Returns a mapping of artefact name to written path.  Mirrors
-    ``running runbms <results> <experiment>``.
+    ``running runbms <results> <experiment>``.  ``engine`` (an
+    :class:`~repro.harness.engine.ExecutionEngine`) enables parallel,
+    cached cell execution; omitted, runs are in-process and uncached.
     """
     results_dir = pathlib.Path(results_dir)
     results_dir.mkdir(parents=True, exist_ok=True)
@@ -112,6 +122,7 @@ def run_experiment(definition: ExperimentDefinition, results_dir: pathlib.Path, 
             collectors=definition.collectors,
             multiples=definition.heap_multiples,
             config=definition.run_config,
+            engine=engine,
         )
         emit("geomean-wall", format_lbo_series(result.geomean_wall, "geomean wall-clock LBO"))
         emit("geomean-task", format_lbo_series(result.geomean_task, "geomean task-clock LBO"))
@@ -127,7 +138,7 @@ def run_experiment(definition: ExperimentDefinition, results_dir: pathlib.Path, 
             for collector in definition.collectors:
                 try:
                     reports[collector] = latency_experiment(
-                        spec, collector, multiple, definition.run_config
+                        spec, collector, multiple, definition.run_config, engine=engine
                     ).report
                 except Exception:
                     continue

@@ -1,0 +1,405 @@
+"""The cell-level execution engine: parallel sweeps with result caching.
+
+Every figure in the paper is a sweep over (workload × collector ×
+heap-multiple × invocation) cells, and each cell is one
+:func:`~repro.jvm.simulator.simulate_run` call.  Simulated runs are
+deterministic functions of their seed — ``(workload, collector, heap_mb,
+invocation)`` — so cells are embarrassingly parallel and perfectly
+memoizable.  This module exploits both:
+
+- :class:`Cell` names one job; :func:`cell_key` hashes it into a stable
+  content address;
+- :class:`ResultCache` memoizes :class:`CellResult` objects on disk under
+  that address, including *negative* results (``OutOfMemoryError``), so
+  heap sweeps skip known-infeasible points on reruns;
+- :class:`ExecutionEngine` fans cells out over a ``multiprocessing`` pool
+  (``jobs > 1``) or runs them in-process (``jobs=1``), reporting per-cell
+  timing and failures through a pluggable :class:`ProgressSink`.
+
+Cache key schema (``ENGINE_SCHEMA_VERSION`` invalidates all entries when
+the simulator's behaviour changes):
+
+    sha256(json({schema, workload spec fields, collector, heap_mb,
+                 invocation, iterations, machine fields, tuning fields,
+                 duration_scale, environment fields}))
+
+Floats are hashed via ``float.hex()`` so the address is exact, and
+``RunConfig.invocations`` is deliberately *excluded* — a cell is one
+invocation, so asking for more invocations only adds cells, it never
+invalidates the ones already computed.
+
+Determinism guarantee: a cell's result depends only on its key fields.
+The engine therefore produces bit-identical results for any ``jobs``
+value and any cache state, and identical results to the legacy serial
+path, because every path calls ``simulate_run`` with the same arguments
+and the simulator reseeds from them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import multiprocessing
+import os
+import pickle
+import sys
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, List, Optional, Sequence, TextIO, Tuple, Union
+
+from repro.jvm.collectors import resolve_collector
+from repro.jvm.heap import OutOfMemoryError
+from repro.jvm.simulator import IterationResult, simulate_run
+from repro.workloads.spec import WorkloadSpec
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runner imports us)
+    from repro.harness.runner import RunConfig
+
+#: Bump when simulator behaviour changes in a way that alters results:
+#: every cached entry is invalidated because the hash changes.
+ENGINE_SCHEMA_VERSION = 1
+
+#: Cells executed (not served from cache) by *this process* — test hook
+#: for the "warm cache runs zero simulations" guarantee.
+SIMULATE_CALLS = 0
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One independent job: a single invocation of one sweep point.
+
+    ``config.invocations`` is ignored here (a cell *is* one invocation);
+    the remaining config fields — iterations, machine, tuning,
+    duration_scale, environment — shape the simulation and participate in
+    the cache key.
+    """
+
+    spec: WorkloadSpec
+    collector: str
+    heap_mb: float
+    invocation: int
+    config: "RunConfig"
+
+    def __post_init__(self) -> None:
+        resolve_collector(self.collector)
+        if self.heap_mb <= 0:
+            raise ValueError("cell heap size must be positive")
+        if self.invocation < 0:
+            raise ValueError("cell invocation must be non-negative")
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """What one cell produced: a timed iteration, or a negative result.
+
+    ``oom`` carries the ``OutOfMemoryError`` message when the workload
+    could not run in the cell's heap; such results are cached like any
+    other so sweeps skip known-infeasible points.  ``skipped`` marks
+    placeholders fabricated by fail-fast short-circuiting — never cached,
+    because they were not actually computed.
+    """
+
+    key: str
+    timed: Optional[IterationResult]
+    oom: Optional[str] = None
+    duration_s: float = 0.0
+    skipped: bool = False
+
+    @property
+    def ok(self) -> bool:
+        """True when the cell ran to completion."""
+        return self.oom is None
+
+
+def _canonical(value: object) -> object:
+    """Reduce a value to a JSON-stable structure for hashing.
+
+    Floats go through ``float.hex`` (exact, locale-independent); nested
+    dataclasses (specs, tuning, machine, environment, request profiles,
+    object-size distributions) recurse field by field.
+    """
+    if isinstance(value, float):
+        return value.hex()
+    if isinstance(value, (str, int, bool)) or value is None:
+        return value
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _canonical(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if hasattr(value, "tolist"):  # numpy arrays and scalars
+        return _canonical(value.tolist())
+    raise TypeError(f"cannot canonicalize {value!r} for cache hashing")
+
+
+def cell_key(cell: Cell) -> str:
+    """Content address of one cell: a stable sha256 over its key fields."""
+    config = cell.config
+    payload = {
+        "schema": ENGINE_SCHEMA_VERSION,
+        "workload": _canonical(cell.spec),
+        "collector": cell.collector,
+        "heap_mb": _canonical(float(cell.heap_mb)),
+        "invocation": cell.invocation,
+        "iterations": config.iterations,
+        "machine": _canonical(config.machine),
+        "tuning": _canonical(config.tuning),
+        "duration_scale": _canonical(float(config.duration_scale)),
+        "environment": _canonical(config.environment),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _execute_cell(payload: Tuple[Cell, str]) -> CellResult:
+    """Run one cell (pool worker entry point; must stay module-level)."""
+    global SIMULATE_CALLS
+    cell, key = payload
+    config = cell.config
+    SIMULATE_CALLS += 1
+    started = time.perf_counter()
+    try:
+        run = simulate_run(
+            cell.spec,
+            cell.collector,
+            cell.heap_mb,
+            iterations=config.iterations,
+            invocation=cell.invocation,
+            machine=config.machine,
+            tuning=config.tuning,
+            duration_scale=config.duration_scale,
+            environment=config.environment,
+        )
+    except OutOfMemoryError as exc:
+        return CellResult(
+            key=key, timed=None, oom=str(exc), duration_s=time.perf_counter() - started
+        )
+    return CellResult(key=key, timed=run.timed, duration_s=time.perf_counter() - started)
+
+
+class ResultCache:
+    """Content-addressed on-disk memo of :class:`CellResult` objects.
+
+    Entries live at ``<root>/<key[:2]>/<key>.pkl``; writes are atomic
+    (temp file + rename) so concurrent engines sharing a cache directory
+    never observe partial entries.  Reads are best-effort: a corrupt or
+    unreadable entry is a miss, never an error.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+
+    def path_for(self, key: str) -> Path:
+        """Where a key's entry lives (whether or not it exists yet)."""
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> Optional[CellResult]:
+        """Load a cached result, or None on miss/corruption."""
+        path = self.path_for(key)
+        try:
+            with path.open("rb") as fh:
+                result = pickle.load(fh)
+        # Unpickling a truncated or overwritten entry can raise almost
+        # anything (ValueError, KeyError, ...), so treat any failure as
+        # a miss rather than enumerating exception types.
+        except Exception:
+            return None
+        if not isinstance(result, CellResult) or result.key != key:
+            return None
+        return result
+
+    def put(self, result: CellResult) -> None:
+        """Store a result atomically; IO failures are swallowed (the
+        cache is an accelerator, not a dependency)."""
+        path = self.path_for(result.key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    pickle.dump(result, fh)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            pass
+
+
+class ProgressSink:
+    """Observer interface for engine progress; the default is silent.
+
+    Subclass and override any subset — the engine calls ``batch_started``
+    once per :meth:`ExecutionEngine.run_cells`, then ``cell_finished``
+    for every cell (cache hits included), then ``batch_finished``.
+    """
+
+    def batch_started(self, total_cells: int) -> None:
+        """A batch of ``total_cells`` cells is about to run."""
+
+    def cell_finished(self, cell: Cell, result: CellResult, from_cache: bool) -> None:
+        """One cell completed (executed, cached, or fail-fast skipped)."""
+
+    def batch_finished(self, stats: "EngineStats") -> None:
+        """The batch completed; ``stats`` covers the engine's lifetime."""
+
+
+class LogSink(ProgressSink):
+    """Progress sink that writes one line per cell to a stream."""
+
+    def __init__(self, stream: Optional[TextIO] = None) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self._total = 0
+        self._done = 0
+
+    def batch_started(self, total_cells: int) -> None:
+        self._total = total_cells
+        self._done = 0
+
+    def cell_finished(self, cell: Cell, result: CellResult, from_cache: bool) -> None:
+        self._done += 1
+        if from_cache:
+            status = "cached"
+        elif result.skipped:
+            status = "skipped"
+        elif result.oom is not None:
+            status = f"OOM ({result.duration_s:.2f}s)"
+        else:
+            status = f"{result.duration_s:.2f}s"
+        multiple = cell.heap_mb / cell.spec.minheap_mb
+        print(
+            f"[{self._done}/{self._total}] {cell.spec.name} {cell.collector} "
+            f"{multiple:.2f}x inv{cell.invocation}: {status}",
+            file=self.stream,
+        )
+
+    def batch_finished(self, stats: "EngineStats") -> None:
+        print(
+            f"engine: {stats.executed} executed, {stats.cached} cached, "
+            f"{stats.oom} infeasible, {stats.execute_s:.2f}s simulating",
+            file=self.stream,
+        )
+
+
+@dataclass
+class EngineStats:
+    """Cumulative counters over an engine's lifetime."""
+
+    executed: int = 0  # cells actually simulated
+    cached: int = 0  # cells served from the result cache
+    oom: int = 0  # negative (OutOfMemoryError) results returned
+    skipped: int = 0  # cells short-circuited by fail-fast
+    execute_s: float = 0.0  # total simulation time across cells
+
+
+class ExecutionEngine:
+    """Runs batches of cells, in-process or across a worker pool.
+
+    ``jobs=1`` (the default) executes cells inline — no subprocesses, no
+    pickling, identical to the legacy serial path.  ``jobs>1`` fans
+    cache-misses out over ``multiprocessing``; results are deterministic
+    either way (see the module docstring).  Passing ``cache_dir`` enables
+    the content-addressed result cache.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache_dir: Optional[Union[str, Path]] = None,
+        progress: Optional[ProgressSink] = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("engine needs at least one job")
+        self.jobs = jobs
+        self.cache = ResultCache(cache_dir) if cache_dir is not None else None
+        self.progress = progress if progress is not None else ProgressSink()
+        self.stats = EngineStats()
+
+    def run_cells(
+        self, cells: Sequence[Cell], fail_fast: bool = False
+    ) -> List[CellResult]:
+        """Execute a batch, returning results in input order.
+
+        Cache hits never execute; misses are simulated (in parallel when
+        ``jobs>1``) and written back.  With ``fail_fast`` and ``jobs=1``,
+        the first ``OutOfMemoryError`` short-circuits the rest of the
+        batch: remaining cells come back as uncached ``skipped``
+        placeholders carrying the same message — callers that raise on
+        the first failure (like ``measure``) never observe them.  With
+        ``jobs>1`` fail-fast is a no-op: the pool runs everything, and
+        parallelism pays for the wasted cells.
+        """
+        keyed = [(cell, cell_key(cell)) for cell in cells]
+        self.progress.batch_started(len(keyed))
+        results: List[Optional[CellResult]] = [None] * len(keyed)
+        misses: List[int] = []
+        for idx, (cell, key) in enumerate(keyed):
+            hit = self.cache.get(key) if self.cache is not None else None
+            if hit is not None:
+                results[idx] = hit
+                self.stats.cached += 1
+                if hit.oom is not None:
+                    self.stats.oom += 1
+                self.progress.cell_finished(cell, hit, from_cache=True)
+            else:
+                misses.append(idx)
+
+        if self.jobs > 1 and len(misses) > 1:
+            ctx = multiprocessing.get_context(
+                "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+            )
+            with ctx.Pool(min(self.jobs, len(misses))) as pool:
+                executed = pool.map(_execute_cell, [keyed[i] for i in misses])
+            for idx, result in zip(misses, executed):
+                results[idx] = result
+                self._record(keyed[idx][0], result)
+        else:
+            oom_message: Optional[str] = None
+            for idx in misses:
+                cell, key = keyed[idx]
+                if oom_message is not None:
+                    result = CellResult(key=key, timed=None, oom=oom_message, skipped=True)
+                    results[idx] = result
+                    self.stats.skipped += 1
+                    self.progress.cell_finished(cell, result, from_cache=False)
+                    continue
+                result = _execute_cell((cell, key))
+                results[idx] = result
+                self._record(cell, result)
+                if fail_fast and result.oom is not None:
+                    oom_message = result.oom
+
+        self.progress.batch_finished(self.stats)
+        return [r for r in results if r is not None]
+
+    def _record(self, cell: Cell, result: CellResult) -> None:
+        """Account for one freshly-executed cell and persist it."""
+        self.stats.executed += 1
+        self.stats.execute_s += result.duration_s
+        if result.oom is not None:
+            self.stats.oom += 1
+        if self.cache is not None:
+            self.cache.put(result)
+        self.progress.cell_finished(cell, result, from_cache=False)
+
+
+def engine_from_env(environ=os.environ) -> ExecutionEngine:
+    """Build an engine from ``CHOPIN_JOBS`` / ``CHOPIN_CACHE_DIR`` /
+    ``CHOPIN_NO_CACHE`` — how the benchmark harness threads parallelism
+    through pytest without new command-line plumbing."""
+    jobs = int(environ.get("CHOPIN_JOBS", "1") or "1")
+    cache_dir: Optional[str] = environ.get("CHOPIN_CACHE_DIR") or None
+    if environ.get("CHOPIN_NO_CACHE"):
+        cache_dir = None
+    progress = LogSink() if environ.get("CHOPIN_PROGRESS") else None
+    return ExecutionEngine(jobs=max(1, jobs), cache_dir=cache_dir, progress=progress)

@@ -2,26 +2,46 @@
 
 Each function here corresponds to a figure or family of figures; the
 benchmark harness in ``benchmarks/`` and the examples call these.
+
+Since the engine redesign these are thin, signature-stable wrappers over
+:mod:`repro.harness.plans`: each one builds an
+:class:`~repro.harness.plans.ExperimentPlan` and submits it through
+:func:`~repro.harness.plans.run_plan`.  All of them accept an optional
+``engine`` — pass an :class:`~repro.harness.engine.ExecutionEngine` to
+fan cells out over worker processes and memoize results on disk; omit it
+for the legacy in-process serial behaviour.  Results are bit-identical
+either way (each cell reseeds from its own coordinates).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
-from repro.core.latency import LatencyReport, latency_report
-from repro.core.lbo import LboCurves, RunCosts, costs_from_iteration, geomean_curves, lbo_curves
-from repro.core.rng import generator_for
-from repro.jvm.collectors import COLLECTOR_NAMES
+from repro.harness.engine import Cell, ExecutionEngine
+from repro.harness.plans import (
+    DEFAULT_MULTIPLES,
+    LatencyRun,
+    SuiteLbo,
+    _scaled_for_replay,
+    plan_latency,
+    plan_lbo,
+    run_plan,
+)
+from repro.harness.runner import DEFAULT_CONFIG, RunConfig
+from repro.core.lbo import LboCurves
+from repro.jvm.collectors import COLLECTOR_NAMES, resolve_collector
 from repro.jvm.heap import OutOfMemoryError
-from repro.harness.runner import DEFAULT_CONFIG, RunConfig, measure
-from repro.workloads.requests import EventRecord, replay
 from repro.workloads.spec import WorkloadSpec
 
-#: Heap multiples used for the paper's 1-6x sweeps, with extra resolution
-#: at small heaps where the time-space tradeoff carries most information
-#: (the paper's advice in Section 4.2).
-DEFAULT_MULTIPLES: Tuple[float, ...] = (1.0, 1.25, 1.5, 2.0, 3.0, 4.0, 5.0, 6.0)
+__all__ = [
+    "DEFAULT_MULTIPLES",
+    "LatencyRun",
+    "SuiteLbo",
+    "heap_timeseries",
+    "latency_experiment",
+    "lbo_experiment",
+    "suite_lbo",
+]
 
 
 def lbo_experiment(
@@ -29,6 +49,7 @@ def lbo_experiment(
     collectors: Sequence[str] = COLLECTOR_NAMES,
     multiples: Sequence[float] = DEFAULT_MULTIPLES,
     config: RunConfig = DEFAULT_CONFIG,
+    engine: Optional[ExecutionEngine] = None,
 ) -> LboCurves:
     """Wall and task LBO curves for one benchmark (Figure 5 and appendix).
 
@@ -36,29 +57,8 @@ def lbo_experiment(
     are simply absent from the curves, which is how the paper plots ZGC*
     starting at larger multiples.
     """
-    table: Dict[Tuple[str, float], List[RunCosts]] = {}
-    for collector in collectors:
-        for multiple in multiples:
-            heap_mb = spec.heap_mb_for(multiple)
-            try:
-                measurement = measure(spec, collector, heap_mb, config)
-            except OutOfMemoryError:
-                continue
-            table[(collector, multiple)] = [
-                costs_from_iteration(r) for r in measurement.results
-            ]
-    if not table:
-        raise OutOfMemoryError(f"{spec.name}: no collector completed any heap size")
-    return lbo_curves(spec.name, table)
-
-
-@dataclass(frozen=True)
-class SuiteLbo:
-    """Suite-wide LBO: per-benchmark curves plus geometric means."""
-
-    per_benchmark: List[LboCurves]
-    geomean_wall: Dict[str, List[Tuple[float, float]]]
-    geomean_task: Dict[str, List[Tuple[float, float]]]
+    suite = run_plan(plan_lbo(spec, collectors, multiples, config), engine)
+    return suite.per_benchmark[0]
 
 
 def suite_lbo(
@@ -66,29 +66,14 @@ def suite_lbo(
     collectors: Sequence[str] = COLLECTOR_NAMES,
     multiples: Sequence[float] = DEFAULT_MULTIPLES,
     config: RunConfig = DEFAULT_CONFIG,
+    engine: Optional[ExecutionEngine] = None,
 ) -> SuiteLbo:
     """The Figure 1 experiment: geometric-mean LBO over the suite.
 
     Following the paper, a geomean point appears only where the collector
     runs *every* benchmark at that heap multiple.
     """
-    per_benchmark = [lbo_experiment(spec, collectors, multiples, config) for spec in specs]
-    return SuiteLbo(
-        per_benchmark=per_benchmark,
-        geomean_wall=geomean_curves(per_benchmark, "wall"),
-        geomean_task=geomean_curves(per_benchmark, "task"),
-    )
-
-
-@dataclass(frozen=True)
-class LatencyRun:
-    """One latency measurement: the raw events plus their report."""
-
-    benchmark: str
-    collector: str
-    heap_multiple: float
-    events: EventRecord
-    report: LatencyReport
+    return run_plan(plan_lbo(specs, collectors, multiples, config), engine)
 
 
 def latency_experiment(
@@ -97,45 +82,17 @@ def latency_experiment(
     heap_multiple: float,
     config: RunConfig = DEFAULT_CONFIG,
     invocation: int = 0,
+    engine: Optional[ExecutionEngine] = None,
 ) -> LatencyRun:
     """Measure user-experienced latency (Figures 3 and 6).
 
     Runs the workload, then replays its pre-determined request stream over
     the timed iteration's timeline and computes simple and metered latency.
     """
-    if not spec.latency_sensitive:
-        raise ValueError(f"{spec.name} is not a latency-sensitive workload")
-    heap_mb = spec.heap_mb_for(heap_multiple)
-    measurement = measure(spec, collector, heap_mb, config)
-    timed = measurement.results[invocation % len(measurement.results)]
-    rng = generator_for("latency", spec.name, collector, f"{heap_multiple:.3f}", invocation)
-    scaled = spec
-    if config.duration_scale != 1.0:
-        # Shrink the request stream with the iteration so workers stay busy
-        # for the whole (scaled) run.
-        scaled = _scaled_for_replay(spec, config.duration_scale)
-    events = replay(scaled, timed.timeline, rng)
-    return LatencyRun(
-        benchmark=spec.name,
-        collector=collector,
-        heap_multiple=heap_multiple,
-        events=events,
-        report=latency_report(events),
+    plan = plan_latency(
+        spec, (collector,), (heap_multiple,), config, replay_invocation=invocation
     )
-
-
-def _scaled_for_replay(spec: WorkloadSpec, duration_scale: float) -> WorkloadSpec:
-    """Shrink the request stream and execution time together so that the
-    per-request mean service time matches the full-size run."""
-    from dataclasses import replace
-
-    count = max(64, int(spec.requests.count * duration_scale))
-    profile = replace(spec.requests, count=count)
-    return replace(
-        spec,
-        requests=profile,
-        execution_time_s=spec.execution_time_s * duration_scale * (count / (spec.requests.count * duration_scale)),
-    )
+    return run_plan(plan, engine, strict=True)[0]
 
 
 def heap_timeseries(
@@ -143,8 +100,24 @@ def heap_timeseries(
     collector: str = "G1",
     heap_multiple: float = 2.0,
     config: RunConfig = DEFAULT_CONFIG,
+    engine: Optional[ExecutionEngine] = None,
 ) -> List[Tuple[float, float]]:
     """Post-GC heap occupancy over time (the appendix heap graphs):
-    DaCapo's default configuration, G1 at 2x the minimum heap."""
-    measurement = measure(spec, collector, spec.heap_mb_for(heap_multiple), config)
-    return measurement.results[0].telemetry.heap_after_gc_series()
+    DaCapo's default configuration, G1 at 2x the minimum heap.
+
+    Only the first invocation's timed iteration is needed, so exactly one
+    cell is submitted (the legacy path simulated every invocation and
+    discarded all but the first — same result, less work).
+    """
+    engine = engine if engine is not None else ExecutionEngine()
+    cell = Cell(
+        spec=spec,
+        collector=resolve_collector(collector),
+        heap_mb=spec.heap_mb_for(heap_multiple),
+        invocation=0,
+        config=config,
+    )
+    result = engine.run_cells([cell])[0]
+    if result.oom is not None:
+        raise OutOfMemoryError(result.oom)
+    return result.timed.telemetry.heap_after_gc_series()

@@ -1,0 +1,286 @@
+"""Experiment plans: declarative sweeps with a single execution entry point.
+
+An :class:`ExperimentPlan` captures *what* to run — workloads, collectors,
+heap multiples, and a :class:`~repro.harness.runner.RunConfig` — without
+running anything.  :func:`run_plan` enumerates the plan into independent
+:class:`~repro.harness.engine.Cell` jobs, submits them through an
+:class:`~repro.harness.engine.ExecutionEngine` (parallel and cached when
+the caller provides one), and assembles the results into the same objects
+the legacy entry points returned: :class:`SuiteLbo` for LBO sweeps, a
+list of :class:`LatencyRun` for latency sweeps.
+
+``lbo_experiment``, ``suite_lbo``, and ``latency_experiment`` in
+:mod:`repro.harness.experiments` are thin wrappers over these plans, and
+assembly here follows the exact enumeration order and drop rules of the
+legacy serial code, so results are bit-identical whichever door you use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.latency import LatencyReport, latency_report
+from repro.core.lbo import LboCurves, RunCosts, costs_from_iteration, geomean_curves, lbo_curves
+from repro.core.rng import generator_for
+from repro.harness.engine import Cell, CellResult, ExecutionEngine
+from repro.harness.runner import DEFAULT_CONFIG, RunConfig
+from repro.jvm.collectors import COLLECTOR_NAMES, resolve_collector
+from repro.jvm.heap import OutOfMemoryError
+from repro.workloads.requests import EventRecord, replay
+from repro.workloads.spec import WorkloadSpec
+
+#: Heap multiples used for the paper's 1-6x sweeps, with extra resolution
+#: at small heaps where the time-space tradeoff carries most information
+#: (the paper's advice in Section 4.2).
+DEFAULT_MULTIPLES: Tuple[float, ...] = (1.0, 1.25, 1.5, 2.0, 3.0, 4.0, 5.0, 6.0)
+
+#: Plan kinds :func:`run_plan` knows how to assemble.
+PLAN_KINDS = ("lbo", "latency")
+
+
+@dataclass(frozen=True)
+class SuiteLbo:
+    """Suite-wide LBO: per-benchmark curves plus geometric means."""
+
+    per_benchmark: List[LboCurves]
+    geomean_wall: Dict[str, List[Tuple[float, float]]]
+    geomean_task: Dict[str, List[Tuple[float, float]]]
+
+
+@dataclass(frozen=True)
+class LatencyRun:
+    """One latency measurement: the raw events plus their report."""
+
+    benchmark: str
+    collector: str
+    heap_multiple: float
+    events: EventRecord
+    report: LatencyReport
+
+
+@dataclass(frozen=True)
+class ExperimentPlan:
+    """A declarative sweep: every (spec × collector × multiple × invocation).
+
+    ``replay_invocation`` matters only to latency plans: it selects which
+    invocation's timeline the request stream is replayed over (and seeds
+    the replay RNG), mirroring ``latency_experiment``'s ``invocation``
+    argument.
+    """
+
+    kind: str
+    specs: Tuple[WorkloadSpec, ...]
+    collectors: Tuple[str, ...]
+    multiples: Tuple[float, ...]
+    config: RunConfig = DEFAULT_CONFIG
+    replay_invocation: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in PLAN_KINDS:
+            raise ValueError(f"unknown plan kind {self.kind!r}; choose from {PLAN_KINDS}")
+        if not self.specs:
+            raise ValueError("a plan needs at least one workload")
+        if not self.collectors:
+            raise ValueError("a plan needs at least one collector")
+        if not self.multiples:
+            raise ValueError("a plan needs at least one heap multiple")
+        for collector in self.collectors:
+            resolve_collector(collector)
+        for multiple in self.multiples:
+            if multiple <= 0:
+                raise ValueError("heap multiples must be positive")
+        if self.kind == "latency":
+            for spec in self.specs:
+                if not spec.latency_sensitive:
+                    raise ValueError(f"{spec.name} is not a latency-sensitive workload")
+
+    @property
+    def cell_count(self) -> int:
+        """Number of independent jobs the plan enumerates into."""
+        return (
+            len(self.specs)
+            * len(self.collectors)
+            * len(self.multiples)
+            * self.config.invocations
+        )
+
+    def cells(self) -> List[Cell]:
+        """Enumerate the plan into independent cell jobs.
+
+        Order is spec-major, then collector, multiple, invocation — the
+        same nesting the legacy serial loops used, which is what lets
+        :func:`run_plan` reassemble results positionally.
+        """
+        return [
+            Cell(
+                spec=spec,
+                collector=collector,
+                heap_mb=spec.heap_mb_for(multiple),
+                invocation=invocation,
+                config=self.config,
+            )
+            for spec in self.specs
+            for collector in self.collectors
+            for multiple in self.multiples
+            for invocation in range(self.config.invocations)
+        ]
+
+
+def _specs_tuple(specs: Union[WorkloadSpec, Sequence[WorkloadSpec]]) -> Tuple[WorkloadSpec, ...]:
+    """Accept one spec or a sequence of specs."""
+    if isinstance(specs, WorkloadSpec):
+        return (specs,)
+    return tuple(specs)
+
+
+def plan_lbo(
+    specs: Union[WorkloadSpec, Sequence[WorkloadSpec]],
+    collectors: Sequence[str] = COLLECTOR_NAMES,
+    multiples: Sequence[float] = DEFAULT_MULTIPLES,
+    config: RunConfig = DEFAULT_CONFIG,
+) -> ExperimentPlan:
+    """Plan a lower-bound-overhead sweep (Figures 1 and 5)."""
+    return ExperimentPlan(
+        kind="lbo",
+        specs=_specs_tuple(specs),
+        collectors=tuple(collectors),
+        multiples=tuple(multiples),
+        config=config,
+    )
+
+
+def plan_latency(
+    specs: Union[WorkloadSpec, Sequence[WorkloadSpec]],
+    collectors: Sequence[str] = COLLECTOR_NAMES,
+    multiples: Sequence[float] = (2.0,),
+    config: RunConfig = DEFAULT_CONFIG,
+    replay_invocation: int = 0,
+) -> ExperimentPlan:
+    """Plan a user-experienced-latency sweep (Figures 3 and 6)."""
+    return ExperimentPlan(
+        kind="latency",
+        specs=_specs_tuple(specs),
+        collectors=tuple(collectors),
+        multiples=tuple(multiples),
+        config=config,
+        replay_invocation=replay_invocation,
+    )
+
+
+def run_plan(
+    plan: ExperimentPlan,
+    engine: Optional[ExecutionEngine] = None,
+    strict: bool = False,
+):
+    """Execute a plan through an engine and assemble the results.
+
+    Returns :class:`SuiteLbo` for ``kind="lbo"`` and a list of
+    :class:`LatencyRun` for ``kind="latency"``.  Without an engine, a
+    fresh in-process serial engine (no cache) is used — the legacy
+    behaviour.  (collector, multiple) groups where *any* invocation hits
+    ``OutOfMemoryError`` are dropped, matching the paper's plotting rule;
+    with ``strict`` a latency plan raises on such groups instead, which
+    is how ``latency_experiment`` keeps its error contract.
+    """
+    engine = engine if engine is not None else ExecutionEngine()
+    results = engine.run_cells(plan.cells())
+    if plan.kind == "lbo":
+        return _assemble_lbo(plan, results)
+    return _assemble_latency(plan, results, strict)
+
+
+def _groups(plan: ExperimentPlan, results: Sequence[CellResult]):
+    """Yield (spec, collector, multiple, [invocation results]) in plan order."""
+    per_group = plan.config.invocations
+    cursor = 0
+    for spec in plan.specs:
+        for collector in plan.collectors:
+            for multiple in plan.multiples:
+                group = results[cursor : cursor + per_group]
+                cursor += per_group
+                yield spec, collector, multiple, group
+
+
+def _first_oom(group: Sequence[CellResult]) -> Optional[str]:
+    """The first (lowest-invocation) OOM message in a group, if any —
+    the same failure the serial path would have raised."""
+    for result in group:
+        if result.oom is not None:
+            return result.oom
+    return None
+
+
+def _assemble_lbo(plan: ExperimentPlan, results: Sequence[CellResult]) -> SuiteLbo:
+    per_group = plan.config.invocations
+    per_spec = len(plan.collectors) * len(plan.multiples) * per_group
+    per_benchmark: List[LboCurves] = []
+    for spec_index, spec in enumerate(plan.specs):
+        table: Dict[Tuple[str, float], List[RunCosts]] = {}
+        cursor = spec_index * per_spec
+        for collector in plan.collectors:
+            for multiple in plan.multiples:
+                group = results[cursor : cursor + per_group]
+                cursor += per_group
+                if _first_oom(group) is None:
+                    table[(collector, multiple)] = [
+                        costs_from_iteration(r.timed) for r in group
+                    ]
+        if not table:
+            raise OutOfMemoryError(f"{spec.name}: no collector completed any heap size")
+        per_benchmark.append(lbo_curves(spec.name, table))
+    return SuiteLbo(
+        per_benchmark=per_benchmark,
+        geomean_wall=geomean_curves(per_benchmark, "wall"),
+        geomean_task=geomean_curves(per_benchmark, "task"),
+    )
+
+
+def _assemble_latency(
+    plan: ExperimentPlan, results: Sequence[CellResult], strict: bool
+) -> List[LatencyRun]:
+    runs: List[LatencyRun] = []
+    for spec, collector, multiple, group in _groups(plan, results):
+        oom = _first_oom(group)
+        if oom is not None:
+            if strict:
+                raise OutOfMemoryError(oom)
+            continue
+        timed = group[plan.replay_invocation % len(group)].timed
+        rng = generator_for(
+            "latency", spec.name, collector, f"{multiple:.3f}", plan.replay_invocation
+        )
+        scaled = spec
+        if plan.config.duration_scale != 1.0:
+            # Shrink the request stream with the iteration so workers stay
+            # busy for the whole (scaled) run.
+            scaled = _scaled_for_replay(spec, plan.config.duration_scale)
+        events = replay(scaled, timed.timeline, rng)
+        runs.append(
+            LatencyRun(
+                benchmark=spec.name,
+                collector=collector,
+                heap_multiple=multiple,
+                events=events,
+                report=latency_report(events),
+            )
+        )
+    return runs
+
+
+def _scaled_for_replay(spec: WorkloadSpec, duration_scale: float) -> WorkloadSpec:
+    """Shrink the request stream and execution time together so that the
+    per-request mean service time matches the full-size run.
+
+    The request count is floored at 64 so percentile reports stay
+    meaningful; execution time scales by the *achieved* count ratio, not
+    ``duration_scale`` itself, so the mean service time is preserved
+    exactly even when the floor binds.
+    """
+    count = max(64, int(spec.requests.count * duration_scale))
+    profile = replace(spec.requests, count=count)
+    return replace(
+        spec,
+        requests=profile,
+        execution_time_s=spec.execution_time_s * count / spec.requests.count,
+    )

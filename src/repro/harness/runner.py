@@ -17,6 +17,7 @@ from typing import List, Optional
 
 from repro.core.stats import ConfidenceInterval, confidence_interval_95
 from repro.jvm.collectors.base import GcTuning
+from repro.jvm.heap import OutOfMemoryError
 from repro.jvm.cpu import DEFAULT_MACHINE, Machine
 from repro.jvm.environment import BASELINE_ENVIRONMENT, EnvironmentProfile
 from repro.jvm.simulator import IterationResult, collector_label, simulate_run
@@ -74,14 +75,56 @@ def measure(
     collector: str,
     heap_mb: float,
     config: RunConfig = DEFAULT_CONFIG,
+    engine: Optional["ExecutionEngine"] = None,
 ) -> BenchmarkMeasurement:
     """Run ``config.invocations`` invocations and collect the timed
     (final) iteration of each.
+
+    Named collectors are planned as one cell per invocation and submitted
+    through ``engine`` (a fresh in-process serial engine when omitted) —
+    pass an :class:`~repro.harness.engine.ExecutionEngine` to get
+    parallel execution and result caching.  Ablated ``Collector``
+    *classes* bypass the engine and run inline: they are neither hashable
+    for the cache nor picklable for worker processes.
 
     Propagates :class:`~repro.jvm.heap.OutOfMemoryError` if the workload
     cannot run in ``heap_mb`` — callers doing heap sweeps treat that as
     "no data point", matching the paper's plotting rule.
     """
+    if not isinstance(collector, str):
+        return _measure_inline(spec, collector, heap_mb, config)
+    from repro.harness.engine import Cell, ExecutionEngine
+
+    engine = engine if engine is not None else ExecutionEngine()
+    cells = [
+        Cell(
+            spec=spec,
+            collector=collector,
+            heap_mb=heap_mb,
+            invocation=invocation,
+            config=config,
+        )
+        for invocation in range(config.invocations)
+    ]
+    results = engine.run_cells(cells, fail_fast=True)
+    for result in results:
+        if result.oom is not None:
+            raise OutOfMemoryError(result.oom)
+    return BenchmarkMeasurement(
+        benchmark=spec.name,
+        collector=collector,
+        heap_mb=heap_mb,
+        results=[result.timed for result in results],
+    )
+
+
+def _measure_inline(
+    spec: WorkloadSpec,
+    collector,
+    heap_mb: float,
+    config: RunConfig,
+) -> BenchmarkMeasurement:
+    """The legacy serial loop, kept for ablated ``Collector`` classes."""
     results = []
     for invocation in range(config.invocations):
         run = simulate_run(

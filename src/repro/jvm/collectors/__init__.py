@@ -33,6 +33,43 @@ COLLECTORS: Dict[str, Type[Collector]] = {
 #: by name as a sixth, as in the paper's appendix).
 COLLECTOR_NAMES = ("Serial", "Parallel", "G1", "Shenandoah", "ZGC")
 
+
+class UnknownCollectorError(KeyError):
+    """An unregistered collector name reached an API boundary.
+
+    Subclasses :class:`KeyError` so existing ``except KeyError`` handlers
+    (and tests) keep working, but renders its message without KeyError's
+    quoting so the hint stays readable.
+    """
+
+    def __init__(self, name: object) -> None:
+        self.name = name
+        extras = sorted(set(COLLECTORS) - set(COLLECTOR_NAMES))
+        message = (
+            f"unknown collector {name!r}; choose from {', '.join(COLLECTOR_NAMES)}"
+            + (f" (also available: {', '.join(extras)})" if extras else "")
+        )
+        super().__init__(message)
+
+    def __str__(self) -> str:
+        return self.args[0]
+
+
+def resolve_collector(name: str) -> str:
+    """Validate a collector name at an API boundary.
+
+    Returns the name unchanged when it is registered; raises
+    :class:`UnknownCollectorError` (a :class:`KeyError`) listing the valid
+    names otherwise — so a typo fails fast with a hint instead of as a
+    deep KeyError inside the simulator.
+    """
+    if not isinstance(name, str):
+        raise TypeError(f"collector name must be a string, got {name!r}")
+    if name not in COLLECTORS:
+        raise UnknownCollectorError(name)
+    return name
+
+
 __all__ = [
     "Collector",
     "CyclePlan",
@@ -46,4 +83,6 @@ __all__ = [
     "GenZgcCollector",
     "COLLECTORS",
     "COLLECTOR_NAMES",
+    "UnknownCollectorError",
+    "resolve_collector",
 ]

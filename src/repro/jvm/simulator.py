@@ -333,12 +333,10 @@ def make_collector(
     (the latter lets experiments run ablated variants without touching the
     registry).
     """
-    from repro.jvm.collectors import COLLECTORS
+    from repro.jvm.collectors import COLLECTORS, resolve_collector
 
     if isinstance(collector, str):
-        if collector not in COLLECTORS:
-            raise KeyError(f"unknown collector {collector!r}; choose from {sorted(COLLECTORS)}")
-        cls = COLLECTORS[collector]
+        cls = COLLECTORS[resolve_collector(collector)]
     elif isinstance(collector, type) and issubclass(collector, Collector):
         cls = collector
     else:

@@ -33,6 +33,25 @@ class TestCommands:
         assert "normalized time overhead" in out
         assert "normalized CPU overhead" in out
 
+    def test_lbo_parallel_cached(self, capsys, tmp_path):
+        argv = [
+            "lbo", "fop", "--invocations", "2", "--scale", "0.02",
+            "--jobs", "2", "--cache-dir", str(tmp_path),
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "normalized time overhead" in cold
+        assert any(tmp_path.iterdir())  # cache populated
+        # Warm rerun is served entirely from the cache and prints the same
+        # tables (the engine's determinism guarantee).
+        assert main(argv) == 0
+        assert capsys.readouterr().out == cold
+
+    def test_compare_unknown_collector_hint(self, capsys):
+        assert main(["compare", "fop", "G1", "CMS"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown collector 'CMS'" in err and "Shenandoah" in err
+
     def test_latency(self, capsys):
         assert main(["latency", "spring", "--invocations", "1", "--scale", "0.05"]) == 0
         out = capsys.readouterr().out

@@ -93,6 +93,24 @@ class TestLatencyExperiment:
         run = latency_experiment(cassandra, "G1", 2.0, fast_config)
         assert run.events.count < cassandra.requests.count
 
+    def test_scaled_replay_preserves_mean_service_time(self, cassandra):
+        from repro.harness.plans import _scaled_for_replay
+
+        # Small enough that the max(64, ...) request floor binds: the
+        # execution time must scale by the *achieved* count ratio so the
+        # per-request mean service time is preserved exactly.
+        scaled = _scaled_for_replay(cassandra, 1e-4)
+        assert scaled.requests.count == 64
+        assert scaled.mean_service_time_s() == pytest.approx(
+            cassandra.mean_service_time_s(), rel=1e-12
+        )
+        # And where the floor does not bind, likewise.
+        scaled = _scaled_for_replay(cassandra, 0.25)
+        assert scaled.requests.count == int(cassandra.requests.count * 0.25)
+        assert scaled.mean_service_time_s() == pytest.approx(
+            cassandra.mean_service_time_s(), rel=1e-12
+        )
+
 
 class TestHeapTimeseries:
     def test_series(self, lusearch, fast_config):
