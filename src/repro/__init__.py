@@ -41,6 +41,7 @@ from repro.core.pca import determinant_metrics, suite_pca
 from repro.core.stats import confidence_interval_95, geometric_mean
 from repro.harness.engine import (
     Cell,
+    EngineStats,
     ExecutionEngine,
     LogSink,
     ProgressSink,
@@ -48,10 +49,21 @@ from repro.harness.engine import (
     cell_key,
 )
 from repro.harness.experiments import (
+    TracedSweep,
     heap_timeseries,
     latency_experiment,
     lbo_experiment,
     suite_lbo,
+    trace_sweep,
+)
+from repro.observability import (
+    MetricsRegistry,
+    NullRecorder,
+    Recorder,
+    chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
 )
 from repro.harness.plans import (
     ExperimentPlan,
@@ -83,6 +95,7 @@ __all__ = [
     "COLLECTOR_NAMES",
     "Cell",
     "EXPERIMENTS",
+    "EngineStats",
     "EnvironmentProfile",
     "EnvironmentSensitivity",
     "ExecutionEngine",
@@ -91,12 +104,16 @@ __all__ = [
     "LatencyRun",
     "LogSink",
     "METRICS",
+    "MetricsRegistry",
+    "NullRecorder",
     "OutOfMemoryError",
     "ProgressSink",
+    "Recorder",
     "ResultCache",
     "RunConfig",
     "RunCosts",
     "SuiteLbo",
+    "TracedSweep",
     "UnknownCollectorError",
     "all_workloads",
     "available_sizes",
@@ -129,14 +146,19 @@ __all__ = [
     "run_plan",
     "score_benchmark",
     "simple_latencies",
+    "chrome_trace",
     "simulate_iteration",
     "simulate_run",
     "spearman_rank_correlation",
     "suite_lbo",
     "suite_pca",
     "synthetic_starts",
+    "trace_sweep",
+    "validate_chrome_trace",
     "workload",
+    "write_chrome_trace",
     "write_gc_log_csv",
+    "write_jsonl",
     "write_latency_csv",
     "__version__",
 ]

@@ -18,7 +18,15 @@ from repro.core.insights import format_insights
 from repro.core.nominal import format_report
 from repro.core.pca import determinant_metrics, suite_pca
 from repro.harness.engine import ExecutionEngine, LogSink
-from repro.harness.experiments import latency_experiment, lbo_experiment
+from repro.harness.experiments import latency_experiment, lbo_experiment, trace_sweep
+from repro.observability import (
+    MetricsRegistry,
+    Recorder,
+    chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
 from repro.harness.report import (
     format_latency_comparison,
     format_lbo_curves,
@@ -174,6 +182,48 @@ def cmd_runbms(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    spec = registry.workload(args.benchmark)
+    collectors = args.collector or list(COLLECTOR_NAMES)
+    for name in collectors:
+        try:
+            resolve_collector(name)
+        except UnknownCollectorError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+    multiples = tuple(args.multiple) if args.multiple else (2.0, 3.0)
+    engine = _engine(args)
+    engine.recorder = Recorder(capacity=args.ring_size)
+    session = trace_sweep(spec, collectors, multiples, _config(args), engine=engine)
+    events = session.recorder.events()
+    problems = validate_chrome_trace(chrome_trace(events))
+    if problems:
+        for problem in problems:
+            print(f"invalid trace: {problem}", file=sys.stderr)
+        return 1
+    path = write_chrome_trace(events, args.trace_out)
+    print(f"wrote {path} ({len(events)} events; open it at https://ui.perfetto.dev)")
+    if args.jsonl_out:
+        print(f"wrote {write_jsonl(events, args.jsonl_out)}")
+    if session.recorder.dropped:
+        print(
+            f"note: ring buffer overflowed, {session.recorder.dropped} oldest "
+            f"events dropped (raise --ring-size to keep them)",
+            file=sys.stderr,
+        )
+    stats = session.stats
+    print(
+        f"cells: {stats.cells} ({stats.executed} simulated, {stats.hits} cache hits, "
+        f"{stats.negative_hits} negative, {stats.hit_rate:.0%} hit rate)"
+    )
+    if args.metrics:
+        registry_ = MetricsRegistry()
+        registry_.ingest(events)
+        print()
+        print(registry_.render())
+    return 0
+
+
 def cmd_pca(args: argparse.Namespace) -> int:
     result = suite_pca(n_components=4)
     print("Principal components analysis of the DaCapo Chopin workloads")
@@ -211,6 +261,45 @@ def build_parser() -> argparse.ArgumentParser:
     p_lat.add_argument("--heap", type=float, default=2.0, help="heap multiple of min heap")
     _add_run_options(p_lat)
     p_lat.set_defaults(func=cmd_latency)
+
+    p_trace = sub.add_parser(
+        "trace", help="record a sweep with the flight recorder (Perfetto trace)"
+    )
+    p_trace.add_argument("benchmark", choices=nominal_data.BENCHMARK_NAMES)
+    p_trace.add_argument(
+        "--collector",
+        action="append",
+        default=None,
+        help="collector to trace (repeatable; default: all five)",
+    )
+    p_trace.add_argument(
+        "--multiple",
+        action="append",
+        type=float,
+        default=None,
+        help="heap multiple to trace (repeatable; default: 2.0 and 3.0)",
+    )
+    p_trace.add_argument(
+        "--trace-out",
+        default="trace.json",
+        help="Chrome trace-event JSON output path (default: trace.json)",
+    )
+    p_trace.add_argument(
+        "--jsonl-out", default=None, help="also write raw typed events as JSONL"
+    )
+    p_trace.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the metrics dump (counters, hit rate, pause percentiles)",
+    )
+    p_trace.add_argument(
+        "--ring-size",
+        type=int,
+        default=65536,
+        help="flight-recorder ring capacity in events (default: 65536)",
+    )
+    _add_run_options(p_trace)
+    p_trace.set_defaults(func=cmd_trace)
 
     sub.add_parser("pca", help="suite diversity analysis (Figure 4)").set_defaults(func=cmd_pca)
 

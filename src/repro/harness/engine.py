@@ -53,6 +53,7 @@ from typing import TYPE_CHECKING, List, Optional, Sequence, TextIO, Tuple, Union
 from repro.jvm.collectors import resolve_collector
 from repro.jvm.heap import OutOfMemoryError
 from repro.jvm.simulator import IterationResult, simulate_run
+from repro.observability import events as flight
 from repro.workloads.spec import WorkloadSpec
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runner imports us)
@@ -285,7 +286,8 @@ class LogSink(ProgressSink):
 
     def batch_finished(self, stats: "EngineStats") -> None:
         print(
-            f"engine: {stats.executed} executed, {stats.cached} cached, "
+            f"engine: {stats.executed} executed, {stats.cached} cached "
+            f"({stats.hit_rate:.0%} hit rate, {stats.negative_hits} negative), "
             f"{stats.oom} infeasible, {stats.execute_s:.2f}s simulating",
             file=self.stream,
         )
@@ -293,13 +295,53 @@ class LogSink(ProgressSink):
 
 @dataclass
 class EngineStats:
-    """Cumulative counters over an engine's lifetime."""
+    """Cumulative counters over an engine's lifetime.
+
+    ``hits``/``misses``/``hit_rate`` answer the question a warm rerun
+    raises — *why was that fast?* — in cache-lookup terms: every cell is
+    either served from the result cache (a hit) or simulated (a miss).
+    """
 
     executed: int = 0  # cells actually simulated
     cached: int = 0  # cells served from the result cache
     oom: int = 0  # negative (OutOfMemoryError) results returned
     skipped: int = 0  # cells short-circuited by fail-fast
+    negative_hits: int = 0  # cache hits on stored OutOfMemoryError results
     execute_s: float = 0.0  # total simulation time across cells
+
+    @property
+    def hits(self) -> int:
+        """Cache hits (alias of ``cached``)."""
+        return self.cached
+
+    @property
+    def misses(self) -> int:
+        """Cache misses — every executed cell is one."""
+        return self.executed
+
+    @property
+    def cells(self) -> int:
+        """Total cells accounted for (hits + misses + fail-fast skips)."""
+        return self.executed + self.cached + self.skipped
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of cache lookups served from the cache (0.0 when no
+        cells have been looked up yet)."""
+        lookups = self.cached + self.executed
+        return self.cached / lookups if lookups else 0.0
+
+    def minus(self, other: "EngineStats") -> "EngineStats":
+        """The counter delta ``self - other`` — per-batch stats from two
+        lifetime snapshots."""
+        return EngineStats(
+            executed=self.executed - other.executed,
+            cached=self.cached - other.cached,
+            oom=self.oom - other.oom,
+            skipped=self.skipped - other.skipped,
+            negative_hits=self.negative_hits - other.negative_hits,
+            execute_s=self.execute_s - other.execute_s,
+        )
 
 
 class ExecutionEngine:
@@ -310,6 +352,17 @@ class ExecutionEngine:
     cache-misses out over ``multiprocessing``; results are deterministic
     either way (see the module docstring).  Passing ``cache_dir`` enables
     the content-addressed result cache.
+
+    ``recorder`` attaches a flight recorder
+    (:class:`repro.observability.Recorder`): each batch then emits cell
+    spans (one display track per cell, laid out on per-worker simulated
+    timelines), nested GC-pause/concurrent/stall slices from the timed
+    iteration, and cache hit/miss events.  The default
+    :class:`~repro.observability.NullRecorder` costs nothing.  Recording
+    happens *after* results are assembled, from the results themselves,
+    so it cannot perturb cache keys or outputs — results are bit-identical
+    with the recorder on or off, and cache hits still appear in the trace
+    as zero-work hit spans.
     """
 
     def __init__(
@@ -317,13 +370,20 @@ class ExecutionEngine:
         jobs: int = 1,
         cache_dir: Optional[Union[str, Path]] = None,
         progress: Optional[ProgressSink] = None,
+        recorder: Optional["flight.NullRecorder"] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError("engine needs at least one job")
         self.jobs = jobs
         self.cache = ResultCache(cache_dir) if cache_dir is not None else None
         self.progress = progress if progress is not None else ProgressSink()
+        self.recorder = recorder if recorder is not None else flight.NullRecorder()
         self.stats = EngineStats()
+        # Flight-recorder bookkeeping: per-worker simulated-time cursors
+        # and the next free display track, persisted across batches so a
+        # reused engine lays successive batches out end to end.
+        self._worker_clocks = [0.0] * jobs
+        self._next_track = 1  # track 0 is the cache-counter track
 
     def run_cells(
         self, cells: Sequence[Cell], fail_fast: bool = False
@@ -343,13 +403,16 @@ class ExecutionEngine:
         self.progress.batch_started(len(keyed))
         results: List[Optional[CellResult]] = [None] * len(keyed)
         misses: List[int] = []
+        hit_indices = set()
         for idx, (cell, key) in enumerate(keyed):
             hit = self.cache.get(key) if self.cache is not None else None
             if hit is not None:
                 results[idx] = hit
+                hit_indices.add(idx)
                 self.stats.cached += 1
                 if hit.oom is not None:
                     self.stats.oom += 1
+                    self.stats.negative_hits += 1
                 self.progress.cell_finished(cell, hit, from_cache=True)
             else:
                 misses.append(idx)
@@ -379,8 +442,105 @@ class ExecutionEngine:
                 if fail_fast and result.oom is not None:
                     oom_message = result.oom
 
+        if self.recorder.enabled:
+            self._trace_batch(keyed, results, hit_indices)
         self.progress.batch_finished(self.stats)
         return [r for r in results if r is not None]
+
+    def _trace_batch(
+        self,
+        keyed: Sequence[Tuple[Cell, str]],
+        results: Sequence[Optional[CellResult]],
+        hit_indices,
+    ) -> None:
+        """Emit one batch's flight-recorder events.
+
+        Runs as a post-pass over the assembled results so recording can
+        never perturb execution, and is deterministic regardless of pool
+        scheduling: executed cells are attributed to workers round-robin
+        in submission order and laid out on per-worker simulated-time
+        tracks (a cell's extent is its timed iteration's simulated wall
+        time).  Each cell gets its own display track carrying the cell
+        span with the iteration's GC pauses, concurrent spans, and
+        allocation stalls nested inside; cache hits appear as zero-work
+        spans plus :class:`~repro.observability.CacheHit` events.
+        """
+        recorder = self.recorder
+        batch_start = min(self._worker_clocks)
+        next_worker = 0
+        for idx, ((cell, key), result) in enumerate(zip(keyed, results)):
+            if result is None:  # pragma: no cover - results are always filled
+                continue
+            track = self._next_track
+            self._next_track += 1
+            cached = idx in hit_indices
+            if cached or result.skipped:
+                worker = flight.CACHE_WORKER
+                start = batch_start
+                dur = 0.0
+            else:
+                worker = next_worker % self.jobs
+                next_worker += 1
+                start = self._worker_clocks[worker]
+                dur = result.timed.wall_s if result.timed is not None else 0.0
+                self._worker_clocks[worker] = start + dur
+            if cached:
+                recorder.emit(
+                    flight.CacheHit(
+                        ts=start, track=track, key=key, negative=result.oom is not None
+                    )
+                )
+            elif not result.skipped:
+                recorder.emit(flight.CacheMiss(ts=start, track=track, key=key))
+            recorder.emit(
+                flight.CellSpan(
+                    ts=start,
+                    track=track,
+                    dur=dur,
+                    benchmark=cell.spec.name,
+                    collector=cell.collector,
+                    heap_mb=cell.heap_mb,
+                    invocation=cell.invocation,
+                    worker=worker,
+                    cached=cached,
+                    oom=result.oom,
+                    skipped=result.skipped,
+                )
+            )
+            if not cached and result.timed is not None:
+                telem = result.timed.telemetry
+                for pause in telem.pauses:
+                    recorder.emit(
+                        flight.GcPause(
+                            ts=start + pause.start,
+                            track=track,
+                            dur=pause.duration,
+                            kind=pause.kind,
+                        )
+                    )
+                for span in telem.spans:
+                    recorder.emit(
+                        flight.ConcurrentSpan(
+                            ts=start + span.start,
+                            track=track,
+                            dur=span.duration,
+                            gc_threads=span.gc_threads,
+                            dilation=span.dilation,
+                        )
+                    )
+                for stall in telem.stalls:
+                    recorder.emit(
+                        flight.AllocationStall(
+                            ts=start + stall.start, track=track, dur=stall.duration
+                        )
+                    )
+        recorder.emit(
+            flight.BatchSpan(
+                ts=batch_start,
+                dur=max(self._worker_clocks) - batch_start,
+                cells=len(keyed),
+            )
+        )
 
     def _record(self, cell: Cell, result: CellResult) -> None:
         """Account for one freshly-executed cell and persist it."""

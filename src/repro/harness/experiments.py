@@ -15,9 +15,11 @@ either way (each cell reseeds from its own coordinates).
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
 
-from repro.harness.engine import Cell, ExecutionEngine
+from repro.harness.engine import Cell, EngineStats, ExecutionEngine
+from repro.observability import Recorder
 from repro.harness.plans import (
     DEFAULT_MULTIPLES,
     LatencyRun,
@@ -37,10 +39,12 @@ __all__ = [
     "DEFAULT_MULTIPLES",
     "LatencyRun",
     "SuiteLbo",
+    "TracedSweep",
     "heap_timeseries",
     "latency_experiment",
     "lbo_experiment",
     "suite_lbo",
+    "trace_sweep",
 ]
 
 
@@ -93,6 +97,50 @@ def latency_experiment(
         spec, (collector,), (heap_multiple,), config, replay_invocation=invocation
     )
     return run_plan(plan, engine, strict=True)[0]
+
+
+@dataclass(frozen=True)
+class TracedSweep:
+    """What :func:`trace_sweep` hands back: results plus observability.
+
+    ``result`` is the assembled :class:`SuiteLbo`; ``stats`` is the
+    engine-stats delta for this sweep (hits, misses, negative OOM hits,
+    cells simulated); ``recorder`` holds the flight recording ready for
+    :func:`repro.observability.write_chrome_trace` or
+    :meth:`repro.observability.MetricsRegistry.ingest`.
+    """
+
+    result: SuiteLbo
+    stats: EngineStats
+    recorder: Recorder
+
+
+def trace_sweep(
+    specs: Union[WorkloadSpec, Sequence[WorkloadSpec]],
+    collectors: Sequence[str] = COLLECTOR_NAMES,
+    multiples: Sequence[float] = (2.0, 3.0),
+    config: RunConfig = DEFAULT_CONFIG,
+    engine: Optional[ExecutionEngine] = None,
+    recorder: Optional[Recorder] = None,
+) -> TracedSweep:
+    """Run an LBO-style sweep under the flight recorder (``chopin trace``).
+
+    Wires a :class:`~repro.observability.Recorder` into the engine (the
+    caller's ``engine`` is reused with its own recorder if it already has
+    one enabled), runs the plan, and returns results, per-sweep engine
+    stats, and the recording together.  Because recording is
+    observational, ``result`` is bit-identical to the same sweep run
+    without it.
+    """
+    if engine is None:
+        recorder = recorder if recorder is not None else Recorder()
+        engine = ExecutionEngine(recorder=recorder)
+    elif not engine.recorder.enabled:
+        engine.recorder = recorder if recorder is not None else Recorder()
+    result, stats = run_plan(
+        plan_lbo(specs, collectors, multiples, config), engine, return_stats=True
+    )
+    return TracedSweep(result=result, stats=stats, recorder=engine.recorder)
 
 
 def heap_timeseries(

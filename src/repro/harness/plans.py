@@ -17,13 +17,14 @@ legacy serial code, so results are bit-identical whichever door you use.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.latency import LatencyReport, latency_report
 from repro.core.lbo import LboCurves, RunCosts, costs_from_iteration, geomean_curves, lbo_curves
 from repro.core.rng import generator_for
-from repro.harness.engine import Cell, CellResult, ExecutionEngine
+from repro.harness.engine import Cell, CellResult, EngineStats, ExecutionEngine
 from repro.harness.runner import DEFAULT_CONFIG, RunConfig
 from repro.jvm.collectors import COLLECTOR_NAMES, resolve_collector
 from repro.jvm.heap import OutOfMemoryError
@@ -172,6 +173,7 @@ def run_plan(
     plan: ExperimentPlan,
     engine: Optional[ExecutionEngine] = None,
     strict: bool = False,
+    return_stats: bool = False,
 ):
     """Execute a plan through an engine and assemble the results.
 
@@ -182,12 +184,26 @@ def run_plan(
     ``OutOfMemoryError`` are dropped, matching the paper's plotting rule;
     with ``strict`` a latency plan raises on such groups instead, which
     is how ``latency_experiment`` keeps its error contract.
+
+    With ``return_stats`` the return value becomes an ``(assembled,
+    stats)`` pair where ``stats`` is the
+    :class:`~repro.harness.engine.EngineStats` delta for *this* plan —
+    cache hits, misses, negative (OOM) hits, and cells simulated — so a
+    warm rerun can say why it was fast.  If the engine carries a flight
+    recorder, the batch is also recorded (see
+    :class:`~repro.harness.engine.ExecutionEngine`).
     """
     engine = engine if engine is not None else ExecutionEngine()
+    before = dataclasses.replace(engine.stats)
     results = engine.run_cells(plan.cells())
-    if plan.kind == "lbo":
-        return _assemble_lbo(plan, results)
-    return _assemble_latency(plan, results, strict)
+    assembled = (
+        _assemble_lbo(plan, results)
+        if plan.kind == "lbo"
+        else _assemble_latency(plan, results, strict)
+    )
+    if return_stats:
+        return assembled, engine.stats.minus(before)
+    return assembled
 
 
 def _groups(plan: ExperimentPlan, results: Sequence[CellResult]):

@@ -57,15 +57,31 @@ def format_gc_log(telemetry: Telemetry, heap_capacity_mb: float) -> List[str]:
     return lines
 
 
+#: The renderer's fallback phrasing for kinds outside ``_KIND_LABELS``;
+#: parsing inverts it so ``render → parse`` is kind-lossless for *every*
+#: kind, known or not.
+_FALLBACK_LABEL_RE = re.compile(r"^Pause \((?P<kind>.+)\)$")
+
+
+def _kind_for(label: str) -> str:
+    reverse = {v: k for k, v in _KIND_LABELS.items()}
+    kind = reverse.get(label)
+    if kind is not None:
+        return kind
+    fallback = _FALLBACK_LABEL_RE.match(label)
+    return fallback.group("kind") if fallback else "parsed"
+
+
 def parse_gc_log(lines: List[str]) -> List[GcEvent]:
     """Parse unified-logging lines back into GC events.
 
     Only the fields the log carries are recovered; ``reclaimed_mb`` is
-    derived from the before/after occupancy.  Unknown labels map to a
-    ``parsed`` kind rather than failing, since real logs carry phrasing
-    this emitter does not produce.
+    derived from the before/after occupancy.  Kind recovery inverts the
+    renderer exactly — both the ``_KIND_LABELS`` phrasings and the
+    ``Pause (<kind>)`` fallback — so ``render → parse`` round-trips every
+    kind.  Labels from *real* JVM logs that this emitter never produces
+    map to a ``parsed`` kind rather than failing.
     """
-    reverse = {v: k for k, v in _KIND_LABELS.items()}
     events = []
     for line in lines:
         match = _LINE_RE.match(line.strip())
@@ -76,7 +92,7 @@ def parse_gc_log(lines: List[str]) -> List[GcEvent]:
         events.append(
             GcEvent(
                 time=float(match.group("time")),
-                kind=reverse.get(match.group("label"), "parsed"),
+                kind=_kind_for(match.group("label")),
                 pause_s=float(match.group("duration")) / 1e3,
                 reclaimed_mb=max(before - after, 0.0),
                 heap_before_mb=before,

@@ -27,6 +27,7 @@ from repro.jvm.environment import BASELINE_ENVIRONMENT, EnvironmentProfile
 from repro.jvm.heap import Heap, OutOfMemoryError
 from repro.jvm.telemetry import GcEvent, Telemetry
 from repro.jvm.timeline import ConcurrentSpan, Timeline
+from repro.observability import events as flight
 
 #: Hard cap on GC cycles per iteration: a run that needs more than this is
 #: thrashing and is treated as unable to complete in the given heap.
@@ -315,6 +316,73 @@ class _IterationSim:
         )
 
 
+def record_iteration(
+    recorder: "flight.NullRecorder",
+    spec,
+    collector_name: str,
+    iteration: int,
+    start_ts: float,
+    result: IterationResult,
+    track: int = 0,
+) -> None:
+    """Emit one iteration's flight-recorder events at offset ``start_ts``.
+
+    Purely observational: events are derived from the iteration's
+    telemetry after the fact, in simulated time, so recording can never
+    perturb the simulation (and the no-op :class:`NullRecorder` makes it
+    free when disabled).  The iteration span comes first, then its nested
+    GC pauses, concurrent spans, and allocation stalls, then the
+    estimated JIT warmup overhead (the share of the iteration's wall time
+    attributable to the warmup slowdown factor).
+    """
+    if not recorder.enabled:
+        return
+    recorder.emit(
+        flight.IterationSpan(
+            ts=start_ts,
+            track=track,
+            dur=result.wall_s,
+            index=iteration,
+            benchmark=spec.name,
+            collector=collector_name,
+        )
+    )
+    telem = result.telemetry
+    for pause in telem.pauses:
+        recorder.emit(
+            flight.GcPause(
+                ts=start_ts + pause.start, track=track, dur=pause.duration, kind=pause.kind
+            )
+        )
+    for span in telem.spans:
+        recorder.emit(
+            flight.ConcurrentSpan(
+                ts=start_ts + span.start,
+                track=track,
+                dur=span.duration,
+                gc_threads=span.gc_threads,
+                dilation=span.dilation,
+            )
+        )
+    for stall in telem.stalls:
+        recorder.emit(
+            flight.AllocationStall(
+                ts=start_ts + stall.start, track=track, dur=stall.duration
+            )
+        )
+    factor = warmup_factor(iteration, spec)
+    if factor > 1.0:
+        recorder.emit(
+            flight.CompileWarmup(
+                ts=start_ts,
+                track=track,
+                dur=result.wall_s * (1.0 - 1.0 / factor),
+                iteration=iteration,
+                factor=factor,
+            )
+        )
+
+
 def collector_label(collector) -> str:
     """Display/seed label for a collector given by name or by class."""
     return collector if isinstance(collector, str) else collector.NAME
@@ -372,6 +440,7 @@ def simulate_run(
     duration_scale: float = 1.0,
     environment: EnvironmentProfile = BASELINE_ENVIRONMENT,
     force_full_gc_between_iterations: bool = False,
+    recorder: Optional["flight.NullRecorder"] = None,
 ) -> RunResult:
     """Simulate one JVM invocation: ``iterations`` back-to-back iterations.
 
@@ -385,6 +454,12 @@ def simulate_run(
     Raises :class:`OutOfMemoryError` if the workload cannot run in that
     heap with that collector — the signal the minimum-heap search relies
     on.
+
+    ``recorder`` is an optional flight recorder
+    (:class:`repro.observability.Recorder`); when given, each iteration
+    emits span events (iteration, GC pauses, concurrent work, stalls,
+    warmup) in simulated time.  Recording is observational only — results
+    are bit-identical with or without it.
     """
     if iterations is None:
         iterations = spec.default_iterations
@@ -399,8 +474,10 @@ def simulate_run(
     heap.require_fits(live + max(0.5, 0.04 * live))
     heap.live_mb = live
 
+    recorder = recorder if recorder is not None else flight.NullRecorder()
     results = []
     footprints = []
+    run_clock = 0.0
     for i in range(1, iterations + 1):
         result = simulate_iteration(
             spec,
@@ -412,6 +489,10 @@ def simulate_run(
             duration_scale=duration_scale,
         )
         results.append(result)
+        record_iteration(
+            recorder, spec, collector_label(collector_name), i, run_clock, result
+        )
+        run_clock += result.wall_s
         # Memory leakage across iterations (the GLK nominal statistic is
         # percent growth over ten iterations).  Leaked memory is reachable:
         # it joins the collector's live footprint and no collection can

@@ -1,0 +1,79 @@
+"""repro.observability — the flight recorder: unified tracing + metrics.
+
+A JFR-style observability subsystem spanning every layer of the repro:
+the simulated JVM emits iteration/GC/warmup events, the execution engine
+emits cell/batch/cache events, and exporters turn a recording into a
+Chrome trace (open it in Perfetto) or a metrics dump.
+
+Three modules:
+
+- :mod:`.events` — the typed event vocabulary, the bounded-ring
+  :class:`Recorder`, and the zero-cost :class:`NullRecorder` default;
+- :mod:`.metrics` — counters, gauges, and log-linear histograms with a
+  :class:`MetricsRegistry` that folds events into aggregates;
+- :mod:`.trace` — Chrome trace-event JSON and JSONL export plus the
+  schema validator used in tests and CI.
+
+Design contract: recording is *observational*.  Timestamps are simulated
+time, events never touch RNG state or cache keys, and every result is
+bit-identical with the recorder on or off — guaranteed by regression
+tests, not just intent.
+"""
+
+from repro.observability.events import (
+    CACHE_WORKER,
+    AllocationStall,
+    BatchSpan,
+    CacheHit,
+    CacheMiss,
+    CellSpan,
+    CompileWarmup,
+    ConcurrentSpan,
+    GcPause,
+    IterationSpan,
+    NullRecorder,
+    Recorder,
+    SpanEvent,
+    TraceEvent,
+)
+from repro.observability.metrics import (
+    Counter,
+    Gauge,
+    LogLinearHistogram,
+    MetricsRegistry,
+)
+from repro.observability.trace import (
+    chrome_trace,
+    chrome_trace_events,
+    nested_slices,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+__all__ = [
+    "CACHE_WORKER",
+    "AllocationStall",
+    "BatchSpan",
+    "CacheHit",
+    "CacheMiss",
+    "CellSpan",
+    "CompileWarmup",
+    "ConcurrentSpan",
+    "Counter",
+    "Gauge",
+    "GcPause",
+    "IterationSpan",
+    "LogLinearHistogram",
+    "MetricsRegistry",
+    "NullRecorder",
+    "Recorder",
+    "SpanEvent",
+    "TraceEvent",
+    "chrome_trace",
+    "chrome_trace_events",
+    "nested_slices",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+]

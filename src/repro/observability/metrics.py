@@ -1,0 +1,237 @@
+"""Counters, gauges, and log-linear histograms over recorder events.
+
+The perf-counter side of observability: where :mod:`.events` keeps the
+*sequence* of what happened, this module keeps cheap aggregates — cache
+hit rates, pause-time percentiles, per-cell duration distributions — the
+numbers a human reads before deciding which trace to open.
+
+:class:`LogLinearHistogram` uses the HdrHistogram/JFR bucketing scheme:
+values are grouped into powers-of-two octaves, each split into a fixed
+number of linear sub-buckets, so relative quantization error is bounded
+(≤ 1/subbuckets) across many orders of magnitude with O(1) recording and
+a few hundred buckets.  That matters here because GC pauses span
+microseconds (young pauses) to seconds (full compactions) in one run.
+
+Everything is deterministic: fold the same events in, read the same
+numbers out.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Tuple
+
+from repro.observability.events import (
+    AllocationStall,
+    CacheHit,
+    CacheMiss,
+    CellSpan,
+    CompileWarmup,
+    GcPause,
+    TraceEvent,
+)
+
+
+class Counter:
+    """A monotonically increasing integer counter."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (non-negative) to the counter."""
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value that can move in either direction."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the gauge's value."""
+        self.value = float(value)
+
+
+class LogLinearHistogram:
+    """A log-linear histogram: bounded relative error, unbounded range.
+
+    Bucket 0 holds values at or below ``min_value`` (the underflow
+    bucket); above it, bucket boundaries grow by powers of two with
+    ``subbuckets`` linear divisions per octave.  ``percentile`` returns
+    the midpoint of the bucket containing the requested rank, clamped to
+    the exactly-tracked ``min``/``max``, so relative error is at most
+    ``1 / subbuckets``.
+    """
+
+    def __init__(self, name: str, min_value: float = 1e-6, subbuckets: int = 16) -> None:
+        if min_value <= 0:
+            raise ValueError("min_value must be positive")
+        if subbuckets < 1:
+            raise ValueError("need at least one sub-bucket per octave")
+        self.name = name
+        self.min_value = float(min_value)
+        self.subbuckets = subbuckets
+        self._counts: Dict[int, int] = {}
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def _index(self, value: float) -> int:
+        if value <= self.min_value:
+            return 0
+        octave = int(math.floor(math.log2(value / self.min_value)))
+        lower = self.min_value * (2.0 ** octave)
+        sub = int((value - lower) / (lower / self.subbuckets))
+        sub = min(sub, self.subbuckets - 1)
+        return 1 + octave * self.subbuckets + sub
+
+    def _midpoint(self, index: int) -> float:
+        if index == 0:
+            return self.min_value
+        octave, sub = divmod(index - 1, self.subbuckets)
+        lower = self.min_value * (2.0 ** octave)
+        width = lower / self.subbuckets
+        return lower + (sub + 0.5) * width
+
+    def record(self, value: float) -> None:
+        """Record one observation (must be non-negative)."""
+        if value < 0:
+            raise ValueError("histogram values cannot be negative")
+        index = self._index(value)
+        self._counts[index] = self._counts.get(index, 0) + 1
+        self.count += 1
+        self.total += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        """Exact arithmetic mean of everything recorded (0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """The value at percentile ``p`` (0–100), to bucket resolution."""
+        if not 0 <= p <= 100:
+            raise ValueError("percentile must be between 0 and 100")
+        if self.count == 0:
+            return 0.0
+        rank = max(1, math.ceil(self.count * p / 100.0))
+        # The extremes are tracked exactly — report them exactly.
+        if rank >= self.count:
+            return self.max
+        if rank == 1:
+            return self.min
+        seen = 0
+        for index in sorted(self._counts):
+            seen += self._counts[index]
+            if seen >= rank:
+                # Clamp to the exactly-tracked extrema so p=0/p=100 are
+                # exact and bucket midpoints never overshoot the data.
+                return min(max(self._midpoint(index), self.min), self.max)
+        return self.max  # pragma: no cover - unreachable (ranks sum to count)
+
+
+class MetricsRegistry:
+    """A named registry of counters, gauges, and histograms.
+
+    Metrics are created on first use (``registry.counter("x").inc()``)
+    and listed in sorted name order by :meth:`render`/:meth:`to_dict`.
+    :meth:`ingest` folds flight-recorder events into the standard engine
+    metrics so a recording doubles as a metrics source.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, LogLinearHistogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter called ``name``."""
+        return self._counters.setdefault(name, Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge called ``name``."""
+        return self._gauges.setdefault(name, Gauge(name))
+
+    def histogram(
+        self, name: str, min_value: float = 1e-6, subbuckets: int = 16
+    ) -> LogLinearHistogram:
+        """Get or create the histogram called ``name``."""
+        return self._histograms.setdefault(
+            name, LogLinearHistogram(name, min_value, subbuckets)
+        )
+
+    def ingest(self, events: Iterable[TraceEvent]) -> None:
+        """Fold recorder events into the standard metric set.
+
+        Cache hits/misses become counters (plus ``negative_hits`` for
+        cached OOMs), executed cell durations, GC pauses, allocation
+        stalls, and warmup overheads become histograms, and the cache
+        hit rate is kept as a gauge.
+        """
+        for event in events:
+            if isinstance(event, CacheHit):
+                self.counter("engine.cache.hits").inc()
+                if event.negative:
+                    self.counter("engine.cache.negative_hits").inc()
+            elif isinstance(event, CacheMiss):
+                self.counter("engine.cache.misses").inc()
+            elif isinstance(event, CellSpan):
+                if event.oom is not None:
+                    self.counter("engine.cells.infeasible").inc()
+                if not event.cached and not event.skipped and event.oom is None:
+                    self.histogram("engine.cell_seconds").record(event.dur)
+            elif isinstance(event, GcPause):
+                self.histogram("gc.pause_seconds").record(event.dur)
+            elif isinstance(event, AllocationStall):
+                self.histogram("gc.stall_seconds").record(event.dur)
+            elif isinstance(event, CompileWarmup):
+                self.histogram("jit.warmup_seconds").record(event.dur)
+        hits = self.counter("engine.cache.hits").value
+        misses = self.counter("engine.cache.misses").value
+        if hits + misses:
+            self.gauge("engine.cache.hit_rate").set(hits / (hits + misses))
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-friendly snapshot of every metric."""
+        out: Dict[str, object] = {}
+        for name, counter in sorted(self._counters.items()):
+            out[name] = counter.value
+        for name, gauge in sorted(self._gauges.items()):
+            out[name] = gauge.value
+        for name, hist in sorted(self._histograms.items()):
+            out[name] = {
+                "count": hist.count,
+                "mean": hist.mean,
+                "min": hist.min if hist.count else 0.0,
+                "p50": hist.percentile(50),
+                "p90": hist.percentile(90),
+                "p99": hist.percentile(99),
+                "max": hist.max if hist.count else 0.0,
+            }
+        return out
+
+    def render(self) -> str:
+        """A human-readable metrics dump, one metric per line."""
+        lines: List[str] = []
+        for name, counter in sorted(self._counters.items()):
+            lines.append(f"{name:<32} {counter.value}")
+        for name, gauge in sorted(self._gauges.items()):
+            lines.append(f"{name:<32} {gauge.value:.4f}")
+        for name, hist in sorted(self._histograms.items()):
+            if hist.count == 0:
+                lines.append(f"{name:<32} (empty)")
+                continue
+            lines.append(
+                f"{name:<32} count={hist.count} mean={hist.mean:.6f} "
+                f"p50={hist.percentile(50):.6f} p90={hist.percentile(90):.6f} "
+                f"p99={hist.percentile(99):.6f} max={hist.max:.6f}"
+            )
+        return "\n".join(lines)

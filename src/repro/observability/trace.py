@@ -1,0 +1,275 @@
+"""Export flight recordings as Chrome trace-event JSON and JSONL.
+
+The Chrome trace-event format is the lingua franca of timeline viewers:
+``chrome://tracing``, Perfetto (https://ui.perfetto.dev), and Speedscope
+all open it.  :func:`chrome_trace` maps a recording onto it so a sweep
+becomes a picture — one track per cell, the timed iteration as the top
+slice, GC pauses / concurrent work / allocation stalls nested inside it,
+and cache hits/misses as counter tracks.
+
+Mapping (see the format spec: "Trace Event Format", Google, 2016):
+
+- span events become complete (``"ph": "X"``) slices; nesting falls out
+  of interval containment on a shared ``tid``;
+- each :class:`~repro.observability.events.CellSpan` track becomes one
+  ``tid`` with a ``thread_name`` metadata record, so Perfetto shows
+  ``lusearch/G1/54MB#0`` tracks;
+- cache hits and misses become cumulative counter (``"ph": "C"``)
+  samples on the ``cache`` track;
+- timestamps are simulated seconds scaled to integer-friendly
+  microseconds — the format's native unit.
+
+Exports are deterministic byte-for-byte for a given recording (keys are
+sorted, no wall clock anywhere), so traces can be diffed and cached like
+any other artefact.  :func:`validate_chrome_trace` is the schema check
+used by tests and CI before a trace is shipped.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Union
+
+from repro.observability.events import (
+    AllocationStall,
+    BatchSpan,
+    CacheHit,
+    CacheMiss,
+    CellSpan,
+    CompileWarmup,
+    ConcurrentSpan,
+    GcPause,
+    IterationSpan,
+    SpanEvent,
+    TraceEvent,
+)
+
+#: The engine's process id in exported traces (arbitrary but stable).
+TRACE_PID = 1
+
+#: Phases this exporter emits; :func:`validate_chrome_trace` accepts the
+#: wider set real traces contain.
+_VALID_PHASES = frozenset("XICMBEbensOND(")
+
+
+def _micros(seconds: float) -> float:
+    """Simulated seconds → trace microseconds, rounded for stable JSON."""
+    return round(seconds * 1e6, 3)
+
+
+def _span_name(event: SpanEvent) -> str:
+    if isinstance(event, CellSpan):
+        if event.cached:
+            return f"cache-hit {event.label}"
+        if event.skipped:
+            return f"skipped {event.label}"
+        return event.label
+    if isinstance(event, IterationSpan):
+        return f"iteration {event.index}"
+    if isinstance(event, GcPause):
+        return event.kind
+    if isinstance(event, ConcurrentSpan):
+        return "concurrent GC"
+    if isinstance(event, AllocationStall):
+        return "allocation stall"
+    if isinstance(event, CompileWarmup):
+        return f"warmup x{event.factor:.2f}"
+    if isinstance(event, BatchSpan):
+        return f"batch ({event.cells} cells)"
+    return type(event).__name__
+
+
+def _span_category(event: SpanEvent) -> str:
+    if isinstance(event, (GcPause, ConcurrentSpan, AllocationStall)):
+        return "gc"
+    if isinstance(event, CompileWarmup):
+        return "jit"
+    if isinstance(event, IterationSpan):
+        return "iteration"
+    return "engine"
+
+
+def _span_args(event: SpanEvent) -> Dict[str, object]:
+    args: Dict[str, object] = {}
+    if isinstance(event, CellSpan):
+        args = {
+            "benchmark": event.benchmark,
+            "collector": event.collector,
+            "heap_mb": event.heap_mb,
+            "invocation": event.invocation,
+            "worker": event.worker,
+            "cached": event.cached,
+        }
+        if event.oom is not None:
+            args["oom"] = event.oom
+        if event.skipped:
+            args["skipped"] = True
+    elif isinstance(event, GcPause):
+        args = {"kind": event.kind, "gc_workers": event.gc_workers}
+    elif isinstance(event, ConcurrentSpan):
+        args = {"gc_threads": event.gc_threads, "dilation": event.dilation}
+    elif isinstance(event, CompileWarmup):
+        args = {"iteration": event.iteration, "factor": event.factor}
+    elif isinstance(event, IterationSpan):
+        args = {"benchmark": event.benchmark, "collector": event.collector}
+    return args
+
+
+def chrome_trace_events(events: Iterable[TraceEvent]) -> List[dict]:
+    """Convert typed recorder events into Chrome trace-event dicts."""
+    out: List[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": TRACE_PID,
+            "tid": 0,
+            "args": {"name": "chopin engine"},
+        }
+    ]
+    track_names: Dict[int, str] = {}
+    hits = 0
+    misses = 0
+    for event in events:
+        if isinstance(event, CacheHit):
+            hits += 1
+        elif isinstance(event, CacheMiss):
+            misses += 1
+        if isinstance(event, (CacheHit, CacheMiss)):
+            out.append(
+                {
+                    "name": "cache",
+                    "ph": "C",
+                    "ts": _micros(event.ts),
+                    "pid": TRACE_PID,
+                    "tid": 0,
+                    "args": {"hits": hits, "misses": misses},
+                }
+            )
+            continue
+        if not isinstance(event, SpanEvent):  # pragma: no cover - future kinds
+            continue
+        if isinstance(event, CellSpan) and event.track not in track_names:
+            track_names[event.track] = event.label
+        out.append(
+            {
+                "name": _span_name(event),
+                "cat": _span_category(event),
+                "ph": "X",
+                "ts": _micros(event.ts),
+                "dur": _micros(event.dur),
+                "pid": TRACE_PID,
+                "tid": event.track,
+                "args": _span_args(event),
+            }
+        )
+    for track in sorted(track_names):
+        out.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": TRACE_PID,
+                "tid": track,
+                "args": {"name": track_names[track]},
+            }
+        )
+    return out
+
+
+def chrome_trace(events: Iterable[TraceEvent]) -> dict:
+    """A complete Chrome trace document for a recording."""
+    return {
+        "traceEvents": chrome_trace_events(events),
+        "displayTimeUnit": "ms",
+        "otherData": {"generator": "repro.observability", "clock": "simulated"},
+    }
+
+
+def write_chrome_trace(events: Iterable[TraceEvent], path: Union[str, Path]) -> Path:
+    """Write a recording as Chrome trace JSON; returns the path written."""
+    path = Path(path)
+    document = chrome_trace(events)
+    problems = validate_chrome_trace(document)
+    if problems:  # pragma: no cover - exporter always emits valid traces
+        raise ValueError(f"refusing to write invalid trace: {problems[0]}")
+    path.write_text(json.dumps(document, sort_keys=True, indent=1) + "\n")
+    return path
+
+
+def write_jsonl(events: Iterable[TraceEvent], path: Union[str, Path]) -> Path:
+    """Write a recording as JSONL: one typed event object per line.
+
+    The lossless machine-readable form — every field of every typed
+    event, tagged with its type, for downstream tooling that wants the
+    events rather than the rendering.
+    """
+    path = Path(path)
+    with path.open("w") as fh:
+        for event in events:
+            record = {"type": type(event).__name__}
+            record.update(
+                {
+                    field: getattr(event, field)
+                    for field in event.__dataclass_fields__
+                }
+            )
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+    return path
+
+
+def validate_chrome_trace(document: object) -> List[str]:
+    """Check a trace document against the Chrome trace-event schema.
+
+    Returns a list of problems (empty means valid).  The checks cover
+    what viewers actually require: a ``traceEvents`` array of objects,
+    each with a string ``name`` and known ``ph``, numeric non-negative
+    ``ts`` (and ``dur`` for complete events), integer ``pid``/``tid``,
+    and dict ``args`` where present; metadata records must carry their
+    payload.
+    """
+    problems: List[str] = []
+    if not isinstance(document, dict):
+        return [f"trace document must be a JSON object, got {type(document).__name__}"]
+    trace_events = document.get("traceEvents")
+    if not isinstance(trace_events, list):
+        return ["trace document needs a 'traceEvents' array"]
+    for i, entry in enumerate(trace_events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(entry, dict):
+            problems.append(f"{where}: events must be objects")
+            continue
+        name = entry.get("name")
+        if not isinstance(name, str) or not name:
+            problems.append(f"{where}: missing or empty 'name'")
+        phase = entry.get("ph")
+        if not isinstance(phase, str) or phase not in _VALID_PHASES:
+            problems.append(f"{where}: unknown phase {phase!r}")
+            continue
+        for key in ("pid", "tid"):
+            if key in entry and not isinstance(entry[key], int):
+                problems.append(f"{where}: '{key}' must be an integer")
+        if "args" in entry and not isinstance(entry["args"], dict):
+            problems.append(f"{where}: 'args' must be an object")
+        if phase == "M":
+            args = entry.get("args")
+            if not isinstance(args, dict) or not isinstance(args.get("name"), str):
+                problems.append(f"{where}: metadata records need args.name")
+            continue
+        ts = entry.get("ts")
+        if not isinstance(ts, (int, float)) or isinstance(ts, bool) or ts < 0:
+            problems.append(f"{where}: 'ts' must be a non-negative number")
+        if phase == "X":
+            dur = entry.get("dur")
+            if not isinstance(dur, (int, float)) or isinstance(dur, bool) or dur < 0:
+                problems.append(f"{where}: complete events need non-negative 'dur'")
+        if phase == "C" and not isinstance(entry.get("args"), dict):
+            problems.append(f"{where}: counter events need numeric args")
+    return problems
+
+
+def nested_slices(events: Sequence[TraceEvent], track: int) -> List[SpanEvent]:
+    """The span events on one track, sorted by start then by -duration —
+    the order in which a viewer nests them.  Convenience for tests and
+    programmatic trace inspection."""
+    spans = [e for e in events if isinstance(e, SpanEvent) and e.track == track]
+    return sorted(spans, key=lambda s: (s.ts, -s.dur))

@@ -4,7 +4,7 @@ import pytest
 
 from repro import registry
 from repro.harness.runner import measure
-from repro.jvm.gclog import GcLogSummary, format_gc_log, parse_gc_log
+from repro.jvm.gclog import _KIND_LABELS, GcLogSummary, format_gc_log, parse_gc_log
 from repro.jvm.telemetry import GcEvent, Telemetry
 
 
@@ -52,6 +52,28 @@ class TestParsing:
     def test_garbage_rejected(self):
         with pytest.raises(ValueError):
             parse_gc_log(["not a gc line"])
+
+    @pytest.mark.parametrize("kind", sorted(_KIND_LABELS))
+    def test_every_known_kind_roundtrips(self, kind):
+        telem = Telemetry()
+        telem.record_gc(GcEvent(time=0.25, kind=kind, pause_s=0.0042,
+                                reclaimed_mb=55.0, heap_before_mb=200.0, heap_after_mb=145.0))
+        (event,) = parse_gc_log(format_gc_log(telem, 348.0))
+        assert event.kind == kind
+
+    def test_fallback_label_roundtrips(self):
+        # Kinds outside _KIND_LABELS render as "Pause (<kind>)"; parsing
+        # must invert that instead of collapsing them to "parsed".
+        telem = Telemetry()
+        telem.record_gc(GcEvent(time=0.1, kind="degenerated", pause_s=0.001,
+                                reclaimed_mb=1.0, heap_before_mb=2.0, heap_after_mb=1.0))
+        (event,) = parse_gc_log(format_gc_log(telem, 10.0))
+        assert event.kind == "degenerated"
+
+    def test_alien_label_maps_to_parsed(self):
+        line = "[0.100s][info][gc] GC(0) Pause Remark 10M->9M(32M) 1.000ms"
+        (event,) = parse_gc_log([line])
+        assert event.kind == "parsed"
 
     def test_summary(self):
         events = parse_gc_log(format_gc_log(sample_telemetry(), 348.0))
