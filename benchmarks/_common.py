@@ -22,10 +22,15 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 #: Shared execution engine for the sweep-heavy benches.  Controlled by
 #: environment variables so no pytest plumbing is needed:
 #:
-#:   CHOPIN_JOBS=8       fan cells out over 8 worker processes
-#:   CHOPIN_CACHE_DIR=p  memoize cell results under p (reruns are ~free)
-#:   CHOPIN_NO_CACHE=1   ignore CHOPIN_CACHE_DIR
-#:   CHOPIN_PROGRESS=1   log per-cell progress to stderr
+#:   CHOPIN_JOBS=8          fan cells out over 8 worker processes
+#:   CHOPIN_CACHE_DIR=p     memoize cell results under p (reruns are ~free)
+#:   CHOPIN_NO_CACHE=1      ignore CHOPIN_CACHE_DIR
+#:   CHOPIN_PROGRESS=1      log per-cell progress to stderr
+#:   CHOPIN_RETRIES=3       retry budget per cell for transient failures
+#:   CHOPIN_CELL_TIMEOUT=60 per-cell wall-clock timeout in seconds
+#:   CHOPIN_RESUME=p.jsonl  checkpoint journal: interrupted sweeps resume
+#:   CHOPIN_CHAOS_RATE=0.1  seeded fault injection (harness self-test)
+#:   CHOPIN_CHAOS_SEED=42   seed for the injected fault sequence
 ENGINE = engine_from_env()
 
 #: Scaled-down analogue of the paper's Section 6.1 configuration.

@@ -1,0 +1,76 @@
+"""Engine throughput: how fast the harness moves cells, cold and warm.
+
+Not a paper figure — a harness health metric for the execution engine
+itself, emitted as ``BENCH_engine.json`` so regressions in cell dispatch,
+cache lookup, or pool fan-out show up as numbers rather than as slower
+sweeps.  Reported: cells/sec simulated cold at ``jobs=1`` and ``jobs=4``,
+and cache hits/sec on a fully warm rerun.
+"""
+
+import json
+import time
+
+from _common import RESULTS_DIR
+
+from repro import Cell, ExecutionEngine, RunConfig, registry
+
+#: Small cells so the benchmark measures engine overhead, not simulation.
+GRID_CONFIG = RunConfig(invocations=2, iterations=2, duration_scale=0.05)
+
+
+def build_grid():
+    cells = []
+    for name in ("lusearch", "fop", "avrora", "biojava"):
+        spec = registry.workload(name)
+        for collector in ("Serial", "G1"):
+            for multiple in (2.0, 3.0):
+                for invocation in range(2):
+                    cells.append(
+                        Cell(
+                            spec=spec,
+                            collector=collector,
+                            heap_mb=spec.heap_mb_for(multiple),
+                            invocation=invocation,
+                            config=GRID_CONFIG,
+                        )
+                    )
+    return cells
+
+
+def rate(cells, fn):
+    start = time.perf_counter()
+    fn(cells)
+    return len(cells) / (time.perf_counter() - start)
+
+
+def test_engine_throughput(benchmark, tmp_path):
+    cells = build_grid()
+
+    # The benchmarked path: a cold serial batch through a fresh engine.
+    cold_1 = benchmark.pedantic(
+        lambda: rate(cells, ExecutionEngine(jobs=1).run_cells), rounds=1, iterations=1
+    )
+    cold_4 = rate(cells, ExecutionEngine(jobs=4).run_cells)
+
+    cache_dir = tmp_path / "cache"
+    ExecutionEngine(cache_dir=cache_dir).run_cells(cells)  # populate
+    warm_engine = ExecutionEngine(cache_dir=cache_dir)
+    warm = rate(cells, warm_engine.run_cells)
+    assert warm_engine.stats.executed == 0  # fully warm: hits/sec, not a mix
+
+    report = {
+        "cells": len(cells),
+        "cold_jobs1_cells_per_s": round(cold_1, 2),
+        "cold_jobs4_cells_per_s": round(cold_4, 2),
+        "warm_hits_per_s": round(warm, 2),
+        "jobs4_speedup": round(cold_4 / cold_1, 3),
+        "warm_speedup": round(warm / cold_1, 3),
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "BENCH_engine.json"
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"\nwrote {path}: {report}")
+
+    # Warm lookups must beat cold simulation by a wide margin — the whole
+    # point of the content-addressed cache.
+    assert warm > 2.0 * cold_1

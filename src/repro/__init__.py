@@ -15,6 +15,10 @@ simulated JVM:
   and principal components analysis.
 - :mod:`repro.harness` - the experiment runner and the pre-packaged
   experiments behind every figure and table of the paper.
+- :mod:`repro.observability` - the JFR-style flight recorder: typed
+  events, metrics, and Chrome-trace export.
+- :mod:`repro.resilience` - retries, timeouts, checkpoint/resume, and
+  deterministic fault injection for production-scale sweeps.
 
 Quickstart::
 
@@ -43,18 +47,30 @@ from repro.harness.engine import (
     Cell,
     EngineStats,
     ExecutionEngine,
+    Hole,
     LogSink,
+    PartialBatch,
     ProgressSink,
     ResultCache,
     cell_key,
 )
 from repro.harness.experiments import (
+    ChaosDrill,
     TracedSweep,
+    chaos_drill,
     heap_timeseries,
     latency_experiment,
     lbo_experiment,
     suite_lbo,
     trace_sweep,
+)
+from repro.resilience import (
+    CellExecutionError,
+    CheckpointJournal,
+    FaultInjector,
+    FaultSpec,
+    NullInjector,
+    RetryPolicy,
 )
 from repro.observability import (
     MetricsRegistry,
@@ -94,22 +110,31 @@ __all__ = [
     "COLLECTORS",
     "COLLECTOR_NAMES",
     "Cell",
+    "CellExecutionError",
+    "ChaosDrill",
+    "CheckpointJournal",
     "EXPERIMENTS",
     "EngineStats",
     "EnvironmentProfile",
     "EnvironmentSensitivity",
     "ExecutionEngine",
     "ExperimentPlan",
+    "FaultInjector",
+    "FaultSpec",
     "Heap",
+    "Hole",
     "LatencyRun",
     "LogSink",
     "METRICS",
     "MetricsRegistry",
+    "NullInjector",
     "NullRecorder",
     "OutOfMemoryError",
+    "PartialBatch",
     "ProgressSink",
     "Recorder",
     "ResultCache",
+    "RetryPolicy",
     "RunConfig",
     "RunCosts",
     "SuiteLbo",
@@ -119,6 +144,7 @@ __all__ = [
     "available_sizes",
     "bootstrap_ci",
     "cell_key",
+    "chaos_drill",
     "characterize",
     "compare_collectors",
     "format_insights",

@@ -18,7 +18,13 @@ from repro.core.insights import format_insights
 from repro.core.nominal import format_report
 from repro.core.pca import determinant_metrics, suite_pca
 from repro.harness.engine import ExecutionEngine, LogSink
-from repro.harness.experiments import latency_experiment, lbo_experiment, trace_sweep
+from repro.harness.experiments import (
+    chaos_drill,
+    latency_experiment,
+    lbo_experiment,
+    trace_sweep,
+)
+from repro.resilience import FaultInjector, FaultSpec, RetryPolicy
 from repro.observability import (
     MetricsRegistry,
     Recorder,
@@ -38,10 +44,55 @@ from repro.jvm.collectors import COLLECTOR_NAMES, UnknownCollectorError, resolve
 from repro.workloads import nominal_data, registry
 
 
+def _positive_int(text: str) -> int:
+    """argparse type: a strictly positive integer, rejected with a
+    one-line message (never a traceback) on bad input."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a positive integer, got {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"expected a positive integer, got {text!r}")
+    return value
+
+
+def _non_negative_int(text: str) -> int:
+    """argparse type: an integer >= 0."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a non-negative integer, got {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"expected a non-negative integer, got {text!r}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    """argparse type: a strictly positive number."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a positive number, got {text!r}")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"expected a positive number, got {text!r}")
+    return value
+
+
+def _rate(text: str) -> float:
+    """argparse type: a probability in [0, 1]."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a rate in [0, 1], got {text!r}")
+    if not 0.0 <= value <= 1.0:
+        raise argparse.ArgumentTypeError(f"expected a rate in [0, 1], got {text!r}")
+    return value
+
+
 def _add_engine_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--jobs",
-        type=int,
+        type=_positive_int,
         default=1,
         help="worker processes for sweep cells (1 = in-process serial)",
     )
@@ -56,13 +107,46 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--cell-progress", action="store_true", help="log per-cell progress to stderr"
     )
+    parser.add_argument(
+        "--retries",
+        type=_non_negative_int,
+        default=0,
+        help="retry budget per cell for transient failures (default: 0)",
+    )
+    parser.add_argument(
+        "--cell-timeout",
+        type=_positive_float,
+        default=None,
+        help="per-cell wall-clock timeout in seconds (hung cells are retried)",
+    )
+    parser.add_argument(
+        "--resume",
+        default=None,
+        metavar="JOURNAL",
+        help="checkpoint journal path: completed cells are journalled and an "
+        "interrupted sweep resumes from where it stopped",
+    )
+    parser.add_argument(
+        "--chaos-rate",
+        type=_rate,
+        default=None,
+        help="inject seeded faults at this overall rate (testing the harness)",
+    )
+    parser.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=0,
+        help="seed for deterministic fault injection (default: 0)",
+    )
 
 
 def _add_run_options(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--invocations", type=int, default=3, help="invocations per data point")
+    parser.add_argument(
+        "--invocations", type=_positive_int, default=3, help="invocations per data point"
+    )
     parser.add_argument(
         "--scale",
-        type=float,
+        type=_positive_float,
         default=1.0,
         help="iteration duration scale (use <1 for quick looks)",
     )
@@ -76,7 +160,20 @@ def _config(args: argparse.Namespace) -> RunConfig:
 def _engine(args: argparse.Namespace) -> ExecutionEngine:
     cache_dir = None if args.no_cache else args.cache_dir
     progress = LogSink(sys.stderr) if args.cell_progress else None
-    return ExecutionEngine(jobs=args.jobs, cache_dir=cache_dir, progress=progress)
+    retry = None
+    if args.retries or args.cell_timeout is not None:
+        retry = RetryPolicy(retries=args.retries, cell_timeout_s=args.cell_timeout)
+    injector = None
+    if args.chaos_rate:
+        injector = FaultInjector(FaultSpec.uniform(args.chaos_rate, seed=args.chaos_seed))
+    return ExecutionEngine(
+        jobs=args.jobs,
+        cache_dir=cache_dir,
+        progress=progress,
+        retry=retry,
+        injector=injector,
+        checkpoint=args.resume,
+    )
 
 
 def cmd_list(_: argparse.Namespace) -> int:
@@ -224,6 +321,55 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    spec = registry.workload(args.benchmark)
+    collectors = args.collector or ["Serial", "G1"]
+    for name in collectors:
+        try:
+            resolve_collector(name)
+        except UnknownCollectorError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+    multiples = tuple(args.multiple) if args.multiple else (2.0, 3.0)
+    drill = chaos_drill(
+        spec,
+        collectors=tuple(collectors),
+        multiples=multiples,
+        config=_config(args),
+        chaos_rate=args.chaos_rate,
+        chaos_seed=args.chaos_seed,
+        retries=args.retries,
+        cell_timeout_s=args.cell_timeout,
+        jobs=args.jobs,
+    )
+    stats = drill.stats
+    print(
+        f"chaos drill: {drill.cells} cells at rate {args.chaos_rate:g} "
+        f"(seed {args.chaos_seed}, retry budget {args.retries})"
+    )
+    print(
+        f"absorbed: {stats.retries} retries, {stats.timeouts} timeouts, "
+        f"{stats.gave_up} cells given up"
+    )
+    for hole in drill.holes:
+        cell = hole.cell
+        print(
+            f"hole: {cell.spec.name}/{cell.collector}/{cell.heap_mb:g}MB"
+            f"#{cell.invocation} after {hole.attempts} attempts: {hole.error}",
+            file=sys.stderr,
+        )
+    if drill.divergent:
+        print(
+            f"{drill.divergent} cells diverged from the fault-free baseline",
+            file=sys.stderr,
+        )
+    if drill.ok:
+        print("PASS: zero holes, every cell bit-identical to the fault-free run")
+        return 0
+    print("FAIL: resilience drill left holes or divergent results", file=sys.stderr)
+    return 1
+
+
 def cmd_pca(args: argparse.Namespace) -> int:
     result = suite_pca(n_components=4)
     print("Principal components analysis of the DaCapo Chopin workloads")
@@ -294,12 +440,67 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_trace.add_argument(
         "--ring-size",
-        type=int,
+        type=_positive_int,
         default=65536,
         help="flight-recorder ring capacity in events (default: 65536)",
     )
     _add_run_options(p_trace)
     p_trace.set_defaults(func=cmd_trace)
+
+    p_chaos = sub.add_parser(
+        "chaos", help="prove the resilience layer: faulted sweep vs fault-free"
+    )
+    p_chaos.add_argument("benchmark", choices=nominal_data.BENCHMARK_NAMES)
+    p_chaos.add_argument(
+        "--collector",
+        action="append",
+        default=None,
+        help="collector to sweep (repeatable; default: Serial and G1)",
+    )
+    p_chaos.add_argument(
+        "--multiple",
+        action="append",
+        type=_positive_float,
+        default=None,
+        help="heap multiple to sweep (repeatable; default: 2.0 and 3.0)",
+    )
+    p_chaos.add_argument(
+        "--chaos-rate",
+        type=_rate,
+        default=0.3,
+        help="overall fault-injection rate (default: 0.3)",
+    )
+    p_chaos.add_argument(
+        "--chaos-seed", type=int, default=0, help="fault-injection seed (default: 0)"
+    )
+    p_chaos.add_argument(
+        "--retries",
+        type=_non_negative_int,
+        default=3,
+        help="retry budget per cell (default: 3)",
+    )
+    p_chaos.add_argument(
+        "--cell-timeout",
+        type=_positive_float,
+        default=None,
+        help="per-cell timeout in seconds",
+    )
+    p_chaos.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        help="worker processes (1 = in-process serial)",
+    )
+    p_chaos.add_argument(
+        "--invocations", type=_positive_int, default=2, help="invocations per data point"
+    )
+    p_chaos.add_argument(
+        "--scale",
+        type=_positive_float,
+        default=0.1,
+        help="iteration duration scale (default: 0.1 — drills should be quick)",
+    )
+    p_chaos.set_defaults(func=cmd_chaos)
 
     sub.add_parser("pca", help="suite diversity analysis (Figure 4)").set_defaults(func=cmd_pca)
 

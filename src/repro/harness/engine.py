@@ -33,6 +33,16 @@ The engine therefore produces bit-identical results for any ``jobs``
 value and any cache state, and identical results to the legacy serial
 path, because every path calls ``simulate_run`` with the same arguments
 and the simulator reseeds from them.
+
+Resilience (:mod:`repro.resilience`) extends the guarantee to failure:
+an :class:`~repro.resilience.FaultInjector` injects seeded chaos into
+attempts, a :class:`~repro.resilience.RetryPolicy` bounds timeouts and
+backoff, and a :class:`~repro.resilience.CheckpointJournal` makes
+interrupted sweeps resumable.  Faults replace or delay attempts but
+never perturb a successful simulation, so a chaos run that converges is
+bit-identical to a fault-free one.  All of it is off by default, and the
+fault-free fast path pays a single ``enabled``-style check
+(:attr:`ExecutionEngine.resilient`) before taking the legacy code path.
 """
 
 from __future__ import annotations
@@ -45,15 +55,27 @@ import os
 import pickle
 import sys
 import tempfile
+import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import TYPE_CHECKING, List, Optional, Sequence, TextIO, Tuple, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, TextIO, Tuple, Union
 
 from repro.jvm.collectors import resolve_collector
 from repro.jvm.heap import OutOfMemoryError
 from repro.jvm.simulator import IterationResult, simulate_run
 from repro.observability import events as flight
+from repro.resilience import (
+    CellExecutionError,
+    CellTimeout,
+    CheckpointJournal,
+    FaultInjector,
+    FaultSpec,
+    NullInjector,
+    RetryPolicy,
+    classify,
+    corrupt_entry,
+)
 from repro.workloads.spec import WorkloadSpec
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runner imports us)
@@ -185,17 +207,69 @@ def _execute_cell(payload: Tuple[Cell, str]) -> CellResult:
     return CellResult(key=key, timed=run.timed, duration_s=time.perf_counter() - started)
 
 
+def _execute_cell_chaos(
+    payload: Tuple[Cell, str, Optional[FaultSpec], int]
+) -> CellResult:
+    """Run one cell under chaos (pool worker entry point).
+
+    The injector is rebuilt from its picklable spec in the child and
+    redraws the same deterministic fault decision the parent computed,
+    so injected failures fire *inside* the worker — a crash raised here
+    travels back through ``AsyncResult.get`` exactly like a real worker
+    failure, and a hang really does occupy the worker.
+    """
+    cell, key, spec, attempt = payload
+    if spec is not None:
+        injector = FaultInjector(spec)
+        kind = injector.decide(key, attempt)
+        if kind is not None:
+            injector.fire(kind, key, attempt)
+    return _execute_cell((cell, key))
+
+
+def _call_with_timeout(fn, payload, timeout_s: float, key: str) -> CellResult:
+    """Run ``fn(payload)`` with a wall-clock bound (in-process path).
+
+    The attempt runs on a daemon thread joined with ``timeout_s``; a
+    blown deadline raises :class:`~repro.resilience.CellTimeout` and
+    abandons the thread (it finishes — or keeps hanging — harmlessly in
+    the background, like a hung forked JVM left for the OS to reap).
+    """
+    box: Dict[str, object] = {}
+
+    def target() -> None:
+        try:
+            box["result"] = fn(payload)
+        except BaseException as exc:  # propagate into the caller's frame
+            box["error"] = exc
+
+    thread = threading.Thread(target=target, daemon=True)
+    thread.start()
+    thread.join(timeout_s)
+    if thread.is_alive():
+        raise CellTimeout(f"cell {key[:12]} exceeded {timeout_s:g}s timeout")
+    if "error" in box:
+        raise box["error"]  # type: ignore[misc]
+    return box["result"]  # type: ignore[return-value]
+
+
 class ResultCache:
     """Content-addressed on-disk memo of :class:`CellResult` objects.
 
     Entries live at ``<root>/<key[:2]>/<key>.pkl``; writes are atomic
     (temp file + rename) so concurrent engines sharing a cache directory
     never observe partial entries.  Reads are best-effort: a corrupt or
-    unreadable entry is a miss, never an error.
+    unreadable entry reads as a miss, never an error — but corruption is
+    *counted* (``corrupt``), not silently swallowed, so cache rot shows
+    up in :class:`EngineStats` instead of masquerading as a cold cache.
     """
 
     def __init__(self, root: Union[str, Path]) -> None:
         self.root = Path(root)
+        #: Entries that existed but failed to load or validate — torn
+        #: writes, disk rot, or injected corruption.  Monotonic; the
+        #: engine folds per-batch deltas into ``EngineStats.corrupt``.
+        self.corrupt = 0
 
     def path_for(self, key: str) -> Path:
         """Where a key's entry lives (whether or not it exists yet)."""
@@ -207,12 +281,17 @@ class ResultCache:
         try:
             with path.open("rb") as fh:
                 result = pickle.load(fh)
+        except OSError:
+            return None  # a genuine miss: absent (or unreadable) entry
         # Unpickling a truncated or overwritten entry can raise almost
         # anything (ValueError, KeyError, ...), so treat any failure as
-        # a miss rather than enumerating exception types.
+        # a miss rather than enumerating exception types — but count it:
+        # the entry *existed* and was unusable.
         except Exception:
+            self.corrupt += 1
             return None
         if not isinstance(result, CellResult) or result.key != key:
+            self.corrupt += 1
             return None
         return result
 
@@ -251,6 +330,9 @@ class ProgressSink:
     def cell_finished(self, cell: Cell, result: CellResult, from_cache: bool) -> None:
         """One cell completed (executed, cached, or fail-fast skipped)."""
 
+    def cell_failed(self, cell: Cell, hole: "Hole") -> None:
+        """One cell exhausted its retry budget (partial mode only)."""
+
     def batch_finished(self, stats: "EngineStats") -> None:
         """The batch completed; ``stats`` covers the engine's lifetime."""
 
@@ -284,6 +366,16 @@ class LogSink(ProgressSink):
             file=self.stream,
         )
 
+    def cell_failed(self, cell: Cell, hole: "Hole") -> None:
+        self._done += 1
+        multiple = cell.heap_mb / cell.spec.minheap_mb
+        print(
+            f"[{self._done}/{self._total}] {cell.spec.name} {cell.collector} "
+            f"{multiple:.2f}x inv{cell.invocation}: FAILED after "
+            f"{hole.attempts} attempt(s): {hole.error}",
+            file=self.stream,
+        )
+
     def batch_finished(self, stats: "EngineStats") -> None:
         print(
             f"engine: {stats.executed} executed, {stats.cached} cached "
@@ -291,6 +383,19 @@ class LogSink(ProgressSink):
             f"{stats.oom} infeasible, {stats.execute_s:.2f}s simulating",
             file=self.stream,
         )
+        if stats.corrupt:
+            print(
+                f"engine: {stats.corrupt} corrupt cache entr"
+                f"{'y' if stats.corrupt == 1 else 'ies'} detected and "
+                f"re-simulated (cache rot — consider clearing the cache dir)",
+                file=self.stream,
+            )
+        if stats.retries or stats.timeouts or stats.gave_up:
+            print(
+                f"engine: {stats.retries} retries, {stats.timeouts} timeouts, "
+                f"{stats.gave_up} cells gave up",
+                file=self.stream,
+            )
 
 
 @dataclass
@@ -308,6 +413,11 @@ class EngineStats:
     skipped: int = 0  # cells short-circuited by fail-fast
     negative_hits: int = 0  # cache hits on stored OutOfMemoryError results
     execute_s: float = 0.0  # total simulation time across cells
+    retries: int = 0  # attempts re-run after a transient failure
+    timeouts: int = 0  # attempts that blew the per-cell timeout
+    gave_up: int = 0  # cells that exhausted their retry budget (holes)
+    corrupt: int = 0  # cache entries that existed but failed to load
+    resumed: int = 0  # cache hits confirmed by the checkpoint journal
 
     @property
     def hits(self) -> int:
@@ -341,7 +451,53 @@ class EngineStats:
             skipped=self.skipped - other.skipped,
             negative_hits=self.negative_hits - other.negative_hits,
             execute_s=self.execute_s - other.execute_s,
+            retries=self.retries - other.retries,
+            timeouts=self.timeouts - other.timeouts,
+            gave_up=self.gave_up - other.gave_up,
+            corrupt=self.corrupt - other.corrupt,
+            resumed=self.resumed - other.resumed,
         )
+
+
+@dataclass(frozen=True)
+class Hole:
+    """One cell the engine could not complete: where, how hard it tried,
+    and the last failure — everything needed to re-target the gap."""
+
+    cell: Cell
+    key: str
+    attempts: int
+    error: str
+
+
+@dataclass
+class PartialBatch:
+    """Graceful-degradation return of :meth:`ExecutionEngine.run_cells`.
+
+    ``results`` is in input order with ``None`` placeholders at holes;
+    ``holes`` names every incomplete cell with its attempt count and last
+    error.  A fully-successful partial run has ``complete=True`` and its
+    ``results`` equal the strict-mode return value.
+    """
+
+    results: List[Optional[CellResult]]
+    holes: List[Hole] = field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        """True when every cell produced a result."""
+        return not self.holes
+
+    def completed(self) -> List[CellResult]:
+        """The results that exist, holes elided."""
+        return [r for r in self.results if r is not None]
+
+    def raise_if_incomplete(self) -> List[CellResult]:
+        """Strict-mode view: the full results, or the first hole's error."""
+        if self.holes:
+            hole = self.holes[0]
+            raise CellExecutionError(hole.key, hole.attempts, hole.error)
+        return self.completed()
 
 
 class ExecutionEngine:
@@ -363,6 +519,16 @@ class ExecutionEngine:
     so it cannot perturb cache keys or outputs — results are bit-identical
     with the recorder on or off, and cache hits still appear in the trace
     as zero-work hit spans.
+
+    Resilience is opt-in through three more collaborators, all inert by
+    default: ``retry`` (a :class:`~repro.resilience.RetryPolicy` adding
+    per-cell timeouts and bounded backoff), ``injector`` (a
+    :class:`~repro.resilience.FaultInjector` injecting seeded chaos into
+    attempts), and ``checkpoint`` (a
+    :class:`~repro.resilience.CheckpointJournal` — or a path to one —
+    journalling completed cells so interrupted sweeps resume).  When none
+    is active, :attr:`resilient` is False and ``run_cells`` takes the
+    exact legacy code path.
     """
 
     def __init__(
@@ -371,6 +537,9 @@ class ExecutionEngine:
         cache_dir: Optional[Union[str, Path]] = None,
         progress: Optional[ProgressSink] = None,
         recorder: Optional["flight.NullRecorder"] = None,
+        retry: Optional[RetryPolicy] = None,
+        injector: Optional[NullInjector] = None,
+        checkpoint: Optional[Union[str, Path, CheckpointJournal]] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError("engine needs at least one job")
@@ -378,16 +547,39 @@ class ExecutionEngine:
         self.cache = ResultCache(cache_dir) if cache_dir is not None else None
         self.progress = progress if progress is not None else ProgressSink()
         self.recorder = recorder if recorder is not None else flight.NullRecorder()
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.injector = injector if injector is not None else NullInjector()
+        if isinstance(checkpoint, (str, Path)):
+            checkpoint = CheckpointJournal(checkpoint)
+        self.checkpoint = checkpoint
         self.stats = EngineStats()
+        # Per-batch attempt history (faults injected, retries charged),
+        # kept out of CellResult so cached payloads stay bit-identical
+        # whether or not chaos happened on the way to them.
+        self._attempt_log: Dict[int, List[tuple]] = {}
         # Flight-recorder bookkeeping: per-worker simulated-time cursors
         # and the next free display track, persisted across batches so a
         # reused engine lays successive batches out end to end.
         self._worker_clocks = [0.0] * jobs
         self._next_track = 1  # track 0 is the cache-counter track
 
+    @property
+    def resilient(self) -> bool:
+        """True when any resilience collaborator is active — the single
+        check the fault-free fast path pays (the ``NullRecorder``
+        pattern: one branch, then the legacy code verbatim)."""
+        return (
+            self.injector.enabled
+            or self.retry.active
+            or self.checkpoint is not None
+        )
+
     def run_cells(
-        self, cells: Sequence[Cell], fail_fast: bool = False
-    ) -> List[CellResult]:
+        self,
+        cells: Sequence[Cell],
+        fail_fast: bool = False,
+        partial: bool = False,
+    ) -> Union[List[CellResult], PartialBatch]:
         """Execute a batch, returning results in input order.
 
         Cache hits never execute; misses are simulated (in parallel when
@@ -398,26 +590,54 @@ class ExecutionEngine:
         the first failure (like ``measure``) never observe them.  With
         ``jobs>1`` fail-fast is a no-op: the pool runs everything, and
         parallelism pays for the wasted cells.
+
+        When the engine is :attr:`resilient`, every miss runs under the
+        retry policy (and the chaos injector, when one is attached).  A
+        cell that exhausts its budget raises
+        :class:`~repro.resilience.CellExecutionError` — unless
+        ``partial`` is set, in which case the return value becomes a
+        :class:`PartialBatch` whose ``holes`` report (cell, attempts,
+        last error) instead of raising.  ``partial`` changes only the
+        return *shape* for non-resilient engines (no holes possible).
         """
         keyed = [(cell, cell_key(cell)) for cell in cells]
         self.progress.batch_started(len(keyed))
+        self._attempt_log = {}
         results: List[Optional[CellResult]] = [None] * len(keyed)
+        holes: List[Hole] = []
         misses: List[int] = []
         hit_indices = set()
+        cache_corrupt_before = self.cache.corrupt if self.cache is not None else 0
+        journal_done = (
+            self.checkpoint.completed() if self.checkpoint is not None else frozenset()
+        )
         for idx, (cell, key) in enumerate(keyed):
             hit = self.cache.get(key) if self.cache is not None else None
             if hit is not None:
                 results[idx] = hit
                 hit_indices.add(idx)
                 self.stats.cached += 1
+                if self.checkpoint is not None:
+                    if key in journal_done:
+                        self.stats.resumed += 1
+                    else:
+                        # A hit the journal missed (e.g. the interrupt
+                        # landed between cache write and journal append):
+                        # journal it now so the manifest converges on the
+                        # full sweep.
+                        self.checkpoint.record(key, oom=hit.oom is not None)
                 if hit.oom is not None:
                     self.stats.oom += 1
                     self.stats.negative_hits += 1
                 self.progress.cell_finished(cell, hit, from_cache=True)
             else:
                 misses.append(idx)
+        if self.cache is not None:
+            self.stats.corrupt += self.cache.corrupt - cache_corrupt_before
 
-        if self.jobs > 1 and len(misses) > 1:
+        if self.resilient:
+            holes = self._run_resilient(keyed, misses, results, fail_fast, partial)
+        elif self.jobs > 1 and len(misses) > 1:
             ctx = multiprocessing.get_context(
                 "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
             )
@@ -445,7 +665,188 @@ class ExecutionEngine:
         if self.recorder.enabled:
             self._trace_batch(keyed, results, hit_indices)
         self.progress.batch_finished(self.stats)
+        if partial:
+            return PartialBatch(results=list(results), holes=holes)
         return [r for r in results if r is not None]
+
+    def _run_resilient(
+        self,
+        keyed: Sequence[Tuple[Cell, str]],
+        misses: Sequence[int],
+        results: List[Optional[CellResult]],
+        fail_fast: bool,
+        partial: bool,
+    ) -> List[Hole]:
+        """Execute cache misses under the retry policy (and the chaos
+        injector), serially or over the pool.  Returns the holes; raises
+        :class:`~repro.resilience.CellExecutionError` instead when
+        ``partial`` is not set."""
+        if self.jobs > 1 and len(misses) > 1:
+            return self._run_resilient_pool(keyed, misses, results, partial)
+        holes: List[Hole] = []
+        oom_message: Optional[str] = None
+        for idx in misses:
+            cell, key = keyed[idx]
+            if oom_message is not None:
+                result = CellResult(key=key, timed=None, oom=oom_message, skipped=True)
+                results[idx] = result
+                self.stats.skipped += 1
+                self.progress.cell_finished(cell, result, from_cache=False)
+                continue
+            outcome = self._attempt_serial(cell, key, idx)
+            if isinstance(outcome, Hole):
+                self._give_up(outcome, holes, partial)
+                continue
+            results[idx] = outcome
+            self._finish_executed(idx, cell, key, outcome)
+            if fail_fast and outcome.oom is not None:
+                oom_message = outcome.oom
+        return holes
+
+    def _attempt_serial(self, cell: Cell, key: str, idx: int):
+        """One cell's attempt loop (in-process): returns a
+        :class:`CellResult` on success or a :class:`Hole` on exhaustion."""
+        policy = self.retry
+        spec = self.injector.spec if self.injector.enabled else None
+        for attempt in range(policy.max_attempts):
+            self._log_fault_decision(key, idx, attempt)
+            payload = (cell, key, spec, attempt)
+            try:
+                if policy.cell_timeout_s is not None:
+                    result = _call_with_timeout(
+                        _execute_cell_chaos, payload, policy.cell_timeout_s, key
+                    )
+                else:
+                    result = _execute_cell_chaos(payload)
+            except Exception as exc:
+                delay = self._charge_failure(key, idx, attempt, exc)
+                if delay is None:
+                    return Hole(cell=cell, key=key, attempts=attempt + 1, error=str(exc))
+                if delay > 0:
+                    time.sleep(delay)
+                continue
+            return result
+        raise AssertionError("attempt loop must return")  # pragma: no cover
+
+    def _run_resilient_pool(
+        self,
+        keyed: Sequence[Tuple[Cell, str]],
+        misses: Sequence[int],
+        results: List[Optional[CellResult]],
+        partial: bool,
+    ) -> List[Hole]:
+        """Round-based pool scheduling: round *r* runs attempt *r* of
+        every still-failing cell concurrently, with per-cell timeouts
+        enforced from the parent (a hung worker is abandoned to finish
+        its round in the background, like a hung forked JVM).  One
+        decorrelated backoff nap is charged per round — the longest of
+        the failing cells' deterministic delays — so backoff cost does
+        not scale with the number of simultaneous failures."""
+        policy = self.retry
+        spec = self.injector.spec if self.injector.enabled else None
+        holes: List[Hole] = []
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+        )
+        with ctx.Pool(min(self.jobs, len(misses))) as pool:
+            pending = list(misses)
+            attempt = 0
+            while pending:
+                for idx in pending:
+                    self._log_fault_decision(keyed[idx][1], idx, attempt)
+                asyncs = {
+                    idx: pool.apply_async(
+                        _execute_cell_chaos,
+                        ((keyed[idx][0], keyed[idx][1], spec, attempt),),
+                    )
+                    for idx in pending
+                }
+                deadline = (
+                    time.monotonic() + policy.cell_timeout_s
+                    if policy.cell_timeout_s is not None
+                    else None
+                )
+                next_pending: List[int] = []
+                round_delay = 0.0
+                for idx in pending:
+                    cell, key = keyed[idx]
+                    try:
+                        if deadline is None:
+                            result = asyncs[idx].get()
+                        else:
+                            remaining = max(0.0, deadline - time.monotonic())
+                            try:
+                                result = asyncs[idx].get(remaining)
+                            except multiprocessing.TimeoutError:
+                                raise CellTimeout(
+                                    f"cell {key[:12]} exceeded "
+                                    f"{policy.cell_timeout_s:g}s timeout"
+                                ) from None
+                    except Exception as exc:
+                        delay = self._charge_failure(key, idx, attempt, exc)
+                        if delay is not None:
+                            next_pending.append(idx)
+                            round_delay = max(round_delay, delay)
+                        else:
+                            hole = Hole(
+                                cell=cell, key=key, attempts=attempt + 1, error=str(exc)
+                            )
+                            self._give_up(hole, holes, partial)
+                        continue
+                    results[idx] = result
+                    self._finish_executed(idx, cell, key, result)
+                if next_pending and round_delay > 0:
+                    time.sleep(round_delay)
+                pending = next_pending
+                attempt += 1
+        return holes
+
+    def _log_fault_decision(self, key: str, idx: int, attempt: int) -> None:
+        """Record the injector's (deterministic) call for this attempt so
+        the flight recorder can show it — the parent redraws the same
+        decision the worker will, which is what seeded injection buys."""
+        if self.injector.enabled:
+            kind = self.injector.decide(key, attempt)
+            if kind is not None:
+                self._attempt_log.setdefault(idx, []).append(("fault", kind, attempt))
+
+    def _charge_failure(
+        self, key: str, idx: int, attempt: int, exc: Exception
+    ) -> Optional[float]:
+        """Account for one failed attempt.  Returns the backoff delay to
+        charge before retrying, or None when the cell must give up
+        (permanent failure, or budget exhausted)."""
+        if isinstance(exc, CellTimeout):
+            self.stats.timeouts += 1
+        if classify(exc) != "transient" or attempt + 1 >= self.retry.max_attempts:
+            return None
+        delay = self.retry.delay_s(key, attempt)
+        self.stats.retries += 1
+        self._attempt_log.setdefault(idx, []).append(("retry", attempt, delay, str(exc)))
+        return delay
+
+    def _give_up(self, hole: Hole, holes: List[Hole], partial: bool) -> None:
+        """A cell exhausted its budget: hole in partial mode, raise in
+        strict mode."""
+        self.stats.gave_up += 1
+        if not partial:
+            raise CellExecutionError(hole.key, hole.attempts, hole.error)
+        holes.append(hole)
+        self.progress.cell_failed(hole.cell, hole)
+
+    def _finish_executed(
+        self, idx: int, cell: Cell, key: str, result: CellResult
+    ) -> None:
+        """Post-success bookkeeping on the resilient path: stats + cache
+        (via ``_record``), checkpoint journal, and injected cache-entry
+        corruption (*after* the write, so the tear is observed by the
+        next reader, exactly like real disk rot)."""
+        self._record(cell, result)
+        if self.checkpoint is not None:
+            self.checkpoint.record(key, oom=result.oom is not None)
+        if self.injector.enabled and self.cache is not None and self.injector.corrupts(key):
+            if corrupt_entry(self.cache.path_for(key)):
+                self._attempt_log.setdefault(idx, []).append(("fault", "corrupt", 0))
 
     def _trace_batch(
         self,
@@ -492,6 +893,21 @@ class ExecutionEngine:
                 )
             elif not result.skipped:
                 recorder.emit(flight.CacheMiss(ts=start, track=track, key=key))
+            for record in self._attempt_log.get(idx, ()):
+                if record[0] == "fault":
+                    recorder.emit(
+                        flight.FaultInjected(
+                            ts=start, track=track, key=key,
+                            kind=record[1], attempt=record[2],
+                        )
+                    )
+                else:
+                    recorder.emit(
+                        flight.RetryAttempt(
+                            ts=start, track=track, key=key,
+                            attempt=record[1], delay_s=record[2], error=record[3],
+                        )
+                    )
             recorder.emit(
                 flight.CellSpan(
                     ts=start,
@@ -553,13 +969,67 @@ class ExecutionEngine:
         self.progress.cell_finished(cell, result, from_cache=False)
 
 
+def _env_int(environ, name: str, default: int, example: str) -> int:
+    """Parse an integer environment variable with a diagnosable error."""
+    raw = environ.get(name)
+    if raw is None or raw == "":
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        raise ValueError(
+            f"{name} must be an integer, got {raw!r} (e.g. {name}={example})"
+        ) from None
+
+
+def _env_float(environ, name: str, default: Optional[float], example: str) -> Optional[float]:
+    """Parse a float environment variable with a diagnosable error."""
+    raw = environ.get(name)
+    if raw is None or raw == "":
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        raise ValueError(
+            f"{name} must be a number, got {raw!r} (e.g. {name}={example})"
+        ) from None
+
+
 def engine_from_env(environ=os.environ) -> ExecutionEngine:
-    """Build an engine from ``CHOPIN_JOBS`` / ``CHOPIN_CACHE_DIR`` /
-    ``CHOPIN_NO_CACHE`` — how the benchmark harness threads parallelism
-    through pytest without new command-line plumbing."""
-    jobs = int(environ.get("CHOPIN_JOBS", "1") or "1")
+    """Build an engine from ``CHOPIN_*`` environment variables — how the
+    benchmark harness threads parallelism, caching, and resilience
+    through pytest without new command-line plumbing.
+
+    Recognised: ``CHOPIN_JOBS``, ``CHOPIN_CACHE_DIR``,
+    ``CHOPIN_NO_CACHE``, ``CHOPIN_PROGRESS``, ``CHOPIN_RETRIES``,
+    ``CHOPIN_CELL_TIMEOUT`` (seconds), ``CHOPIN_RESUME`` (checkpoint
+    journal path), ``CHOPIN_CHAOS_RATE``, and ``CHOPIN_CHAOS_SEED``.
+    Malformed values raise a ``ValueError`` naming the variable and the
+    accepted format instead of a bare parse error.
+    """
+    jobs = _env_int(environ, "CHOPIN_JOBS", 1, "4")
     cache_dir: Optional[str] = environ.get("CHOPIN_CACHE_DIR") or None
     if environ.get("CHOPIN_NO_CACHE"):
         cache_dir = None
     progress = LogSink() if environ.get("CHOPIN_PROGRESS") else None
-    return ExecutionEngine(jobs=max(1, jobs), cache_dir=cache_dir, progress=progress)
+    retries = _env_int(environ, "CHOPIN_RETRIES", 0, "3")
+    timeout = _env_float(environ, "CHOPIN_CELL_TIMEOUT", None, "30.0")
+    retry = (
+        RetryPolicy(retries=max(0, retries), cell_timeout_s=timeout)
+        if retries or timeout is not None
+        else None
+    )
+    rate = _env_float(environ, "CHOPIN_CHAOS_RATE", None, "0.1")
+    injector: Optional[NullInjector] = None
+    if rate:
+        seed = _env_int(environ, "CHOPIN_CHAOS_SEED", 0, "42")
+        injector = FaultInjector(FaultSpec.uniform(rate, seed=seed))
+    checkpoint = environ.get("CHOPIN_RESUME") or None
+    return ExecutionEngine(
+        jobs=max(1, jobs),
+        cache_dir=cache_dir,
+        progress=progress,
+        retry=retry,
+        injector=injector,
+        checkpoint=checkpoint,
+    )

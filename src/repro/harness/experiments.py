@@ -15,11 +15,13 @@ either way (each cell reseeds from its own coordinates).
 
 from __future__ import annotations
 
+import pickle
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple, Union
 
-from repro.harness.engine import Cell, EngineStats, ExecutionEngine
+from repro.harness.engine import Cell, EngineStats, ExecutionEngine, Hole
 from repro.observability import Recorder
+from repro.resilience import FaultInjector, FaultSpec, RetryPolicy
 from repro.harness.plans import (
     DEFAULT_MULTIPLES,
     LatencyRun,
@@ -36,10 +38,12 @@ from repro.jvm.heap import OutOfMemoryError
 from repro.workloads.spec import WorkloadSpec
 
 __all__ = [
+    "ChaosDrill",
     "DEFAULT_MULTIPLES",
     "LatencyRun",
     "SuiteLbo",
     "TracedSweep",
+    "chaos_drill",
     "heap_timeseries",
     "latency_experiment",
     "lbo_experiment",
@@ -141,6 +145,78 @@ def trace_sweep(
         plan_lbo(specs, collectors, multiples, config), engine, return_stats=True
     )
     return TracedSweep(result=result, stats=stats, recorder=engine.recorder)
+
+
+@dataclass(frozen=True)
+class ChaosDrill:
+    """Outcome of :func:`chaos_drill`: did resilience hold under fire?
+
+    ``cells`` is the sweep size, ``holes`` the cells the chaos run could
+    not complete, ``divergent`` how many completed cells differed from
+    the fault-free baseline (must be 0 — injection is forbidden from
+    perturbing results), and ``stats`` the chaos engine's counters
+    (retries, timeouts, faults survived).
+    """
+
+    cells: int
+    holes: List[Hole]
+    divergent: int
+    stats: EngineStats
+
+    @property
+    def ok(self) -> bool:
+        """True when the chaos run was complete and bit-identical."""
+        return not self.holes and self.divergent == 0
+
+
+def chaos_drill(
+    specs: Union[WorkloadSpec, Sequence[WorkloadSpec]],
+    collectors: Sequence[str] = ("Serial", "G1"),
+    multiples: Sequence[float] = (2.0, 3.0),
+    config: RunConfig = DEFAULT_CONFIG,
+    chaos_rate: float = 0.3,
+    chaos_seed: int = 0,
+    retries: int = 3,
+    cell_timeout_s: Optional[float] = None,
+    hang_s: float = 0.05,
+    jobs: int = 1,
+) -> ChaosDrill:
+    """Prove the resilience layer on a real sweep (``chopin chaos``).
+
+    Runs the same LBO-style sweep twice — once clean, once under a
+    seeded :class:`~repro.resilience.FaultInjector` with a retry budget
+    — and compares every completed cell's payload byte-for-byte.  A
+    passing drill means injected crashes, transient faults, and hangs
+    were absorbed by retries with zero holes and zero divergence, which
+    is the engine's determinism guarantee extended to failure.  The CI
+    chaos smoke job gates on ``ok``.
+    """
+    plan = plan_lbo(specs, collectors, multiples, config)
+    cells = plan.cells()
+    clean = ExecutionEngine(jobs=jobs).run_cells(cells)
+    chaos_engine = ExecutionEngine(
+        jobs=jobs,
+        retry=RetryPolicy(
+            retries=retries, cell_timeout_s=cell_timeout_s, backoff_base_s=0.01
+        ),
+        injector=FaultInjector(
+            FaultSpec.uniform(chaos_rate, seed=chaos_seed, hang_s=hang_s)
+        ),
+    )
+    batch = chaos_engine.run_cells(cells, partial=True)
+    divergent = sum(
+        1
+        for baseline, chaotic in zip(clean, batch.results)
+        if chaotic is not None
+        and pickle.dumps((baseline.timed, baseline.oom))
+        != pickle.dumps((chaotic.timed, chaotic.oom))
+    )
+    return ChaosDrill(
+        cells=len(cells),
+        holes=batch.holes,
+        divergent=divergent,
+        stats=chaos_engine.stats,
+    )
 
 
 def heap_timeseries(

@@ -24,8 +24,16 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 from repro.core.latency import LatencyReport, latency_report
 from repro.core.lbo import LboCurves, RunCosts, costs_from_iteration, geomean_curves, lbo_curves
 from repro.core.rng import generator_for
-from repro.harness.engine import Cell, CellResult, EngineStats, ExecutionEngine
+from repro.harness.engine import (
+    Cell,
+    CellResult,
+    EngineStats,
+    ExecutionEngine,
+    Hole,
+    PartialBatch,
+)
 from repro.harness.runner import DEFAULT_CONFIG, RunConfig
+from repro.resilience import CellExecutionError
 from repro.jvm.collectors import COLLECTOR_NAMES, resolve_collector
 from repro.jvm.heap import OutOfMemoryError
 from repro.workloads.requests import EventRecord, replay
@@ -174,6 +182,7 @@ def run_plan(
     engine: Optional[ExecutionEngine] = None,
     strict: bool = False,
     return_stats: bool = False,
+    partial: bool = False,
 ):
     """Execute a plan through an engine and assemble the results.
 
@@ -192,18 +201,40 @@ def run_plan(
     warm rerun can say why it was fast.  If the engine carries a flight
     recorder, the batch is also recorded (see
     :class:`~repro.harness.engine.ExecutionEngine`).
+
+    ``partial`` is graceful degradation for resilient engines: cells
+    that exhaust their retry budget become *holes*, and every
+    (collector, multiple) group containing one is dropped from the
+    assembly exactly like an OOM group instead of failing the sweep.
+    The return value grows a trailing list of
+    :class:`~repro.harness.engine.Hole` — ``(assembled, holes)``, or
+    ``(assembled, holes, stats)`` with ``return_stats`` — so callers see
+    what is missing.  ``strict`` still raises on a latency hole.
     """
     engine = engine if engine is not None else ExecutionEngine()
     before = dataclasses.replace(engine.stats)
-    results = engine.run_cells(plan.cells())
+    holes: List[Hole] = []
+    if partial:
+        batch = engine.run_cells(plan.cells(), partial=True)
+        results: Sequence[Optional[CellResult]] = batch.results
+        holes = batch.holes
+        if strict and holes:
+            raise CellExecutionError(
+                holes[0].key, holes[0].attempts, holes[0].error
+            )
+    else:
+        results = engine.run_cells(plan.cells())
     assembled = (
         _assemble_lbo(plan, results)
         if plan.kind == "lbo"
         else _assemble_latency(plan, results, strict)
     )
+    out = [assembled]
+    if partial:
+        out.append(holes)
     if return_stats:
-        return assembled, engine.stats.minus(before)
-    return assembled
+        out.append(engine.stats.minus(before))
+    return out[0] if len(out) == 1 else tuple(out)
 
 
 def _groups(plan: ExperimentPlan, results: Sequence[CellResult]):
@@ -218,13 +249,19 @@ def _groups(plan: ExperimentPlan, results: Sequence[CellResult]):
                 yield spec, collector, multiple, group
 
 
-def _first_oom(group: Sequence[CellResult]) -> Optional[str]:
+def _first_oom(group: Sequence[Optional[CellResult]]) -> Optional[str]:
     """The first (lowest-invocation) OOM message in a group, if any —
     the same failure the serial path would have raised."""
     for result in group:
-        if result.oom is not None:
+        if result is not None and result.oom is not None:
             return result.oom
     return None
+
+
+def _has_hole(group: Sequence[Optional[CellResult]]) -> bool:
+    """True when a partial batch left a gap in this group — the group is
+    then dropped from assembly exactly like an infeasible (OOM) group."""
+    return any(result is None for result in group)
 
 
 def _assemble_lbo(plan: ExperimentPlan, results: Sequence[CellResult]) -> SuiteLbo:
@@ -238,7 +275,7 @@ def _assemble_lbo(plan: ExperimentPlan, results: Sequence[CellResult]) -> SuiteL
             for multiple in plan.multiples:
                 group = results[cursor : cursor + per_group]
                 cursor += per_group
-                if _first_oom(group) is None:
+                if not _has_hole(group) and _first_oom(group) is None:
                     table[(collector, multiple)] = [
                         costs_from_iteration(r.timed) for r in group
                     ]
@@ -262,6 +299,8 @@ def _assemble_latency(
             if strict:
                 raise OutOfMemoryError(oom)
             continue
+        if _has_hole(group):
+            continue  # partial mode drops gapped groups (strict raised earlier)
         timed = group[plan.replay_invocation % len(group)].timed
         rng = generator_for(
             "latency", spec.name, collector, f"{multiple:.3f}", plan.replay_invocation

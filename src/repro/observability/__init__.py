@@ -29,10 +29,12 @@ from repro.observability.events import (
     CellSpan,
     CompileWarmup,
     ConcurrentSpan,
+    FaultInjected,
     GcPause,
     IterationSpan,
     NullRecorder,
     Recorder,
+    RetryAttempt,
     SpanEvent,
     TraceEvent,
 )
@@ -61,6 +63,7 @@ __all__ = [
     "CompileWarmup",
     "ConcurrentSpan",
     "Counter",
+    "FaultInjected",
     "Gauge",
     "GcPause",
     "IterationSpan",
@@ -68,6 +71,7 @@ __all__ = [
     "MetricsRegistry",
     "NullRecorder",
     "Recorder",
+    "RetryAttempt",
     "SpanEvent",
     "TraceEvent",
     "chrome_trace",

@@ -12,7 +12,10 @@ every layer of the system:
   JVM invocation;
 - engine events (:class:`BatchSpan`, :class:`CellSpan`,
   :class:`CacheHit`, :class:`CacheMiss`) describe how a sweep was
-  scheduled across workers and served from the result cache.
+  scheduled across workers and served from the result cache;
+- resilience events (:class:`FaultInjected`, :class:`RetryAttempt`)
+  describe what chaos was injected into a cell and how the retry policy
+  recovered, so a chaos run is traceable end to end in ``chopin trace``.
 
 Every timestamp is **simulated time in seconds** — never wall clock — so
 a recording is a deterministic function of the experiment coordinates,
@@ -170,6 +173,36 @@ class CacheMiss(TraceEvent):
     """A cell that had to be simulated (no usable cache entry)."""
 
     key: str = ""
+
+
+@dataclass(frozen=True)
+class FaultInjected(TraceEvent):
+    """The chaos injector fired on one attempt of a cell.
+
+    ``kind`` is one of :data:`repro.resilience.FAULT_KINDS`
+    (``transient``, ``crash``, ``hang``, ``corrupt``); ``attempt`` is the
+    0-based attempt the fault hit.  Emitted on the cell's display track
+    so an injected failure is visible next to the work it disrupted.
+    """
+
+    key: str = ""
+    kind: str = ""
+    attempt: int = 0
+
+
+@dataclass(frozen=True)
+class RetryAttempt(TraceEvent):
+    """The retry policy re-ran a cell after a transient failure.
+
+    ``attempt`` is the 0-based attempt that *failed*, ``delay_s`` the
+    deterministic backoff charged before the next attempt, and ``error``
+    the failure's one-line description (taxonomy-classified transient).
+    """
+
+    key: str = ""
+    attempt: int = 0
+    delay_s: float = 0.0
+    error: str = ""
 
 
 class NullRecorder:

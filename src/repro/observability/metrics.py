@@ -27,7 +27,9 @@ from repro.observability.events import (
     CacheMiss,
     CellSpan,
     CompileWarmup,
+    FaultInjected,
     GcPause,
+    RetryAttempt,
     TraceEvent,
 )
 
@@ -194,6 +196,12 @@ class MetricsRegistry:
                 self.histogram("gc.stall_seconds").record(event.dur)
             elif isinstance(event, CompileWarmup):
                 self.histogram("jit.warmup_seconds").record(event.dur)
+            elif isinstance(event, FaultInjected):
+                self.counter("resilience.faults_injected").inc()
+                self.counter(f"resilience.fault.{event.kind}").inc()
+            elif isinstance(event, RetryAttempt):
+                self.counter("resilience.retries").inc()
+                self.histogram("resilience.backoff_seconds").record(event.delay_s)
         hits = self.counter("engine.cache.hits").value
         misses = self.counter("engine.cache.misses").value
         if hits + misses:

@@ -39,8 +39,10 @@ from repro.observability.events import (
     CellSpan,
     CompileWarmup,
     ConcurrentSpan,
+    FaultInjected,
     GcPause,
     IterationSpan,
+    RetryAttempt,
     SpanEvent,
     TraceEvent,
 )
@@ -144,6 +146,33 @@ def chrome_trace_events(events: Iterable[TraceEvent]) -> List[dict]:
                     "pid": TRACE_PID,
                     "tid": 0,
                     "args": {"hits": hits, "misses": misses},
+                }
+            )
+            continue
+        if isinstance(event, (FaultInjected, RetryAttempt)):
+            # Resilience events are thread-scoped instants on the cell's
+            # track, so chaos shows up beside the work it disrupted.
+            if isinstance(event, FaultInjected):
+                name = f"fault:{event.kind}"
+                args: Dict[str, object] = {"key": event.key, "attempt": event.attempt}
+            else:
+                name = f"retry #{event.attempt + 1}"
+                args = {
+                    "key": event.key,
+                    "attempt": event.attempt,
+                    "delay_s": event.delay_s,
+                    "error": event.error,
+                }
+            out.append(
+                {
+                    "name": name,
+                    "cat": "resilience",
+                    "ph": "I",
+                    "s": "t",
+                    "ts": _micros(event.ts),
+                    "pid": TRACE_PID,
+                    "tid": event.track,
+                    "args": args,
                 }
             )
             continue

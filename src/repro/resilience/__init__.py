@@ -1,0 +1,59 @@
+"""repro.resilience — fault injection, retries, and checkpointed sweeps.
+
+The execution engine's answer to failure at production scale, in three
+parts that compose:
+
+- :mod:`.faults` — a deterministic, seeded chaos injector
+  (:class:`FaultInjector`) whose fault sequence is a pure function of
+  ``(seed, cell_key, attempt)``, plus the zero-cost
+  :class:`NullInjector` default;
+- :mod:`.retry` — the :class:`RetryPolicy` (per-cell timeouts, bounded
+  exponential backoff with deterministic jitter) and the
+  transient-vs-permanent taxonomy (:func:`classify`);
+- :mod:`.checkpoint` — the append-only :class:`CheckpointJournal` that
+  makes interrupted sweeps resumable on top of the result cache.
+
+Design contract, mirrored from the flight recorder: resilience is
+*observational about results*.  An injected fault replaces or delays an
+attempt but never perturbs a successful simulation, so a chaos run that
+converges produces bit-identical results to a fault-free run — pinned by
+tests, and checked in CI by the chaos smoke job.
+"""
+
+from repro.resilience.checkpoint import CheckpointJournal
+from repro.resilience.faults import (
+    EXECUTION_FAULTS,
+    FAULT_KINDS,
+    FaultInjector,
+    FaultSpec,
+    InjectedFault,
+    NullInjector,
+    TransientFault,
+    WorkerCrash,
+    corrupt_entry,
+)
+from repro.resilience.retry import (
+    TRANSIENT_ERRORS,
+    CellExecutionError,
+    CellTimeout,
+    RetryPolicy,
+    classify,
+)
+
+__all__ = [
+    "CellExecutionError",
+    "CellTimeout",
+    "CheckpointJournal",
+    "EXECUTION_FAULTS",
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultSpec",
+    "InjectedFault",
+    "NullInjector",
+    "RetryPolicy",
+    "TRANSIENT_ERRORS",
+    "TransientFault",
+    "WorkerCrash",
+    "classify",
+    "corrupt_entry",
+]

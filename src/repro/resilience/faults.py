@@ -1,0 +1,212 @@
+"""Deterministic, seeded fault injection for the execution engine.
+
+A benchmarking harness that cannot survive failure cannot be trusted at
+production scale: a single crashed worker, hung invocation, or torn
+result file must not cost a thousand-cell sweep.  But resilience code
+that is never exercised is resilience theatre — so this module makes
+failure *reproducible*.  Every fault decision is a pure function of
+``(seed, cell_key, attempt)``: run the same chaos sweep twice and the
+identical fault sequence fires both times, which is what lets tests pin
+"a faulted run with retries converges to bit-identical results".
+
+Four fault kinds, each standing in for a real-JVM harness failure
+(see DESIGN.md for the mapping):
+
+- ``transient`` — a spurious exception from the invocation (flaky
+  infrastructure: a lost perf-counter read, a dropped connection);
+- ``crash`` — the forked JVM process dying abruptly (OOM-killed by the
+  kernel, segfault in native code), surfaced as :class:`WorkerCrash`
+  raised from the worker;
+- ``hang`` — an invocation that stops making progress (deadlocked
+  barrier, livelocked GC); injected as a real ``time.sleep`` so per-cell
+  timeouts have something true to measure;
+- ``corrupt`` — a torn result file (power loss mid-write, disk rot):
+  the freshly-written cache entry is garbled *after* the write, so the
+  next read exercises the corruption-detection path.
+
+Injection is off by default via :class:`NullInjector` (mirroring the
+flight recorder's ``NullRecorder``): the engine's fast path pays one
+``enabled`` check and nothing else.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Tuple, Union
+
+#: Execution-fault kinds, in decision order (the order partitions the
+#: unit interval, so it is part of the determinism contract).
+EXECUTION_FAULTS: Tuple[str, ...] = ("transient", "crash", "hang")
+
+#: All injectable fault kinds, execution faults plus cache corruption.
+FAULT_KINDS: Tuple[str, ...] = EXECUTION_FAULTS + ("corrupt",)
+
+
+class InjectedFault(Exception):
+    """Base of all injector-raised failures (always retry-worthy)."""
+
+
+class TransientFault(InjectedFault):
+    """A spurious, self-healing failure: succeeds on retry."""
+
+
+class WorkerCrash(InjectedFault):
+    """The worker executing a cell died abruptly (stands in for a forked
+    JVM being OOM-killed or segfaulting under the harness)."""
+
+
+def _uniform(*parts: object) -> float:
+    """A uniform [0, 1) draw that is a pure function of its labels.
+
+    Stable across processes and Python versions (sha256, not ``hash``),
+    which is what makes chaos runs replayable bit-for-bit.
+    """
+    digest = hashlib.sha256("\x1f".join(str(p) for p in parts).encode()).digest()
+    return int.from_bytes(digest[:8], "little") / 2.0 ** 64
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Per-kind fault probabilities plus the seed that fixes the draw.
+
+    Probabilities are per *attempt* for execution faults (a retried cell
+    rolls fresh dice) and per *write* for ``corrupt``.  ``hang_s`` is how
+    long an injected hang sleeps — keep it above the cell timeout to
+    exercise timeout recovery, below it to inject mere slowness.
+    """
+
+    seed: int = 0
+    transient: float = 0.0
+    crash: float = 0.0
+    hang: float = 0.0
+    corrupt: float = 0.0
+    hang_s: float = 0.25
+
+    def __post_init__(self) -> None:
+        for kind in FAULT_KINDS:
+            rate = getattr(self, kind)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{kind} fault rate must be in [0, 1], got {rate}")
+        if self.transient + self.crash + self.hang > 1.0:
+            raise ValueError("execution fault rates cannot sum past 1.0")
+        if self.hang_s < 0:
+            raise ValueError("hang_s cannot be negative")
+
+    @classmethod
+    def uniform(cls, rate: float, seed: int = 0, hang_s: float = 0.25) -> "FaultSpec":
+        """Split one overall chaos rate evenly across every fault kind —
+        what ``--chaos-rate`` builds."""
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"chaos rate must be in [0, 1], got {rate}")
+        share = rate / len(FAULT_KINDS)
+        return cls(
+            seed=seed,
+            transient=share,
+            crash=share,
+            hang=share,
+            corrupt=share,
+            hang_s=hang_s,
+        )
+
+    @property
+    def active(self) -> bool:
+        """True when any kind can actually fire."""
+        return any(getattr(self, kind) > 0.0 for kind in FAULT_KINDS)
+
+
+class NullInjector:
+    """The zero-cost default: never injects anything.
+
+    ``enabled`` is False so the engine can skip the chaos machinery with
+    a single attribute check — the same pattern as
+    :class:`repro.observability.NullRecorder`.
+    """
+
+    enabled: bool = False
+    spec: Optional[FaultSpec] = None
+
+    def decide(self, key: str, attempt: int) -> Optional[str]:
+        """The execution fault to inject for this attempt (always None)."""
+        return None
+
+    def corrupts(self, key: str) -> bool:
+        """Whether to garble this key's freshly-written cache entry."""
+        return False
+
+    def fire(self, kind: str, key: str, attempt: int) -> None:
+        """Carry out an injected execution fault (no-op here)."""
+
+
+class FaultInjector(NullInjector):
+    """Seeded chaos: decides and carries out faults deterministically.
+
+    ``decide`` partitions one uniform draw per ``(seed, key, attempt)``
+    into kind intervals sized by the spec's rates, so the fault sequence
+    for a sweep is a pure function of the chaos seed and the cell keys —
+    independent of scheduling, parallelism, and wall clock.
+    """
+
+    enabled = True
+
+    def __init__(self, spec: FaultSpec) -> None:
+        self.spec = spec
+
+    def decide(self, key: str, attempt: int) -> Optional[str]:
+        """Which execution fault (if any) fires for this attempt."""
+        u = _uniform(self.spec.seed, key, attempt)
+        edge = 0.0
+        for kind in EXECUTION_FAULTS:
+            edge += getattr(self.spec, kind)
+            if u < edge:
+                return kind
+        return None
+
+    def corrupts(self, key: str) -> bool:
+        """Whether this key's cache entry gets torn after being written.
+
+        Drawn from a separate label so corruption is independent of the
+        execution-fault stream for the same cell.
+        """
+        return _uniform(self.spec.seed, key, "corrupt") < self.spec.corrupt
+
+    def fire(self, kind: str, key: str, attempt: int) -> None:
+        """Carry out one injected execution fault.
+
+        Runs *inside* the worker (in-process or pool child), before the
+        simulation starts, so a fault never perturbs a result — it only
+        replaces or delays it.  ``transient`` and ``crash`` raise;
+        ``hang`` sleeps ``hang_s`` of real time and then lets the cell
+        proceed, which a per-cell timeout converts into a retry.
+        """
+        if kind == "transient":
+            raise TransientFault(
+                f"injected transient fault (cell {key[:12]}, attempt {attempt})"
+            )
+        if kind == "crash":
+            raise WorkerCrash(
+                f"injected worker crash (cell {key[:12]}, attempt {attempt})"
+            )
+        if kind == "hang":
+            time.sleep(self.spec.hang_s)
+            return
+        raise ValueError(f"unknown fault kind {kind!r}")
+
+
+def corrupt_entry(path: Union[str, Path]) -> bool:
+    """Tear a cache entry the way a crashed writer would: truncate it
+    mid-stream and flip its leading bytes.  Returns False when the entry
+    does not exist (nothing to corrupt)."""
+    path = Path(path)
+    try:
+        raw = path.read_bytes()
+    except OSError:
+        return False
+    torn = b"\x00CHAOS\x00" + raw[: max(1, len(raw) // 2)]
+    try:
+        path.write_bytes(torn)
+    except OSError:
+        return False
+    return True

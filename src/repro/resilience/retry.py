@@ -1,0 +1,108 @@
+"""Retry policy: timeouts, bounded backoff, and the error taxonomy.
+
+The many-invocation methodology multiplies every flake by the grid size,
+so the engine needs a principled answer to "this cell failed — now
+what?".  This module supplies it:
+
+- a **taxonomy**: :func:`classify` sorts failures into ``transient``
+  (retry-worthy: injected faults, worker crashes, timeouts, I/O flakes)
+  and ``permanent`` (retrying cannot help).  ``OutOfMemoryError`` is
+  deliberately *not* an error here at all — the simulator's OOM is a
+  legitimate experimental outcome that the engine caches as a negative
+  result and never retries;
+- a **schedule**: bounded exponential backoff with *deterministic*
+  jitter.  The jitter factor is a pure function of ``(key, attempt)``,
+  so two cells that fail simultaneously still decorrelate their retries
+  (the thundering-herd fix) without introducing a wall-clock RNG that
+  would break replayability;
+- a **budget**: ``retries`` bounds attempts per cell and
+  ``cell_timeout_s`` bounds each attempt's wall time, converting hangs
+  into :class:`CellTimeout` failures the schedule can handle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.resilience.faults import InjectedFault, _uniform
+
+
+class CellTimeout(Exception):
+    """An attempt exceeded the per-cell timeout (a hung invocation)."""
+
+
+class CellExecutionError(RuntimeError):
+    """A cell failed every attempt its retry budget allowed.
+
+    Raised by the engine in strict (non-partial) mode; carries enough to
+    debug the hole without re-running the sweep.
+    """
+
+    def __init__(self, key: str, attempts: int, last_error: str) -> None:
+        super().__init__(
+            f"cell {key[:12]} failed after {attempts} attempt(s): {last_error}"
+        )
+        self.key = key
+        self.attempts = attempts
+        self.last_error = last_error
+
+
+#: Failure types worth retrying: injected faults (transient, crash),
+#: timeouts, and the OS-level flakes a real fork/exec harness sees.
+TRANSIENT_ERRORS = (InjectedFault, CellTimeout, ConnectionError, BrokenPipeError)
+
+
+def classify(error: BaseException) -> str:
+    """``"transient"`` (retry) or ``"permanent"`` (give up) for a failure.
+
+    Anything not positively known to be transient is permanent: retrying
+    a deterministic bug would burn the retry budget re-proving it.
+    """
+    return "transient" if isinstance(error, TRANSIENT_ERRORS) else "permanent"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How hard to try: attempts, per-attempt timeout, backoff shape.
+
+    The default policy (``retries=0``, no timeout) is the engine's
+    historical behaviour — one attempt, wait forever — so constructing
+    an engine without thinking about resilience changes nothing.
+    """
+
+    retries: int = 0
+    cell_timeout_s: Optional[float] = None
+    backoff_base_s: float = 0.05
+    backoff_cap_s: float = 2.0
+    jitter: bool = True
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ValueError("retries cannot be negative")
+        if self.cell_timeout_s is not None and self.cell_timeout_s <= 0:
+            raise ValueError("cell timeout must be positive (or None for no limit)")
+        if self.backoff_base_s < 0 or self.backoff_cap_s < 0:
+            raise ValueError("backoff times cannot be negative")
+
+    @property
+    def max_attempts(self) -> int:
+        """Total attempts per cell: the first try plus the retries."""
+        return self.retries + 1
+
+    @property
+    def active(self) -> bool:
+        """True when the policy differs from fire-once-wait-forever."""
+        return self.retries > 0 or self.cell_timeout_s is not None
+
+    def delay_s(self, key: str, attempt: int) -> float:
+        """Backoff before retrying ``attempt`` (0-based) of cell ``key``.
+
+        ``min(cap, base * 2^attempt)`` scaled into ``[0.5, 1.0)`` by a
+        jitter factor derived from ``(key, attempt)`` — deterministic,
+        but decorrelated across cells.
+        """
+        raw = min(self.backoff_cap_s, self.backoff_base_s * (2.0 ** attempt))
+        if not self.jitter:
+            return raw
+        return raw * (0.5 + 0.5 * _uniform("backoff", key, attempt))

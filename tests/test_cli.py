@@ -68,6 +68,56 @@ class TestCommands:
         assert "twelve most determinant" in out
 
 
+class TestArgumentValidation:
+    """Bad option values must exit non-zero with a one-line message —
+    never a traceback (satellite of the resilience PR)."""
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["lbo", "fop", "--jobs", "0"],
+            ["lbo", "fop", "--jobs", "four"],
+            ["lbo", "fop", "--jobs", "-2"],
+            ["trace", "fop", "--ring-size", "0"],
+            ["trace", "fop", "--ring-size", "huge"],
+            ["lbo", "fop", "--invocations", "0"],
+            ["lbo", "fop", "--scale", "-1"],
+            ["lbo", "fop", "--retries", "-1"],
+            ["lbo", "fop", "--cell-timeout", "0"],
+            ["lbo", "fop", "--chaos-rate", "1.5"],
+        ],
+    )
+    def test_invalid_value_exits_2_with_one_line(self, capsys, argv):
+        with pytest.raises(SystemExit) as exit_info:
+            main(argv)
+        assert exit_info.value.code == 2
+        err = capsys.readouterr().err
+        assert "expected a" in err
+        assert "Traceback" not in err
+
+    def test_valid_resilience_flags_accepted(self):
+        args = build_parser().parse_args(
+            ["lbo", "fop", "--retries", "3", "--cell-timeout", "30",
+             "--chaos-rate", "0.3", "--chaos-seed", "7", "--resume", "j.jsonl"]
+        )
+        assert args.retries == 3 and args.cell_timeout == 30.0
+        assert args.chaos_rate == 0.3 and args.chaos_seed == 7
+        assert args.resume == "j.jsonl"
+
+
+class TestChaosCommand:
+    def test_drill_passes(self, capsys):
+        argv = ["chaos", "lusearch", "--multiple", "2.0", "--scale", "0.05"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "chaos drill" in out
+        assert "PASS" in out and "bit-identical" in out
+
+    def test_unknown_collector_rejected(self, capsys):
+        assert main(["chaos", "lusearch", "--collector", "CMS"]) == 2
+        assert "unknown collector 'CMS'" in capsys.readouterr().err
+
+
 class TestCharacterizeCommand:
     def test_characterize(self, capsys):
         assert main(["characterize", "fop", "--invocations", "2", "--scale", "0.03"]) == 0
