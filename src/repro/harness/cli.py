@@ -349,7 +349,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     )
     print(
         f"absorbed: {stats.retries} retries, {stats.timeouts} timeouts, "
-        f"{stats.gave_up} cells given up"
+        f"{stats.corrupt} torn cache entries, {stats.gave_up} cells given up"
     )
     for hole in drill.holes:
         cell = hole.cell

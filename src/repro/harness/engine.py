@@ -49,14 +49,17 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import heapq
 import json
 import multiprocessing
 import os
 import pickle
+import queue
 import sys
 import tempfile
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, TextIO, Tuple, Union
@@ -227,8 +230,31 @@ def _execute_cell_chaos(
     return _execute_cell((cell, key))
 
 
+def _execute_cell_chaos_bounded(
+    payload: Tuple[Cell, str, Optional[FaultSpec], int, Optional[float]]
+) -> CellResult:
+    """Run one chaos attempt under its own deadline (pool worker entry
+    point).
+
+    The timeout clock starts *here*, when a worker actually dequeues
+    the attempt — never in the parent at submission time — so queue
+    wait behind a busy pool is not charged against the cell.  A blown
+    deadline raises :class:`~repro.resilience.CellTimeout` back through
+    the normal result channel while the hung attempt is abandoned on a
+    daemon thread: the worker itself moves on to the next task, so a
+    hang never saturates the pool.
+    """
+    cell, key, spec, attempt, timeout_s = payload
+    inner = (cell, key, spec, attempt)
+    if timeout_s is None:
+        return _execute_cell_chaos(inner)
+    return _call_with_timeout(_execute_cell_chaos, inner, timeout_s, key)
+
+
 def _call_with_timeout(fn, payload, timeout_s: float, key: str) -> CellResult:
-    """Run ``fn(payload)`` with a wall-clock bound (in-process path).
+    """Run ``fn(payload)`` with a wall-clock bound (used by the serial
+    path in-process and by pool workers via
+    :func:`_execute_cell_chaos_bounded`).
 
     The attempt runs on a daemon thread joined with ``timeout_s``; a
     blown deadline raises :class:`~repro.resilience.CellTimeout` and
@@ -735,70 +761,79 @@ class ExecutionEngine:
         results: List[Optional[CellResult]],
         partial: bool,
     ) -> List[Hole]:
-        """Round-based pool scheduling: round *r* runs attempt *r* of
-        every still-failing cell concurrently, with per-cell timeouts
-        enforced from the parent (a hung worker is abandoned to finish
-        its round in the background, like a hung forked JVM).  One
-        decorrelated backoff nap is charged per round — the longest of
-        the failing cells' deterministic delays — so backoff cost does
-        not scale with the number of simultaneous failures."""
+        """Sliding-window pool scheduling: at most one task per worker
+        is ever in flight, so a submitted attempt starts executing
+        immediately and its timeout — enforced *inside* the worker from
+        the attempt's actual start (:func:`_execute_cell_chaos_bounded`)
+        — never charges time spent queued behind pool capacity.  A
+        timed-out attempt comes back as a normal
+        :class:`~repro.resilience.CellTimeout` failure and its worker
+        frees itself (the hung simulation is abandoned on a daemon
+        thread, like a hung forked JVM), so no stale work is ever left
+        queued to delay or starve later retries.  Cells backing off nap
+        in a schedule heap without occupying a worker slot, so backoff
+        cost never blocks cells that are ready to run."""
         policy = self.retry
         spec = self.injector.spec if self.injector.enabled else None
         holes: List[Hole] = []
         ctx = multiprocessing.get_context(
             "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
         )
-        with ctx.Pool(min(self.jobs, len(misses))) as pool:
-            pending = list(misses)
-            attempt = 0
-            while pending:
-                for idx in pending:
-                    self._log_fault_decision(keyed[idx][1], idx, attempt)
-                asyncs = {
-                    idx: pool.apply_async(
-                        _execute_cell_chaos,
-                        ((keyed[idx][0], keyed[idx][1], spec, attempt),),
-                    )
-                    for idx in pending
-                }
-                deadline = (
-                    time.monotonic() + policy.cell_timeout_s
-                    if policy.cell_timeout_s is not None
-                    else None
-                )
-                next_pending: List[int] = []
-                round_delay = 0.0
-                for idx in pending:
+        workers = min(self.jobs, len(misses))
+        done: "queue.SimpleQueue" = queue.SimpleQueue()
+        attempts = {idx: 0 for idx in misses}  # next attempt number per cell
+        ready = deque(misses)  # cells ready to dispatch, FIFO
+        napping: List[Tuple[float, int]] = []  # (wake_at, idx) backoff heap
+        inflight: Set[int] = set()
+        with ctx.Pool(workers) as pool:
+            while ready or napping or inflight:
+                now = time.monotonic()
+                while napping and napping[0][0] <= now:
+                    ready.append(heapq.heappop(napping)[1])
+                while ready and len(inflight) < workers:
+                    idx = ready.popleft()
                     cell, key = keyed[idx]
-                    try:
-                        if deadline is None:
-                            result = asyncs[idx].get()
-                        else:
-                            remaining = max(0.0, deadline - time.monotonic())
-                            try:
-                                result = asyncs[idx].get(remaining)
-                            except multiprocessing.TimeoutError:
-                                raise CellTimeout(
-                                    f"cell {key[:12]} exceeded "
-                                    f"{policy.cell_timeout_s:g}s timeout"
-                                ) from None
-                    except Exception as exc:
-                        delay = self._charge_failure(key, idx, attempt, exc)
-                        if delay is not None:
-                            next_pending.append(idx)
-                            round_delay = max(round_delay, delay)
-                        else:
-                            hole = Hole(
-                                cell=cell, key=key, attempts=attempt + 1, error=str(exc)
-                            )
-                            self._give_up(hole, holes, partial)
-                        continue
-                    results[idx] = result
-                    self._finish_executed(idx, cell, key, result)
-                if next_pending and round_delay > 0:
-                    time.sleep(round_delay)
-                pending = next_pending
-                attempt += 1
+                    attempt = attempts[idx]
+                    self._log_fault_decision(key, idx, attempt)
+                    inflight.add(idx)
+                    pool.apply_async(
+                        _execute_cell_chaos_bounded,
+                        ((cell, key, spec, attempt, policy.cell_timeout_s),),
+                        callback=lambda res, idx=idx: done.put((idx, res, None)),
+                        error_callback=lambda exc, idx=idx: done.put((idx, None, exc)),
+                    )
+                if not inflight:  # everyone is napping: sleep to the next wake
+                    time.sleep(max(0.0, napping[0][0] - time.monotonic()))
+                    continue
+                try:
+                    # With a free worker and nappers pending, wake up in
+                    # time to redispatch them even if nothing completes.
+                    timeout = (
+                        max(0.0, napping[0][0] - time.monotonic())
+                        if napping and len(inflight) < workers
+                        else None
+                    )
+                    idx, result, error = done.get(timeout=timeout)
+                except queue.Empty:
+                    continue
+                inflight.discard(idx)
+                cell, key = keyed[idx]
+                if error is not None:
+                    attempt = attempts[idx]
+                    attempts[idx] = attempt + 1
+                    delay = self._charge_failure(key, idx, attempt, error)
+                    if delay is None:
+                        hole = Hole(
+                            cell=cell, key=key, attempts=attempt + 1, error=str(error)
+                        )
+                        self._give_up(hole, holes, partial)
+                    elif delay > 0:
+                        heapq.heappush(napping, (time.monotonic() + delay, idx))
+                    else:
+                        ready.append(idx)
+                    continue
+                results[idx] = result
+                self._finish_executed(idx, cell, key, result)
         return holes
 
     def _log_fault_decision(self, key: str, idx: int, attempt: int) -> None:
@@ -1020,6 +1055,11 @@ def engine_from_env(environ=os.environ) -> ExecutionEngine:
         else None
     )
     rate = _env_float(environ, "CHOPIN_CHAOS_RATE", None, "0.1")
+    if rate is not None and not 0.0 <= rate <= 1.0:
+        raise ValueError(
+            f"CHOPIN_CHAOS_RATE must be between 0 and 1, got {rate!r} "
+            f"(e.g. CHOPIN_CHAOS_RATE=0.1)"
+        )
     injector: Optional[NullInjector] = None
     if rate:
         seed = _env_int(environ, "CHOPIN_CHAOS_SEED", 0, "42")

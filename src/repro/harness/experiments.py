@@ -16,6 +16,7 @@ either way (each cell reseeds from its own coordinates).
 from __future__ import annotations
 
 import pickle
+import tempfile
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple, Union
 
@@ -155,7 +156,7 @@ class ChaosDrill:
     not complete, ``divergent`` how many completed cells differed from
     the fault-free baseline (must be 0 — injection is forbidden from
     perturbing results), and ``stats`` the chaos engine's counters
-    (retries, timeouts, faults survived).
+    (retries, timeouts, torn cache entries detected, faults survived).
     """
 
     cells: int
@@ -185,35 +186,46 @@ def chaos_drill(
 
     Runs the same LBO-style sweep twice — once clean, once under a
     seeded :class:`~repro.resilience.FaultInjector` with a retry budget
-    — and compares every completed cell's payload byte-for-byte.  A
-    passing drill means injected crashes, transient faults, and hangs
-    were absorbed by retries with zero holes and zero divergence, which
-    is the engine's determinism guarantee extended to failure.  The CI
-    chaos smoke job gates on ``ok``.
+    and a throwaway result cache — and compares every completed cell's
+    payload byte-for-byte.  The chaos engine then re-reads the whole
+    sweep warm: ``corrupt`` faults tear a cache entry *after* it is
+    written, so only a second read observes them — without the warm
+    pass (and the cache) a quarter of ``--chaos-rate`` would silently
+    never fire.  A passing drill means injected crashes, transient
+    faults, hangs, and torn cache entries were absorbed with zero holes
+    and zero divergence, which is the engine's determinism guarantee
+    extended to failure.  The CI chaos smoke job gates on ``ok``.
     """
     plan = plan_lbo(specs, collectors, multiples, config)
     cells = plan.cells()
     clean = ExecutionEngine(jobs=jobs).run_cells(cells)
-    chaos_engine = ExecutionEngine(
-        jobs=jobs,
-        retry=RetryPolicy(
-            retries=retries, cell_timeout_s=cell_timeout_s, backoff_base_s=0.01
-        ),
-        injector=FaultInjector(
-            FaultSpec.uniform(chaos_rate, seed=chaos_seed, hang_s=hang_s)
-        ),
-    )
-    batch = chaos_engine.run_cells(cells, partial=True)
+    with tempfile.TemporaryDirectory(prefix="chopin-chaos-") as scratch:
+        chaos_engine = ExecutionEngine(
+            jobs=jobs,
+            cache_dir=scratch,
+            retry=RetryPolicy(
+                retries=retries, cell_timeout_s=cell_timeout_s, backoff_base_s=0.01
+            ),
+            injector=FaultInjector(
+                FaultSpec.uniform(chaos_rate, seed=chaos_seed, hang_s=hang_s)
+            ),
+        )
+        batch = chaos_engine.run_cells(cells, partial=True)
+        rewarm = chaos_engine.run_cells(cells, partial=True)
+    holes = list(batch.holes)
+    seen = {hole.key for hole in holes}
+    holes += [hole for hole in rewarm.holes if hole.key not in seen]
     divergent = sum(
         1
-        for baseline, chaotic in zip(clean, batch.results)
+        for chaos_results in (batch.results, rewarm.results)
+        for baseline, chaotic in zip(clean, chaos_results)
         if chaotic is not None
         and pickle.dumps((baseline.timed, baseline.oom))
         != pickle.dumps((chaotic.timed, chaotic.oom))
     )
     return ChaosDrill(
         cells=len(cells),
-        holes=batch.holes,
+        holes=holes,
         divergent=divergent,
         stats=chaos_engine.stats,
     )

@@ -286,6 +286,64 @@ class TestTimeouts:
         assert result.ok
 
 
+class TestPoolScheduling:
+    """The pool scheduler must never charge queue wait against a cell's
+    timeout, and a timed-out attempt must free its worker for the next
+    task instead of leaving stale work queued behind it."""
+
+    def test_queue_wait_not_charged_as_timeout(self, lusearch, fast_config):
+        # 8 slow cells on 2 workers: every attempt hangs 0.2s under a
+        # 0.5s per-cell timeout, so the batch needs ~0.8s of wall time —
+        # far past any single deadline shared across the batch.  Each
+        # attempt's clock starts worker-side when it actually begins, so
+        # no cell may observe a spurious timeout (retries=0 turns one
+        # into a loud CellExecutionError).
+        cells = [
+            make_cell(lusearch, invocation=i, config=fast_config) for i in range(8)
+        ]
+        clean = ExecutionEngine().run_cells(cells)
+        engine = ExecutionEngine(
+            jobs=2,
+            retry=RetryPolicy(retries=0, cell_timeout_s=0.5),
+            injector=FaultInjector(FaultSpec(hang=1.0, hang_s=0.2)),
+        )
+        results = engine.run_cells(cells)
+        assert engine.stats.timeouts == 0 and engine.stats.gave_up == 0
+        assert [payload(r) for r in results] == [payload(r) for r in clean]
+
+    def find_pool_hang_seed(self, keys):
+        """A seed under which every cell hangs on attempt 0 and runs
+        clean on attempt 1 — searched, not guessed."""
+        for seed in range(5000):
+            injector = FaultInjector(FaultSpec(seed=seed, hang=0.5, hang_s=5.0))
+            if all(
+                injector.decide(k, 0) == "hang" and injector.decide(k, 1) is None
+                for k in keys
+            ):
+                return seed
+        raise AssertionError("no such seed in range")  # pragma: no cover
+
+    def test_pool_timeout_recovers_per_cell(self, lusearch, fast_config):
+        # Both cells hang past the timeout on attempt 0; each must time
+        # out on its *own* clock, fire exactly one retry, and converge
+        # bit-identically — with the hung attempts abandoned inside the
+        # workers rather than stalling the retries behind them.
+        cells = [
+            make_cell(lusearch, invocation=i, config=fast_config) for i in range(2)
+        ]
+        seed = self.find_pool_hang_seed([cell_key(c) for c in cells])
+        clean = ExecutionEngine().run_cells(cells)
+        engine = ExecutionEngine(
+            jobs=2,
+            retry=RetryPolicy(retries=2, cell_timeout_s=0.4, backoff_base_s=0.001),
+            injector=FaultInjector(FaultSpec(seed=seed, hang=0.5, hang_s=5.0)),
+        )
+        results = engine.run_cells(cells)
+        assert engine.stats.timeouts == 2 and engine.stats.retries == 2
+        assert engine.stats.gave_up == 0
+        assert [payload(r) for r in results] == [payload(r) for r in clean]
+
+
 class TestGracefulDegradation:
     def crashing_engine(self, retries=1, jobs=1):
         return ExecutionEngine(
@@ -459,6 +517,38 @@ class TestCorruption:
         assert "corrupt cache entr" in stream.getvalue()
 
 
+class TestChaosDrill:
+    def test_drill_exercises_corruption(self, lusearch, fast_config):
+        # The drill attaches a throwaway cache and re-reads the sweep
+        # warm, so 'corrupt' faults — torn *after* the write — are
+        # actually observed and healed instead of silently never firing.
+        # Seed searched so at least one cell draws a corruption.
+        from repro.harness.experiments import chaos_drill
+        from repro.harness.plans import plan_lbo
+
+        cells = plan_lbo(lusearch, ("Serial", "G1"), (2.0,), fast_config).cells()
+        keys = [cell_key(c) for c in cells]
+        seed = next(
+            s
+            for s in range(1000)
+            if any(
+                FaultInjector(FaultSpec.uniform(0.4, seed=s)).corrupts(k)
+                for k in keys
+            )
+        )
+        drill = chaos_drill(
+            lusearch,
+            multiples=(2.0,),
+            config=fast_config,
+            chaos_rate=0.4,
+            chaos_seed=seed,
+            retries=6,
+            hang_s=0.01,
+        )
+        assert drill.ok
+        assert drill.stats.corrupt > 0  # the torn entries were detected
+
+
 class TestEngineFromEnv:
     def test_malformed_jobs_names_variable(self):
         with pytest.raises(ValueError) as err:
@@ -471,6 +561,15 @@ class TestEngineFromEnv:
         with pytest.raises(ValueError) as err:
             engine_from_env({"CHOPIN_CHAOS_RATE": "lots"})
         assert "CHOPIN_CHAOS_RATE" in str(err.value)
+
+    def test_out_of_range_chaos_rate_names_variable(self):
+        # 1.5 parses fine as a float; the range error must still name
+        # the variable, not surface as a bare FaultSpec complaint.
+        with pytest.raises(ValueError) as err:
+            engine_from_env({"CHOPIN_CHAOS_RATE": "1.5"})
+        message = str(err.value)
+        assert "CHOPIN_CHAOS_RATE" in message and "1.5" in message
+        assert "CHOPIN_CHAOS_RATE=0.1" in message  # the accepted format
 
     def test_resilience_vars_build_collaborators(self, tmp_path):
         journal = tmp_path / "j.jsonl"
