@@ -1,6 +1,6 @@
 # Convenience targets; `pip install -e .` may need --no-build-isolation,
 # and offline setuptools without the `wheel` package needs the legacy path.
-.PHONY: install test ci bench examples all
+.PHONY: install test ci bench bench-sim examples all
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -14,6 +14,11 @@ ci:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Fidelity-tier kernel benchmark: times full vs. aggregate telemetry and
+# gates the bit-identical-scalars contract (emits BENCH_sim.json).
+bench-sim:
+	PYTHONPATH=src python benchmarks/bench_sim_kernel.py
 
 examples:
 	for f in examples/*.py; do echo "== $$f =="; python $$f; done

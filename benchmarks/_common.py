@@ -12,6 +12,7 @@ reproduction targets, and those are scale-invariant.
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 from repro import RunConfig
@@ -31,13 +32,32 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 #:   CHOPIN_RESUME=p.jsonl  checkpoint journal: interrupted sweeps resume
 #:   CHOPIN_CHAOS_RATE=0.1  seeded fault injection (harness self-test)
 #:   CHOPIN_CHAOS_SEED=42   seed for the injected fault sequence
+#:   CHOPIN_FIDELITY=full   telemetry tier (auto/aggregate/full; auto lets
+#:                          each analysis pick — LBO sweeps run aggregate)
 ENGINE = engine_from_env()
 
+
+def fidelity_from_env():
+    """Telemetry tier from ``CHOPIN_FIDELITY`` (None = auto)."""
+    value = os.environ.get("CHOPIN_FIDELITY", "auto")
+    if value in ("", "auto"):
+        return None
+    if value not in ("aggregate", "full"):
+        raise SystemExit(
+            f"CHOPIN_FIDELITY must be auto, aggregate, or full, got {value!r}"
+        )
+    return value
+
+
 #: Scaled-down analogue of the paper's Section 6.1 configuration.
-BENCH_CONFIG = RunConfig(invocations=2, iterations=3, duration_scale=0.15)
+BENCH_CONFIG = RunConfig(
+    invocations=2, iterations=3, duration_scale=0.15, fidelity=fidelity_from_env()
+)
 
 #: Faster configuration for the wide appendix sweeps.
-APPENDIX_CONFIG = RunConfig(invocations=2, iterations=2, duration_scale=0.08)
+APPENDIX_CONFIG = RunConfig(
+    invocations=2, iterations=2, duration_scale=0.08, fidelity=fidelity_from_env()
+)
 
 #: Heap multiples for LBO sweeps: dense at small heaps (Section 4.2).
 SWEEP_MULTIPLES = (1.0, 1.25, 1.5, 2.0, 3.0, 4.0, 6.0)

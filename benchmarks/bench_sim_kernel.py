@@ -1,0 +1,209 @@
+"""Simulation-kernel cost of fidelity tiers: full vs. aggregate telemetry.
+
+Not a paper figure — a harness health metric for the simulation core,
+emitted as ``BENCH_sim.json``.  The hottest paths in the repro (the
+minimum-heap binary search, the suite LBO sweeps) consume only headline
+scalars, so they run at aggregate fidelity; this benchmark quantifies
+what that buys and **gates the tier contract**: every headline scalar
+must be bit-identical between tiers, and the min-heap/LBO outputs must
+be exactly equal whichever tier produced them.  Any divergence exits
+non-zero, which is what the CI smoke step relies on.
+
+Run standalone (no install needed)::
+
+    python benchmarks/bench_sim_kernel.py           # full benchmark
+    python benchmarks/bench_sim_kernel.py --smoke   # CI-sized, seconds
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+_HERE = pathlib.Path(__file__).resolve().parent
+for entry in (_HERE, _HERE.parent / "src"):
+    if str(entry) not in sys.path:
+        sys.path.insert(0, str(entry))
+
+from _common import RESULTS_DIR  # noqa: E402
+
+from repro import ExecutionEngine, RunConfig, registry, simulate_run, suite_lbo  # noqa: E402
+from repro.core.minheap import find_min_heap  # noqa: E402
+
+#: Every headline scalar of an IterationResult, including the derived
+#: views — the tier contract covers all of them, exactly.
+HEADLINE_SCALARS = (
+    "wall_s",
+    "mutator_cpu_s",
+    "gc_pause_cpu_s",
+    "gc_concurrent_cpu_s",
+    "stw_wall_s",
+    "stall_wall_s",
+    "gc_count",
+    "allocated_mb",
+    "live_end_mb",
+    "avg_footprint_mb",
+    "task_clock_s",
+    "distilled_wall_s",
+    "distilled_task_s",
+)
+
+COLLECTORS = ("Serial", "Parallel", "G1", "Shenandoah", "ZGC")
+
+
+def check_cell_equivalence(spec, collector, heap_multiple, scale) -> int:
+    """Assert bit-identical headline scalars on one cell; return a count
+    of scalars compared (0 if both tiers OOM'd identically)."""
+    from repro.jvm.heap import OutOfMemoryError
+
+    heap_mb = spec.heap_mb_for(heap_multiple)
+    outcomes = []
+    for fidelity in ("full", "aggregate"):
+        try:
+            run = simulate_run(
+                spec, collector, heap_mb, iterations=2,
+                duration_scale=scale, fidelity=fidelity,
+            )
+            outcomes.append(run.timed)
+        except OutOfMemoryError as exc:
+            outcomes.append(str(exc))
+    full, agg = outcomes
+    if isinstance(full, str) or isinstance(agg, str):
+        if full != agg:
+            raise SystemExit(
+                f"tier divergence: {spec.name}/{collector}@{heap_multiple}x "
+                f"full={full!r} aggregate={agg!r}"
+            )
+        return 0
+    for name in HEADLINE_SCALARS:
+        fv, av = getattr(full, name), getattr(agg, name)
+        if fv != av:
+            raise SystemExit(
+                f"tier divergence: {spec.name}/{collector}@{heap_multiple}x "
+                f"{name}: full={fv!r} aggregate={av!r}"
+            )
+    return len(HEADLINE_SCALARS)
+
+
+def bench_min_heap(spec, scale, repeats):
+    """Time the min-heap binary search at each tier (best of ``repeats``,
+    to shed scheduler noise); the minima must agree."""
+    timings = {}
+    minima = {}
+    for fidelity in ("full", "aggregate"):
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            result = find_min_heap(spec, "G1", duration_scale=scale, fidelity=fidelity)
+            best = min(best, time.perf_counter() - start)
+        timings[fidelity] = best
+        minima[fidelity] = result.min_heap_mb
+    if minima["full"] != minima["aggregate"]:
+        raise SystemExit(f"min-heap divergence on {spec.name}: {minima}")
+    return timings, minima["aggregate"]
+
+
+def bench_suite_sweep(specs, collectors, multiples, invocations, scale, repeats):
+    """Time a suite LBO sweep at each tier (best of ``repeats``, fresh
+    cache-less engine each time); the curves must be identical."""
+    timings = {}
+    curves = {}
+    for fidelity in ("full", "aggregate"):
+        config = RunConfig(
+            invocations=invocations,
+            iterations=2,
+            duration_scale=scale,
+            fidelity=fidelity,
+        )
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            suite = suite_lbo(
+                specs, collectors, multiples, config, engine=ExecutionEngine()
+            )
+            best = min(best, time.perf_counter() - start)
+        timings[fidelity] = best
+        curves[fidelity] = (suite.geomean_wall, suite.geomean_task)
+    if curves["full"] != curves["aggregate"]:
+        raise SystemExit("suite LBO divergence: geomean curves differ between tiers")
+    return timings
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI-sized run: one workload, two collectors, seconds not minutes",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help=f"report path (default: {RESULTS_DIR / 'BENCH_sim.json'})",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        scale, sweep_specs, sweep_collectors = 0.05, ("lusearch",), ("Serial", "G1")
+        multiples, invocations, repeats = (2.0, 3.0), 2, 1
+    else:
+        scale, sweep_specs, sweep_collectors = 0.1, ("lusearch", "fop", "avrora", "biojava"), COLLECTORS
+        multiples, invocations, repeats = (1.0, 1.25, 1.5, 2.0, 3.0), 2, 3
+
+    # 1. The contract gate: bit-identical headline scalars on the smoke
+    # cell grid, all five collectors at two heap factors.
+    spec = registry.workload("lusearch")
+    compared = 0
+    for collector in COLLECTORS:
+        for multiple in (2.0, 3.0):
+            compared += check_cell_equivalence(spec, collector, multiple, scale)
+    print(f"equivalence: {compared} headline scalars bit-identical across tiers")
+
+    # 2. Min-heap search: the search discards everything but OOM-or-not.
+    minheap_timings, min_heap_mb = bench_min_heap(spec, scale, repeats)
+
+    # 3. Suite LBO sweep: assembly reduces every cell to a few floats.
+    sweep_timings = bench_suite_sweep(
+        [registry.workload(name) for name in sweep_specs],
+        sweep_collectors,
+        multiples,
+        invocations,
+        scale,
+        repeats,
+    )
+
+    report = {
+        "smoke": args.smoke,
+        "scalars_compared": compared,
+        "min_heap_mb": round(min_heap_mb, 3),
+        "minheap_full_s": round(minheap_timings["full"], 3),
+        "minheap_aggregate_s": round(minheap_timings["aggregate"], 3),
+        "minheap_speedup": round(
+            minheap_timings["full"] / minheap_timings["aggregate"], 2
+        ),
+        "sweep_full_s": round(sweep_timings["full"], 3),
+        "sweep_aggregate_s": round(sweep_timings["aggregate"], 3),
+        "sweep_speedup": round(sweep_timings["full"] / sweep_timings["aggregate"], 2),
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = pathlib.Path(args.out) if args.out else RESULTS_DIR / "BENCH_sim.json"
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {path}")
+    print(
+        f"min-heap search: {minheap_timings['full']:.2f}s full -> "
+        f"{minheap_timings['aggregate']:.2f}s aggregate "
+        f"({report['minheap_speedup']}x)"
+    )
+    print(
+        f"suite LBO sweep: {sweep_timings['full']:.2f}s full -> "
+        f"{sweep_timings['aggregate']:.2f}s aggregate "
+        f"({report['sweep_speedup']}x)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

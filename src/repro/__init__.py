@@ -101,12 +101,23 @@ from repro.jvm.collectors import (
 from repro.jvm.environment import EnvironmentProfile, EnvironmentSensitivity
 from repro.jvm.heap import Heap, OutOfMemoryError
 from repro.jvm.simulator import simulate_iteration, simulate_run
+from repro.jvm.telemetry import (
+    FIDELITIES,
+    FIDELITY_AGGREGATE,
+    FIDELITY_FULL,
+    AggregateTelemetry,
+    FidelityError,
+    FullTelemetry,
+    resolve_fidelity,
+)
+from repro.observability import RecorderLike
 from repro.workloads import registry
 from repro.workloads.registry import all_workloads, available_sizes, latency_workloads, workload
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "AggregateTelemetry",
     "COLLECTORS",
     "COLLECTOR_NAMES",
     "Cell",
@@ -114,6 +125,11 @@ __all__ = [
     "ChaosDrill",
     "CheckpointJournal",
     "EXPERIMENTS",
+    "FIDELITIES",
+    "FIDELITY_AGGREGATE",
+    "FIDELITY_FULL",
+    "FidelityError",
+    "FullTelemetry",
     "EngineStats",
     "EnvironmentProfile",
     "EnvironmentSensitivity",
@@ -133,6 +149,7 @@ __all__ = [
     "PartialBatch",
     "ProgressSink",
     "Recorder",
+    "RecorderLike",
     "ResultCache",
     "RetryPolicy",
     "RunConfig",
@@ -168,6 +185,7 @@ __all__ = [
     "plan_lbo",
     "registry",
     "resolve_collector",
+    "resolve_fidelity",
     "run_experiment",
     "run_plan",
     "score_benchmark",

@@ -46,7 +46,9 @@ def measure_gc_statistics(spec: WorkloadSpec, config: RunConfig = DEFAULT_CONFIG
     heap_mb = spec.heap_mb_for(CHARACTERIZATION_MULTIPLE)
     measurement = measure(spec, "G1", heap_mb, config)
     timed = measurement.results[0]
-    post_gc = np.array([e.heap_after_mb for e in timed.telemetry.gc_log])
+    # The GC log needs full-fidelity results; an aggregate config raises
+    # FidelityError here rather than quietly reporting zero collections.
+    post_gc = np.array([e.heap_after_mb for e in timed.require_telemetry().gc_log])
     stats: Dict[str, float] = {
         # GCC is defined over a full default-length run: normalise the
         # timed iteration's count by the duration scale and the default

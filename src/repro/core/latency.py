@@ -158,3 +158,15 @@ def mmu_curve(
 ) -> Dict[float, float]:
     """MMU at each window size, for pause-structure analysis."""
     return {w: minimum_mutator_utilization(pauses, w, horizon) for w in windows_s}
+
+
+def mmu_from_result(result, windows_s: Sequence[float]) -> Dict[float, float]:
+    """MMU curve straight off a simulated iteration's timeline.
+
+    Pause-structure analysis needs every individual pause, so this is a
+    full-fidelity consumer: an aggregate-tier
+    :class:`~repro.jvm.simulator.IterationResult` raises
+    :class:`~repro.jvm.telemetry.FidelityError` with the upgrade hint.
+    """
+    timeline = result.require_timeline()
+    return mmu_curve(timeline.pauses, timeline.end_time, windows_s)

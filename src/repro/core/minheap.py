@@ -15,6 +15,7 @@ from typing import Optional
 from repro.jvm.cpu import DEFAULT_MACHINE, Machine
 from repro.jvm.heap import OutOfMemoryError
 from repro.jvm.simulator import simulate_run
+from repro.jvm.telemetry import FIDELITY_AGGREGATE
 
 
 @dataclass(frozen=True)
@@ -38,8 +39,14 @@ def runs_in(
     iterations: int = 1,
     machine: Machine = DEFAULT_MACHINE,
     duration_scale: float = 1.0,
+    fidelity: str = FIDELITY_AGGREGATE,
 ) -> bool:
-    """True if the workload completes in ``heap_mb`` with ``collector``."""
+    """True if the workload completes in ``heap_mb`` with ``collector``.
+
+    Only the OOM-or-not outcome is consumed and that never depends on
+    telemetry detail, so the run defaults to aggregate fidelity (the
+    result object is discarded either way).
+    """
     try:
         simulate_run(
             spec,
@@ -48,6 +55,7 @@ def runs_in(
             iterations=iterations,
             machine=machine,
             duration_scale=duration_scale,
+            fidelity=fidelity,
         )
         return True
     except OutOfMemoryError:
@@ -62,6 +70,7 @@ def find_min_heap(
     machine: Machine = DEFAULT_MACHINE,
     duration_scale: float = 1.0,
     upper_bound_mb: Optional[float] = None,
+    fidelity: str = FIDELITY_AGGREGATE,
 ) -> MinHeapResult:
     """Binary-search the minimum heap for ``spec`` with ``collector``.
 
@@ -69,18 +78,33 @@ def find_min_heap(
     succeeds, then narrows until the bracket is within ``tolerance``
     (relative).  Raises :class:`OutOfMemoryError` if even ``upper_bound_mb``
     (default 16x the nominal minimum) fails.
+
+    The probe runs discard everything but the OOM outcome, so they run at
+    aggregate fidelity by default — the reported minimum is identical at
+    either tier because OOM detection never depends on telemetry detail.
     """
     if tolerance <= 0:
         raise ValueError("tolerance must be positive")
     high = upper_bound_mb if upper_bound_mb is not None else 16.0 * spec.minheap_mb
-    if not runs_in(spec, collector, high, iterations, machine, duration_scale):
+    if not runs_in(spec, collector, high, iterations, machine, duration_scale, fidelity):
         raise OutOfMemoryError(
             f"{spec.name} cannot run with {collector} even at {high:.0f} MB"
         )
-    low = spec.live_mb * 0.5  # certainly too small: below the live set
+    # Half the declared live set is normally an infeasible heap, but the
+    # binary search is only correct if ``low`` actually fails — verify the
+    # bracket instead of assuming it, walking it down when a misdeclared
+    # ``live_mb`` would otherwise silently inflate the reported minimum.
+    low = spec.live_mb * 0.5
+    while low > 0.0 and runs_in(
+        spec, collector, low, iterations, machine, duration_scale, fidelity
+    ):
+        high = low
+        low /= 2.0
+        if high < 0.01:  # degenerate: effectively any heap runs it
+            break
     while high - low > tolerance * high:
         mid = (low + high) / 2.0
-        if runs_in(spec, collector, mid, iterations, machine, duration_scale):
+        if runs_in(spec, collector, mid, iterations, machine, duration_scale, fidelity):
             high = mid
         else:
             low = mid

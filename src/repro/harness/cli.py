@@ -9,6 +9,7 @@ pca`` prints the Figure 4 diversity analysis.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -150,11 +151,30 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
         default=1.0,
         help="iteration duration scale (use <1 for quick looks)",
     )
+    parser.add_argument(
+        "--fidelity",
+        choices=("auto", "aggregate", "full"),
+        default=os.environ.get("CHOPIN_FIDELITY", "auto"),
+        help="telemetry tier: aggregate (headline scalars only, fastest), "
+        "full (per-event detail: timelines, GC logs, traces), or auto — "
+        "each analysis picks what it needs (default; env: CHOPIN_FIDELITY)",
+    )
     _add_engine_options(parser)
 
 
 def _config(args: argparse.Namespace) -> RunConfig:
-    return RunConfig(invocations=args.invocations, duration_scale=args.scale)
+    # The chaos subparser has no --fidelity; env overrides still apply.
+    fidelity = getattr(args, "fidelity", None) or os.environ.get("CHOPIN_FIDELITY", "auto")
+    if fidelity not in ("auto", "aggregate", "full"):
+        raise SystemExit(
+            f"chopin: invalid fidelity {fidelity!r} (from --fidelity or "
+            f"CHOPIN_FIDELITY); choose auto, aggregate, or full"
+        )
+    return RunConfig(
+        invocations=args.invocations,
+        duration_scale=args.scale,
+        fidelity=None if fidelity == "auto" else fidelity,
+    )
 
 
 def _engine(args: argparse.Namespace) -> ExecutionEngine:
@@ -208,6 +228,13 @@ def cmd_latency(args: argparse.Namespace) -> int:
         print(f"{spec.name} is not a latency-sensitive workload", file=sys.stderr)
         return 2
     config = _config(args)
+    if config.fidelity == "aggregate":
+        print(
+            "latency analysis replays requests over per-event timelines; "
+            "use --fidelity full (or auto)",
+            file=sys.stderr,
+        )
+        return 2
     engine = _engine(args)
     reports = {
         collector: latency_experiment(spec, collector, args.heap, config, engine=engine).report

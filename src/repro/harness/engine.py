@@ -67,6 +67,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, TextIO, T
 from repro.jvm.collectors import resolve_collector
 from repro.jvm.heap import OutOfMemoryError
 from repro.jvm.simulator import IterationResult, simulate_run
+from repro.observability import RecorderLike
 from repro.observability import events as flight
 from repro.resilience import (
     CellExecutionError,
@@ -86,7 +87,9 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runner imports us)
 
 #: Bump when simulator behaviour changes in a way that alters results:
 #: every cached entry is invalidated because the hash changes.
-ENGINE_SCHEMA_VERSION = 1
+#: 2: IterationResult grew fidelity-tier fields (avg_footprint_mb,
+#: fidelity, optional timeline/telemetry) — old pickles lack them.
+ENGINE_SCHEMA_VERSION = 2
 
 #: Cells executed (not served from cache) by *this process* — test hook
 #: for the "warm cache runs zero simulations" guarantee.
@@ -180,6 +183,13 @@ def cell_key(cell: Cell) -> str:
         "duration_scale": _canonical(float(config.duration_scale)),
         "environment": _canonical(config.environment),
     }
+    # The fidelity tier changes the cached payload (aggregate results
+    # carry no timeline/telemetry), so it participates in the key — but
+    # only when reducing detail, keeping full/auto keys stable across the
+    # introduction of tiers.
+    fidelity = getattr(config, "fidelity", None)
+    if fidelity is not None and fidelity != "full":
+        payload["fidelity"] = fidelity
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
@@ -202,6 +212,7 @@ def _execute_cell(payload: Tuple[Cell, str]) -> CellResult:
             tuning=config.tuning,
             duration_scale=config.duration_scale,
             environment=config.environment,
+            fidelity=config.fidelity,
         )
     except OutOfMemoryError as exc:
         return CellResult(
@@ -562,7 +573,7 @@ class ExecutionEngine:
         jobs: int = 1,
         cache_dir: Optional[Union[str, Path]] = None,
         progress: Optional[ProgressSink] = None,
-        recorder: Optional["flight.NullRecorder"] = None,
+        recorder: Optional[RecorderLike] = None,
         retry: Optional[RetryPolicy] = None,
         injector: Optional[NullInjector] = None,
         checkpoint: Optional[Union[str, Path, CheckpointJournal]] = None,
@@ -959,7 +970,11 @@ class ExecutionEngine:
                 )
             )
             if not cached and result.timed is not None:
+                # Aggregate-fidelity results carry no per-event telemetry;
+                # their cell span still appears, just with nothing nested.
                 telem = result.timed.telemetry
+                if telem is None:
+                    continue
                 for pause in telem.pauses:
                     recorder.emit(
                         flight.GcPause(

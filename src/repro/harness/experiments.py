@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import pickle
 import tempfile
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.harness.engine import Cell, EngineStats, ExecutionEngine, Hole
@@ -36,6 +36,7 @@ from repro.harness.runner import DEFAULT_CONFIG, RunConfig
 from repro.core.lbo import LboCurves
 from repro.jvm.collectors import COLLECTOR_NAMES, resolve_collector
 from repro.jvm.heap import OutOfMemoryError
+from repro.jvm.telemetry import FIDELITY_FULL
 from repro.workloads.spec import WorkloadSpec
 
 __all__ = [
@@ -142,6 +143,12 @@ def trace_sweep(
         engine = ExecutionEngine(recorder=recorder)
     elif not engine.recorder.enabled:
         engine.recorder = recorder if recorder is not None else Recorder()
+    # The trace nests GC pauses/spans/stalls inside each cell span, which
+    # only full-fidelity results carry — recording auto-upgrades the
+    # config to the full tier (aggregate included, mirroring
+    # ``simulate_run``'s recorder upgrade).
+    if config.fidelity != FIDELITY_FULL:
+        config = replace(config, fidelity=FIDELITY_FULL)
     result, stats = run_plan(
         plan_lbo(specs, collectors, multiples, config), engine, return_stats=True
     )
@@ -244,8 +251,14 @@ def heap_timeseries(
     Only the first invocation's timed iteration is needed, so exactly one
     cell is submitted (the legacy path simulated every invocation and
     discarded all but the first — same result, less work).
+
+    The series is read from the GC log, so auto fidelity resolves to the
+    full tier; an explicit ``fidelity="aggregate"`` config raises
+    :class:`~repro.jvm.telemetry.FidelityError`.
     """
     engine = engine if engine is not None else ExecutionEngine()
+    if config.fidelity is None:
+        config = replace(config, fidelity=FIDELITY_FULL)
     cell = Cell(
         spec=spec,
         collector=resolve_collector(collector),
@@ -256,4 +269,4 @@ def heap_timeseries(
     result = engine.run_cells([cell])[0]
     if result.oom is not None:
         raise OutOfMemoryError(result.oom)
-    return result.timed.telemetry.heap_after_gc_series()
+    return result.timed.require_telemetry().heap_after_gc_series()

@@ -46,7 +46,14 @@ def write_latency_csv(record: EventRecord, path: PathLike) -> pathlib.Path:
 
 
 def write_gc_log_csv(telemetry: Telemetry, path: PathLike) -> pathlib.Path:
-    """Write the GC event log: one row per collection."""
+    """Write the GC event log: one row per collection.
+
+    Accepts a :class:`~repro.jvm.telemetry.Telemetry` or anything carrying
+    one (an :class:`~repro.jvm.simulator.IterationResult`); aggregate
+    results raise :class:`~repro.jvm.telemetry.FidelityError`.
+    """
+    if hasattr(telemetry, "require_telemetry"):
+        telemetry = telemetry.require_telemetry()
     path = pathlib.Path(path)
     with path.open("w", newline="") as fh:
         writer = csv.writer(fh)

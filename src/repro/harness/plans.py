@@ -36,6 +36,7 @@ from repro.harness.runner import DEFAULT_CONFIG, RunConfig
 from repro.resilience import CellExecutionError
 from repro.jvm.collectors import COLLECTOR_NAMES, resolve_collector
 from repro.jvm.heap import OutOfMemoryError
+from repro.jvm.telemetry import FIDELITY_AGGREGATE, FIDELITY_FULL
 from repro.workloads.requests import EventRecord, replay
 from repro.workloads.spec import WorkloadSpec
 
@@ -103,6 +104,12 @@ class ExperimentPlan:
             for spec in self.specs:
                 if not spec.latency_sensitive:
                     raise ValueError(f"{spec.name} is not a latency-sensitive workload")
+            if self.config.fidelity == FIDELITY_AGGREGATE:
+                raise ValueError(
+                    "latency plans replay requests over per-event timelines, "
+                    "which aggregate fidelity does not record; use "
+                    "fidelity='full' (or None for auto)"
+                )
 
     @property
     def cell_count(self) -> int:
@@ -149,7 +156,16 @@ def plan_lbo(
     multiples: Sequence[float] = DEFAULT_MULTIPLES,
     config: RunConfig = DEFAULT_CONFIG,
 ) -> ExperimentPlan:
-    """Plan a lower-bound-overhead sweep (Figures 1 and 5)."""
+    """Plan a lower-bound-overhead sweep (Figures 1 and 5).
+
+    LBO assembly consumes only headline scalars, so auto fidelity
+    (``config.fidelity is None``) resolves to the aggregate tier here —
+    the curves are bit-identical and the sweep is substantially faster.
+    Pass ``fidelity="full"`` explicitly to keep per-event telemetry on
+    the cached results (e.g. for ``chopin trace``).
+    """
+    if config.fidelity is None:
+        config = replace(config, fidelity=FIDELITY_AGGREGATE)
     return ExperimentPlan(
         kind="lbo",
         specs=_specs_tuple(specs),
@@ -166,7 +182,14 @@ def plan_latency(
     config: RunConfig = DEFAULT_CONFIG,
     replay_invocation: int = 0,
 ) -> ExperimentPlan:
-    """Plan a user-experienced-latency sweep (Figures 3 and 6)."""
+    """Plan a user-experienced-latency sweep (Figures 3 and 6).
+
+    Request replay walks the timed iteration's timeline, so auto
+    fidelity resolves to the full tier; an explicit
+    ``fidelity="aggregate"`` is rejected by plan validation.
+    """
+    if config.fidelity is None:
+        config = replace(config, fidelity=FIDELITY_FULL)
     return ExperimentPlan(
         kind="latency",
         specs=_specs_tuple(specs),
@@ -210,8 +233,15 @@ def run_plan(
     :class:`~repro.harness.engine.Hole` — ``(assembled, holes)``, or
     ``(assembled, holes, stats)`` with ``return_stats`` — so callers see
     what is missing.  ``strict`` still raises on a latency hole.
+
+    An engine with an enabled flight recorder upgrades the plan to full
+    fidelity (the trace nests per-event GC slices, which aggregate
+    results do not carry) — the same auto-upgrade
+    :func:`~repro.jvm.simulator.simulate_run` applies when recording.
     """
     engine = engine if engine is not None else ExecutionEngine()
+    if engine.recorder.enabled and plan.config.fidelity != FIDELITY_FULL:
+        plan = replace(plan, config=replace(plan.config, fidelity=FIDELITY_FULL))
     before = dataclasses.replace(engine.stats)
     holes: List[Hole] = []
     if partial:
@@ -310,7 +340,7 @@ def _assemble_latency(
             # Shrink the request stream with the iteration so workers stay
             # busy for the whole (scaled) run.
             scaled = _scaled_for_replay(spec, plan.config.duration_scale)
-        events = replay(scaled, timed.timeline, rng)
+        events = replay(scaled, timed.require_timeline(), rng)
         runs.append(
             LatencyRun(
                 benchmark=spec.name,

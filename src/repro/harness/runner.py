@@ -21,6 +21,7 @@ from repro.jvm.heap import OutOfMemoryError
 from repro.jvm.cpu import DEFAULT_MACHINE, Machine
 from repro.jvm.environment import BASELINE_ENVIRONMENT, EnvironmentProfile
 from repro.jvm.simulator import IterationResult, collector_label, simulate_run
+from repro.jvm.telemetry import resolve_fidelity
 from repro.workloads.spec import WorkloadSpec
 
 
@@ -37,12 +38,18 @@ class RunConfig:
     duration_scale: float = 1.0
     #: Execution environment (memory speed, LLC, frequency, compiler).
     environment: EnvironmentProfile = BASELINE_ENVIRONMENT
+    #: Telemetry tier: ``"full"`` (per-event detail), ``"aggregate"``
+    #: (headline scalars only, faster), or ``None`` — *auto*, letting each
+    #: consumer pick what it needs (LBO sweeps drop to aggregate; latency,
+    #: GC-log, and trace paths request full).
+    fidelity: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.invocations < 1:
             raise ValueError("need at least one invocation")
         if self.duration_scale <= 0:
             raise ValueError("duration scale must be positive")
+        resolve_fidelity(self.fidelity)  # None or a valid tier name
 
 
 DEFAULT_CONFIG = RunConfig()
@@ -137,6 +144,7 @@ def _measure_inline(
             tuning=config.tuning,
             duration_scale=config.duration_scale,
             environment=config.environment,
+            fidelity=config.fidelity,
         )
         results.append(run.timed)
     return BenchmarkMeasurement(

@@ -49,22 +49,32 @@ class GcTuning:
     efficiency_exponent: float = 0.85
 
 
-@dataclass(frozen=True)
 class PauseSegment:
-    """One stop-the-world segment of a cycle."""
+    """One stop-the-world segment of a cycle.
 
-    duration_s: float
-    workers: float
-    kind: str
+    A plain ``__slots__`` class, not a dataclass: collectors build one to
+    three of these per GC cycle, making construction cost part of the
+    simulator's innermost loop.  Treat instances as immutable.
+    """
 
-    def __post_init__(self) -> None:
-        if self.duration_s < 0:
+    __slots__ = ("duration_s", "workers", "kind")
+
+    def __init__(self, duration_s: float, workers: float, kind: str) -> None:
+        if duration_s < 0:
             raise ValueError("pause duration cannot be negative")
-        if self.workers <= 0:
+        if workers <= 0:
             raise ValueError("pause must use at least a fraction of a worker")
+        self.duration_s = duration_s
+        self.workers = workers
+        self.kind = kind
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PauseSegment(duration_s={self.duration_s!r}, "
+            f"workers={self.workers!r}, kind={self.kind!r})"
+        )
 
 
-@dataclass(frozen=True)
 class CyclePlan:
     """A complete description of one collection cycle.
 
@@ -76,31 +86,58 @@ class CyclePlan:
     garbage.  ``pace_alloc_to_mb_s`` caps the allocation rate during the
     concurrent phase (Shenandoah's pacer); ``None`` means unpaced, and the
     mutator stalls outright if it exhausts the heap mid-cycle.
+
+    Like :class:`PauseSegment`, a plain ``__slots__`` class built once per
+    GC cycle on the simulator's hot path.  Treat instances as immutable.
     """
 
-    kind: str
-    pre_pauses: Tuple[PauseSegment, ...] = ()
-    concurrent_work_mb: float = 0.0
-    concurrent_threads: float = 0.0
-    post_pauses: Tuple[PauseSegment, ...] = ()
-    survival_rate: Optional[float] = None
-    promotion_fraction: Optional[float] = None
-    full_live_target_mb: Optional[float] = None
-    pace_alloc_to_mb_s: Optional[float] = None
-    #: Old-generation garbage handed back by this cycle (G1 mixed pauses).
-    old_reclaim_mb: float = 0.0
+    __slots__ = (
+        "kind",
+        "pre_pauses",
+        "concurrent_work_mb",
+        "concurrent_threads",
+        "post_pauses",
+        "survival_rate",
+        "promotion_fraction",
+        "full_live_target_mb",
+        "pace_alloc_to_mb_s",
+        "old_reclaim_mb",
+    )
 
-    def __post_init__(self) -> None:
-        if self.concurrent_work_mb < 0:
+    def __init__(
+        self,
+        kind: str,
+        pre_pauses: Tuple[PauseSegment, ...] = (),
+        concurrent_work_mb: float = 0.0,
+        concurrent_threads: float = 0.0,
+        post_pauses: Tuple[PauseSegment, ...] = (),
+        survival_rate: Optional[float] = None,
+        promotion_fraction: Optional[float] = None,
+        full_live_target_mb: Optional[float] = None,
+        pace_alloc_to_mb_s: Optional[float] = None,
+        # Old-generation garbage handed back by this cycle (G1 mixed pauses).
+        old_reclaim_mb: float = 0.0,
+    ) -> None:
+        if concurrent_work_mb < 0:
             raise ValueError("concurrent work cannot be negative")
-        if self.concurrent_work_mb > 0 and self.concurrent_threads <= 0:
+        if concurrent_work_mb > 0 and concurrent_threads <= 0:
             raise ValueError("concurrent work requires concurrent threads")
-        is_young = self.survival_rate is not None
-        is_full = self.full_live_target_mb is not None
+        is_young = survival_rate is not None
+        is_full = full_live_target_mb is not None
         if is_young == is_full:
             raise ValueError("a cycle is either young-style or full-style")
-        if is_young and self.promotion_fraction is None:
+        if is_young and promotion_fraction is None:
             raise ValueError("young-style cycles need a promotion fraction")
+        self.kind = kind
+        self.pre_pauses = pre_pauses
+        self.concurrent_work_mb = concurrent_work_mb
+        self.concurrent_threads = concurrent_threads
+        self.post_pauses = post_pauses
+        self.survival_rate = survival_rate
+        self.promotion_fraction = promotion_fraction
+        self.full_live_target_mb = full_live_target_mb
+        self.pace_alloc_to_mb_s = pace_alloc_to_mb_s
+        self.old_reclaim_mb = old_reclaim_mb
 
 
 class Collector(ABC):
@@ -138,6 +175,17 @@ class Collector(ABC):
         self.mutator_tax = barrier_model.mutator_tax(
             self.MUTATOR_TAX, self.BARRIERS, getattr(spec, "operation_rates", None)
         )
+        # stw_pause_for is the hottest call in the simulator, and both of
+        # its non-argument inputs are per-instance constants (the machine
+        # and tuning never change after construction) — compute them once.
+        workers = self.stw_workers()
+        self._stw_workers_f = float(workers)
+        self._stw_speedup = self.machine.parallel_speedup(
+            workers, self.tuning.efficiency_exponent
+        )
+        # live_footprint_mb runs on every full-GC plan; its first term is
+        # a spec constant (only extra_live_mb varies over a run).
+        self._live_base_mb = self.spec.live_mb * self.footprint_factor()
 
     # ------------------------------------------------------------------
     # Footprint
@@ -155,7 +203,7 @@ class Collector(ABC):
     def live_footprint_mb(self) -> float:
         """The workload's long-lived live set as this collector stores it,
         including any leaked (reachable, never-collectable) memory."""
-        return self.spec.live_mb * self.footprint_factor() + self.extra_live_mb
+        return self._live_base_mb + self.extra_live_mb
 
     def min_heap_mb(self) -> float:
         """Smallest heap this collector can run the workload in."""
@@ -175,9 +223,8 @@ class Collector(ABC):
 
     def stw_pause_for(self, work_mb: float, rate_mb_s: float, kind: str) -> PauseSegment:
         """Build a pause segment for ``work_mb`` of STW work."""
-        workers = self.stw_workers()
-        duration = self.tuning.pause_floor_s + work_mb / (rate_mb_s * self.team_speedup(workers))
-        return PauseSegment(duration_s=duration, workers=float(workers), kind=kind)
+        duration = self.tuning.pause_floor_s + work_mb / (rate_mb_s * self._stw_speedup)
+        return PauseSegment(duration_s=duration, workers=self._stw_workers_f, kind=kind)
 
     # ------------------------------------------------------------------
     # The two questions the simulator asks

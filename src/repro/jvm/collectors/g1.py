@@ -17,7 +17,7 @@ captures the three behaviours that matter for the paper's analysis:
 from __future__ import annotations
 
 from repro.jvm import barriers as barrier_model
-from repro.jvm.collectors.base import Collector, CyclePlan
+from repro.jvm.collectors.base import Collector, CyclePlan, PauseSegment
 from repro.jvm.heap import Heap
 
 
@@ -54,8 +54,14 @@ class G1Collector(Collector):
         return max(1.0, self.stw_workers() / 4.0)
 
     def trigger_free_mb(self, heap: Heap) -> float:
-        eden = self.eden_capacity_mb(heap, self.YOUNG_FRACTION)
-        return max(heap.usable_mb - heap.live_mb - eden, 0.0)
+        # Inlined eden_capacity_mb with identical float grouping; this
+        # runs once per simulator loop step.
+        headroom = heap.usable_mb - heap.live_mb
+        eden = self.YOUNG_FRACTION * headroom if headroom > 0.0 else 0.0
+        if eden < 0.5:
+            eden = 0.5
+        free = headroom - eden
+        return free if free > 0.0 else 0.0
 
     def plan_cycle(self, heap: Heap) -> CyclePlan:
         if heap.live_mb >= self.FULL_GC_THRESHOLD * heap.usable_mb:
@@ -88,11 +94,15 @@ class G1Collector(Collector):
     def _young_pause(self, heap: Heap, scale: float, kind: str):
         survivors = heap.young_mb * self.spec.survival_rate
         work = (survivors + 0.02 * heap.live_mb) * scale
-        pause = self.stw_pause_for(work, self.tuning.copy_rate_mb_s, kind=kind)
-        return type(pause)(
-            duration_s=pause.duration_s + self.RSET_PAUSE_S,
-            workers=pause.workers,
-            kind=pause.kind,
+        # Same floats as stw_pause_for plus the remembered-set surcharge,
+        # built as one segment instead of construct-then-copy.
+        duration = self.tuning.pause_floor_s + work / (
+            self.tuning.copy_rate_mb_s * self._stw_speedup
+        )
+        return PauseSegment(
+            duration_s=duration + self.RSET_PAUSE_S,
+            workers=self._stw_workers_f,
+            kind=kind,
         )
 
     def _young_plan(self, heap: Heap) -> CyclePlan:

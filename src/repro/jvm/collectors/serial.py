@@ -30,8 +30,14 @@ class SerialCollector(Collector):
         return 1
 
     def trigger_free_mb(self, heap: Heap) -> float:
-        eden = self.eden_capacity_mb(heap, self.YOUNG_FRACTION)
-        return max(heap.usable_mb - heap.live_mb - eden, 0.0)
+        # Inlined eden_capacity_mb with identical float grouping; this
+        # runs once per simulator loop step.
+        headroom = heap.usable_mb - heap.live_mb
+        eden = self.YOUNG_FRACTION * headroom if headroom > 0.0 else 0.0
+        if eden < 0.5:
+            eden = 0.5
+        free = headroom - eden
+        return free if free > 0.0 else 0.0
 
     def plan_cycle(self, heap: Heap) -> CyclePlan:
         if heap.live_mb >= self.FULL_GC_THRESHOLD * heap.usable_mb:

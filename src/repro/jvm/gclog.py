@@ -44,9 +44,18 @@ def _label_for(kind: str) -> str:
 
 
 def format_gc_log(telemetry: Telemetry, heap_capacity_mb: float) -> List[str]:
-    """Render a run's GC events as unified-logging lines."""
+    """Render a run's GC events as unified-logging lines.
+
+    Accepts a :class:`~repro.jvm.telemetry.Telemetry` or anything
+    carrying one (e.g. an :class:`~repro.jvm.simulator.IterationResult`).
+    The log needs per-event detail, so an aggregate-fidelity result
+    raises :class:`~repro.jvm.telemetry.FidelityError` with the upgrade
+    hint rather than rendering an empty log.
+    """
     if heap_capacity_mb <= 0:
         raise ValueError("heap capacity must be positive")
+    if hasattr(telemetry, "require_telemetry"):
+        telemetry = telemetry.require_telemetry()
     lines = []
     for number, event in enumerate(telemetry.gc_log):
         lines.append(

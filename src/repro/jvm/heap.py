@@ -57,7 +57,12 @@ class Heap:
 
     @property
     def free_mb(self) -> float:
-        return max(self.usable_mb - self.occupied_mb, 0.0)
+        # Inlined usable_mb - occupied_mb (the simulator's hottest heap
+        # read); the grouping must match those properties exactly.
+        free = self.capacity_mb * (1.0 - self.reserve_fraction) - (
+            self.live_mb + self.young_mb
+        )
+        return free if free > 0.0 else 0.0
 
     def allocate(self, mb: float) -> None:
         """Allocate ``mb`` of fresh objects into the young space.

@@ -10,6 +10,12 @@ iterations.
 Accounting follows the paper's Recommendation O2 exactly: every run yields
 both a wall-clock time and a task clock (total CPU over all threads, the
 simulator's TASK_CLOCK analogue).
+
+Simulation runs at one of two **fidelity tiers**
+(:mod:`repro.jvm.telemetry`): ``"full"`` carries per-event telemetry and a
+:class:`~repro.jvm.timeline.Timeline` on each result; ``"aggregate"``
+keeps only the headline scalars and skips event materialization entirely
+— much faster, and bit-identical on every scalar.
 """
 
 from __future__ import annotations
@@ -25,8 +31,14 @@ from repro.jvm.collectors.base import Collector, CyclePlan, GcTuning
 from repro.jvm.cpu import DEFAULT_MACHINE, Machine
 from repro.jvm.environment import BASELINE_ENVIRONMENT, EnvironmentProfile
 from repro.jvm.heap import Heap, OutOfMemoryError
-from repro.jvm.telemetry import GcEvent, Telemetry
-from repro.jvm.timeline import ConcurrentSpan, Timeline
+from repro.jvm.telemetry import (
+    FIDELITY_FULL,
+    FidelityError,
+    Telemetry,
+    make_telemetry,
+)
+from repro.jvm.timeline import Timeline
+from repro.observability import RecorderLike
 from repro.observability import events as flight
 
 #: Hard cap on GC cycles per iteration: a run that needs more than this is
@@ -36,7 +48,15 @@ MAX_CYCLES_PER_ITERATION = 200_000
 
 @dataclass(frozen=True)
 class IterationResult:
-    """Everything measured about one benchmark iteration."""
+    """Everything measured about one benchmark iteration.
+
+    All headline scalars are first-class fields whatever the fidelity
+    tier.  ``timeline`` and ``telemetry`` are full-fidelity detail:
+    ``None`` on aggregate-tier results, where only the scalars exist.
+    Consumers that need the detail go through :meth:`require_timeline` /
+    :meth:`require_telemetry` so an aggregate result fails with a clear
+    upgrade message instead of an ``AttributeError``.
+    """
 
     wall_s: float
     mutator_cpu_s: float
@@ -49,8 +69,36 @@ class IterationResult:
     #: Long-lived live set at iteration end (heap introspection; the basis
     #: of the leakage statistic GLK).
     live_end_mb: float
-    timeline: Timeline
-    telemetry: Telemetry
+    #: Time-averaged heap occupancy (the paper's area-under-the-curve
+    #: net-footprint measure, Section 4.2) — a headline scalar, so it is
+    #: carried at every fidelity tier.
+    avg_footprint_mb: float = 0.0
+    #: Which tier this iteration was simulated at.
+    fidelity: str = FIDELITY_FULL
+    timeline: Optional[Timeline] = None
+    telemetry: Optional[Telemetry] = None
+
+    def require_timeline(self) -> Timeline:
+        """The iteration's :class:`Timeline`, or a :class:`FidelityError`
+        explaining that the run must be re-simulated at full fidelity."""
+        if self.timeline is None:
+            raise FidelityError(
+                "this result was simulated at fidelity='aggregate' and carries "
+                "no timeline; re-run with fidelity='full' to record per-event "
+                "detail"
+            )
+        return self.timeline
+
+    def require_telemetry(self) -> Telemetry:
+        """The iteration's full :class:`Telemetry`, or a
+        :class:`FidelityError` explaining the needed upgrade."""
+        if self.telemetry is None:
+            raise FidelityError(
+                "this result was simulated at fidelity='aggregate' and carries "
+                "no per-event telemetry; re-run with fidelity='full' to record "
+                "pauses, spans, and the GC log"
+            )
+        return self.telemetry
 
     @property
     def gc_cpu_s(self) -> float:
@@ -99,7 +147,8 @@ class _MutatorState:
 
     @property
     def remaining_s(self) -> float:
-        return max(self.target_progress_s - self.progress_s, 0.0)
+        remaining = self.target_progress_s - self.progress_s
+        return remaining if remaining > 0.0 else 0.0
 
     @property
     def done(self) -> bool:
@@ -138,13 +187,14 @@ class _IterationSim:
         rng: np.random.Generator,
         speed_factor: float,
         duration_scale: float,
+        fidelity: Optional[str] = None,
     ):
         self.spec = spec
         self.collector = collector
         self.heap = heap
         self.machine = machine
         self.rng = rng
-        self.telemetry = Telemetry()
+        self.telemetry = make_telemetry(fidelity)
         intrinsic = spec.execution_time_s * duration_scale * speed_factor
         # Run-to-run noise: the PSD nominal statistic is the relative
         # standard deviation among invocations at peak performance.
@@ -159,20 +209,42 @@ class _IterationSim:
 
     # -- helpers -------------------------------------------------------
     def _run_mutator(self, progress_s: float) -> None:
-        """Advance the mutator outside any GC cycle (rate 1, no dilation)."""
-        self.heap.allocate(progress_s * self.state.alloc_rate_mb_s)
-        self.state.progress_s += progress_s
-        self.state.wall_s += progress_s
+        """Advance the mutator outside any GC cycle (rate 1, no dilation).
+
+        Allocation bypasses :meth:`Heap.allocate`'s free-space check: the
+        caller derived ``progress_s`` from the free space itself (budget =
+        free - trigger, trigger >= 0), so the allocation fits by
+        construction.
+        """
+        state = self.state
+        heap = self.heap
+        mb = progress_s * state.alloc_rate_mb_s
+        heap.young_mb += mb
+        heap.allocated_total_mb += mb
+        state.progress_s += progress_s
+        state.wall_s += progress_s
 
     def _execute_pauses(self, segments, cycle_kind: str) -> None:
-        for seg in segments:
-            self.telemetry.record_pause(
-                start=self.state.wall_s,
-                duration=seg.duration_s,
-                kind=f"{cycle_kind}:{seg.kind}",
-                workers=seg.workers,
-            )
-            self.state.wall_s += seg.duration_s
+        telem = self.telemetry
+        if telem.wants_events:
+            for seg in segments:
+                telem.record_pause(
+                    start=self.state.wall_s,
+                    duration=seg.duration_s,
+                    kind=f"{cycle_kind}:{seg.kind}",
+                    workers=seg.workers,
+                )
+                self.state.wall_s += seg.duration_s
+        else:
+            # Aggregate tier: same per-segment accumulation order as
+            # record_pause (the scalar contract is bit-identical floats),
+            # without the call or the event object.
+            state = self.state
+            for seg in segments:
+                duration = seg.duration_s
+                telem.pause_cpu_s += duration * seg.workers
+                telem.stw_wall_s += duration
+                state.wall_s += duration
 
     def _execute_concurrent(self, plan: CyclePlan) -> None:
         """Run the concurrent phase: GC works for ``duration`` wall seconds
@@ -204,9 +276,14 @@ class _IterationSim:
         finished_workload = progress >= max_by_work - 1e-12
         span_end = start + (run_wall if finished_workload else duration)
         dilation = 1.0 / progress_rate if progress_rate > 0 else 1.0
-        self.telemetry.record_span(
-            ConcurrentSpan(start=start, end=span_end, gc_threads=workers, dilation=max(1.0, dilation))
-        )
+        telem = self.telemetry
+        if telem.wants_events:
+            telem.record_concurrent(
+                start=start, end=span_end, gc_threads=workers, dilation=max(1.0, dilation)
+            )
+        else:
+            # Same float expression as ConcurrentSpan.cpu_seconds, inlined.
+            telem.concurrent_cpu_s += (span_end - start) * workers
         self.heap.allocate(progress * self.state.alloc_rate_mb_s)
         self.state.progress_s += progress
         if finished_workload:
@@ -219,58 +296,88 @@ class _IterationSim:
 
     def _apply_heap_effect(self, plan: CyclePlan, young_at_start: float) -> float:
         heap = self.heap
-        before = heap.occupied_mb
+        before = heap.live_mb + heap.young_mb  # occupied_mb, inlined
         if plan.full_live_target_mb is not None:
             # Allocation performed during a concurrent cycle survives it as
             # floating garbage; STW full collections have none.
-            floating = max(heap.young_mb - young_at_start, 0.0)
+            floating = heap.young_mb - young_at_start
+            if floating < 0.0:
+                floating = 0.0
             heap.live_mb = min(plan.full_live_target_mb, before)
             heap.young_mb = floating
             heap.live_mb = min(heap.live_mb, heap.usable_mb - floating)
         else:
-            heap.collect_young(plan.survival_rate, plan.promotion_fraction)
+            # Inline of Heap.collect_young minus revalidating the plan's
+            # survival/promotion constants (CyclePlan carries the same
+            # values every cycle); the accounting floats are identical.
+            survivors = heap.young_mb * plan.survival_rate
+            promoted = survivors * plan.promotion_fraction
+            heap.young_mb = survivors - promoted
+            heap.live_mb += promoted
             if plan.old_reclaim_mb > 0.0:
                 floor = self.collector.live_footprint_mb()
-                heap.live_mb = max(floor, heap.live_mb - plan.old_reclaim_mb)
-        return before - heap.occupied_mb
+                reduced = heap.live_mb - plan.old_reclaim_mb
+                heap.live_mb = floor if floor > reduced else reduced
+        return before - (heap.live_mb + heap.young_mb)
 
     def _execute_cycle(self, plan: CyclePlan) -> float:
-        heap_before = self.heap.occupied_mb
+        heap = self.heap
+        heap_before = heap.live_mb + heap.young_mb  # occupied_mb, inlined
         started = self.state.wall_s
-        young_at_start = self.heap.young_mb
+        young_at_start = heap.young_mb
         self._execute_pauses(plan.pre_pauses, plan.kind)
         if plan.concurrent_work_mb > 0:
             self._execute_concurrent(plan)
-        self._execute_pauses(plan.post_pauses, plan.kind)
+        if plan.post_pauses:
+            self._execute_pauses(plan.post_pauses, plan.kind)
         reclaimed = self._apply_heap_effect(plan, young_at_start)
-        self.telemetry.record_gc(
-            GcEvent(
+        telem = self.telemetry
+        if telem.wants_events:
+            telem.record_collection(
                 time=started,
                 kind=plan.kind,
                 pause_s=sum(p.duration_s for p in plan.pre_pauses + plan.post_pauses),
                 reclaimed_mb=reclaimed,
                 heap_before_mb=heap_before,
-                heap_after_mb=self.heap.occupied_mb,
+                heap_after_mb=heap.live_mb + heap.young_mb,
             )
-        )
+        else:
+            # Inline of AggregateTelemetry.record_collection (same floats,
+            # same order), saving a call per GC cycle; kind/pause_s only
+            # exist on GC-log entries, which this tier never materializes.
+            telem.gc_count += 1
+            dt = started - telem._footprint_prev_time
+            if dt < 0.0:
+                dt = 0.0
+            telem._footprint_area += dt * (telem._footprint_prev_occ + heap_before) / 2.0
+            telem._footprint_prev_time = started
+            telem._footprint_prev_occ = heap.live_mb + heap.young_mb
         self.collector.notify_cycle_complete(self.heap, plan)
         return reclaimed
 
     # -- main loop -----------------------------------------------------
     def run(self) -> IterationResult:
         state = self.state
+        heap = self.heap
+        collector = self.collector
+        # Constant for the iteration (set once in __init__), and the
+        # ``state.done`` threshold, hoisted out of the hot loop.
+        alloc_rate = state.alloc_rate_mb_s
+        done_at = state.target_progress_s - 1e-12
         unproductive = 0
         cycles = 0
-        while not state.done:
-            trigger_free = self.collector.trigger_free_mb(self.heap)
-            budget_mb = self.heap.free_mb - trigger_free
-            if budget_mb > 0 and state.alloc_rate_mb_s > 0:
-                progress_to_trigger = budget_mb / state.alloc_rate_mb_s
-                step = min(progress_to_trigger, state.remaining_s)
-                self._run_mutator(step)
-                if state.done:
+        while state.progress_s < done_at:
+            trigger_free = collector.trigger_free_mb(heap)
+            budget_mb = heap.free_mb - trigger_free
+            if budget_mb > 0 and alloc_rate > 0:
+                progress_to_trigger = budget_mb / alloc_rate
+                remaining = state.remaining_s
+                self._run_mutator(
+                    progress_to_trigger if progress_to_trigger < remaining else remaining
+                )
+                if state.progress_s >= done_at:
                     break
-            elif state.alloc_rate_mb_s <= 0:
+            elif alloc_rate <= 0:
                 # Non-allocating remainder: run to completion, no GC needed.
                 self._run_mutator(state.remaining_s)
                 break
@@ -280,20 +387,18 @@ class _IterationSim:
                     f"{self.spec.name}: thrashing — more than "
                     f"{MAX_CYCLES_PER_ITERATION} GC cycles in one iteration"
                 )
-            reclaimed = self._execute_cycle(self.collector.plan_cycle(self.heap))
-            if reclaimed < 0.25 and self.heap.free_mb < 0.5:
+            reclaimed = self._execute_cycle(collector.plan_cycle(heap))
+            if reclaimed < 0.25 and heap.free_mb < 0.5:
                 unproductive += 1
                 if unproductive >= 3:
                     raise OutOfMemoryError(
-                        f"{self.spec.name}: heap of {self.heap.capacity_mb:.0f} MB "
-                        f"cannot make progress with {self.collector.NAME}"
+                        f"{self.spec.name}: heap of {heap.capacity_mb:.0f} MB "
+                        f"cannot make progress with {collector.NAME}"
                     )
             else:
                 unproductive = 0
         self.telemetry.record_background_cpu(
-            self.collector.background_concurrent_cpu_s(
-                self.heap.allocated_total_mb, state.wall_s
-            )
+            collector.background_concurrent_cpu_s(heap.allocated_total_mb, state.wall_s)
         )
         return self._result()
 
@@ -301,23 +406,28 @@ class _IterationSim:
         state = self.state
         telem = self.telemetry
         mutator_cpu = state.progress_s * self.spec.cpu_cores
+        full = telem.wants_events
         return IterationResult(
             wall_s=state.wall_s,
             mutator_cpu_s=mutator_cpu,
             gc_pause_cpu_s=telem.pause_cpu_s,
             gc_concurrent_cpu_s=telem.concurrent_cpu_s,
             stw_wall_s=telem.stw_wall_s,
-            stall_wall_s=sum(s.duration for s in telem.stalls),
+            stall_wall_s=telem.stall_wall_s,
             gc_count=telem.gc_count,
             allocated_mb=self.heap.allocated_total_mb - self._alloc_at_start_mb,
             live_end_mb=self.heap.live_mb,
-            timeline=telem.to_timeline(end_time=state.wall_s),
-            telemetry=telem,
+            avg_footprint_mb=(
+                telem.average_footprint_mb(state.wall_s) if state.wall_s > 0 else 0.0
+            ),
+            fidelity=telem.fidelity,
+            timeline=telem.to_timeline(end_time=state.wall_s) if full else None,
+            telemetry=telem if full else None,
         )
 
 
 def record_iteration(
-    recorder: "flight.NullRecorder",
+    recorder: RecorderLike,
     spec,
     collector_name: str,
     iteration: int,
@@ -334,9 +444,15 @@ def record_iteration(
     GC pauses, concurrent spans, and allocation stalls, then the
     estimated JIT warmup overhead (the share of the iteration's wall time
     attributable to the warmup slowdown factor).
+
+    Requires a full-fidelity ``result`` (the events *are* the per-event
+    telemetry); an aggregate-tier result raises
+    :class:`~repro.jvm.telemetry.FidelityError` unless the recorder is
+    disabled, in which case there is nothing to emit anyway.
     """
     if not recorder.enabled:
         return
+    telem = result.require_telemetry()
     recorder.emit(
         flight.IterationSpan(
             ts=start_ts,
@@ -347,7 +463,6 @@ def record_iteration(
             collector=collector_name,
         )
     )
-    telem = result.telemetry
     for pause in telem.pauses:
         recorder.emit(
             flight.GcPause(
@@ -422,10 +537,18 @@ def simulate_iteration(
     rng: Optional[np.random.Generator] = None,
     speed_factor: float = 1.0,
     duration_scale: float = 1.0,
+    fidelity: Optional[str] = None,
 ) -> IterationResult:
-    """Simulate one benchmark iteration in an existing heap."""
+    """Simulate one benchmark iteration in an existing heap.
+
+    ``fidelity`` selects the telemetry tier: ``"full"`` (default) records
+    per-event detail; ``"aggregate"`` keeps only headline scalars —
+    bit-identical on every scalar, substantially faster.
+    """
     rng = rng if rng is not None else generator_for(spec.name, collector.NAME)
-    sim = _IterationSim(spec, collector, heap, machine, rng, speed_factor, duration_scale)
+    sim = _IterationSim(
+        spec, collector, heap, machine, rng, speed_factor, duration_scale, fidelity
+    )
     return sim.run()
 
 
@@ -440,7 +563,8 @@ def simulate_run(
     duration_scale: float = 1.0,
     environment: EnvironmentProfile = BASELINE_ENVIRONMENT,
     force_full_gc_between_iterations: bool = False,
-    recorder: Optional["flight.NullRecorder"] = None,
+    recorder: Optional[RecorderLike] = None,
+    fidelity: Optional[str] = None,
 ) -> RunResult:
     """Simulate one JVM invocation: ``iterations`` back-to-back iterations.
 
@@ -460,6 +584,13 @@ def simulate_run(
     emits span events (iteration, GC pauses, concurrent work, stalls,
     warmup) in simulated time.  Recording is observational only — results
     are bit-identical with or without it.
+
+    ``fidelity`` selects the telemetry tier for every iteration:
+    ``"full"`` (the default when ``None``) attaches a timeline and
+    per-event telemetry to each :class:`IterationResult`;
+    ``"aggregate"`` carries headline scalars only — bit-identical on
+    every scalar, substantially faster.  An enabled flight recorder
+    needs the events, so it auto-upgrades ``"aggregate"`` to ``"full"``.
     """
     if iterations is None:
         iterations = spec.default_iterations
@@ -475,6 +606,10 @@ def simulate_run(
     heap.live_mb = live
 
     recorder = recorder if recorder is not None else flight.NullRecorder()
+    if recorder.enabled:
+        # The flight recorder replays per-event telemetry; aggregate runs
+        # have none, so recording forces the full tier.
+        fidelity = FIDELITY_FULL
     results = []
     footprints = []
     run_clock = 0.0
@@ -487,6 +622,7 @@ def simulate_run(
             rng,
             speed_factor=warmup_factor(i, spec) * environment_factor,
             duration_scale=duration_scale,
+            fidelity=fidelity,
         )
         results.append(result)
         record_iteration(

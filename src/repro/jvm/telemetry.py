@@ -2,18 +2,122 @@
 
 The LBO methodology (Section 6.2) relies on capturing the easily
 attributable stop-the-world periods of each collector via JVMTI; the
-simulator's equivalent is this module.  It records every pause with its
-kind and CPU cost, every allocation stall, every concurrent span, and the
-heap occupancy after every collection (the appendix's post-GC heap-size
-graphs).
+simulator's equivalent is this module.  It comes in two **fidelity
+tiers**, because most of the harness's cycles go to runs whose per-event
+detail nobody ever reads (the minimum-heap binary search discards entire
+``RunResult`` objects; LBO sweep cells reduce to a handful of floats):
+
+- :class:`FullTelemetry` (the historical :class:`Telemetry`, which
+  remains its public name) records every pause with its kind and CPU
+  cost, every allocation stall, every concurrent span, and the heap
+  occupancy after every collection — the JVMTI-callback analogue, and
+  the only tier that can produce a :class:`~repro.jvm.timeline.Timeline`
+  or a GC log.
+- :class:`AggregateTelemetry` keeps scalar accumulators only — pause and
+  concurrent CPU, STW wall, stall wall, GC count, and the footprint
+  integral — the end-of-run-counter analogue (``getrusage``, perf
+  counters).  No per-event lists exist, so the hot loop allocates no
+  objects.
+
+Both tiers implement the :class:`TelemetrySink` protocol the simulator
+records through, and the **contract is bit-identical headline scalars**:
+every accumulator performs the same floating-point additions, in the same
+order, as the full tier's event-list reductions, so a caller that only
+consumes scalars cannot tell the tiers apart (pinned by
+``tests/test_fidelity.py``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import List, Optional, Tuple
+
+try:  # Python 3.8+: typing.Protocol
+    from typing import Protocol
+except ImportError:  # pragma: no cover - 3.7 fallback
+    Protocol = object  # type: ignore[assignment]
 
 from repro.jvm.timeline import ConcurrentSpan, Pause, Stall, Timeline
+
+#: Fidelity tier names: what a simulated run records about itself.
+FIDELITY_AGGREGATE = "aggregate"
+FIDELITY_FULL = "full"
+FIDELITIES = (FIDELITY_AGGREGATE, FIDELITY_FULL)
+
+
+class FidelityError(ValueError):
+    """Per-event detail was requested from an aggregate-fidelity run.
+
+    Raised by full-only consumers (timelines, GC logs, request replay,
+    the flight recorder) when handed a result simulated with
+    ``fidelity='aggregate'`` — re-run with ``fidelity='full'`` to carry
+    the detail.
+    """
+
+
+def resolve_fidelity(fidelity: Optional[str], default: str = FIDELITY_FULL) -> str:
+    """Validate a fidelity tier name; ``None`` means "caller's default".
+
+    ``None`` is the *auto* tier: each consumer resolves it to what it
+    actually needs (aggregate for scalar-only sweeps like the min-heap
+    search and LBO, full for timeline/GC-log/latency consumers).
+    """
+    if fidelity is None:
+        return default
+    if fidelity not in FIDELITIES:
+        raise ValueError(
+            f"unknown fidelity {fidelity!r}; choose from {FIDELITIES} (or None for auto)"
+        )
+    return fidelity
+
+
+class TelemetrySink(Protocol):
+    """What the simulator records through, whatever the fidelity tier.
+
+    All methods take plain scalars so the aggregate tier never has to
+    build event objects; :attr:`wants_events` lets instrumentation skip
+    computing full-only detail (the ``NullRecorder.enabled`` pattern).
+    """
+
+    #: Tier name: one of :data:`FIDELITIES`.
+    fidelity: str
+    #: True when the sink retains per-event detail — callers may skip
+    #: computing values that only feed event records when this is False.
+    wants_events: bool
+
+    pause_cpu_s: float
+    concurrent_cpu_s: float
+    stw_wall_s: float
+    stall_wall_s: float
+    gc_count: int
+
+    def record_pause(self, start: float, duration: float, kind: str, workers: float) -> None:
+        """Record a stop-the-world pause and its CPU cost."""
+
+    def record_stall(self, start: float, duration: float) -> None:
+        """Record an allocation stall (mutators blocked, not a GC pause)."""
+
+    def record_concurrent(
+        self, start: float, end: float, gc_threads: float, dilation: float
+    ) -> None:
+        """Record a span of concurrent collector work."""
+
+    def record_collection(
+        self,
+        time: float,
+        kind: str,
+        pause_s: float,
+        reclaimed_mb: float,
+        heap_before_mb: float,
+        heap_after_mb: float,
+    ) -> None:
+        """Record one completed garbage collection."""
+
+    def record_background_cpu(self, cpu_s: float) -> None:
+        """Account CPU burned by always-on collector service threads."""
+
+    def average_footprint_mb(self, end_time: float) -> float:
+        """Time-averaged heap occupancy over the iteration."""
 
 
 @dataclass(frozen=True)
@@ -30,7 +134,16 @@ class GcEvent:
 
 @dataclass
 class Telemetry:
-    """Accumulates observations during one simulated iteration."""
+    """Full-fidelity telemetry: every observation of one simulated iteration.
+
+    The JVMTI-callback tier: per-event lists feed timelines, GC logs,
+    request replay, and the flight recorder.  Headline scalars
+    (``stw_wall_s``, ``stall_wall_s``, ``gc_count``, the CPU totals) are
+    maintained as running accumulators alongside the lists — never
+    recomputed by walking them — so reading one mid-run costs O(1)
+    instead of O(events), and so they are the *same* floating-point sums
+    the scalar-only :class:`AggregateTelemetry` produces.
+    """
 
     pauses: List[Pause] = field(default_factory=list)
     stalls: List[Stall] = field(default_factory=list)
@@ -38,23 +151,61 @@ class Telemetry:
     gc_log: List[GcEvent] = field(default_factory=list)
     pause_cpu_s: float = 0.0
     concurrent_cpu_s: float = 0.0
+    stw_wall_s: float = 0.0
+    stall_wall_s: float = 0.0
+    gc_count: int = 0
+
+    fidelity = FIDELITY_FULL
+    wants_events = True
 
     def record_pause(self, start: float, duration: float, kind: str, workers: float) -> None:
         """Record a stop-the-world pause and its CPU cost."""
         self.pauses.append(Pause(start=start, duration=duration, kind=kind))
         self.pause_cpu_s += duration * workers
+        self.stw_wall_s += duration
 
     def record_stall(self, start: float, duration: float) -> None:
         """Record an allocation stall (mutators blocked, not a GC pause)."""
         self.stalls.append(Stall(start=start, duration=duration))
+        self.stall_wall_s += duration
 
     def record_span(self, span: ConcurrentSpan) -> None:
         """Record a span of concurrent collector work."""
         self.spans.append(span)
         self.concurrent_cpu_s += span.cpu_seconds
 
+    def record_concurrent(
+        self, start: float, end: float, gc_threads: float, dilation: float
+    ) -> None:
+        """Record a span of concurrent collector work from its scalars."""
+        self.record_span(
+            ConcurrentSpan(start=start, end=end, gc_threads=gc_threads, dilation=dilation)
+        )
+
     def record_gc(self, event: GcEvent) -> None:
         self.gc_log.append(event)
+        self.gc_count += 1
+
+    def record_collection(
+        self,
+        time: float,
+        kind: str,
+        pause_s: float,
+        reclaimed_mb: float,
+        heap_before_mb: float,
+        heap_after_mb: float,
+    ) -> None:
+        """Record one completed garbage collection from its scalars."""
+        self.record_gc(
+            GcEvent(
+                time=time,
+                kind=kind,
+                pause_s=pause_s,
+                reclaimed_mb=reclaimed_mb,
+                heap_before_mb=heap_before_mb,
+                heap_after_mb=heap_after_mb,
+            )
+        )
 
     def record_background_cpu(self, cpu_s: float) -> None:
         """Account CPU burned by always-on collector service threads
@@ -62,15 +213,6 @@ class Telemetry:
         if cpu_s < 0:
             raise ValueError("background CPU cannot be negative")
         self.concurrent_cpu_s += cpu_s
-
-    @property
-    def gc_count(self) -> int:
-        return len(self.gc_log)
-
-    @property
-    def stw_wall_s(self) -> float:
-        """Total wall time spent in stop-the-world pauses."""
-        return sum(p.duration for p in self.pauses)
 
     @property
     def gc_cpu_s(self) -> float:
@@ -115,3 +257,112 @@ class Telemetry:
             spans=list(self.spans),
             end_time=end_time,
         )
+
+
+#: The full tier under its tiered name; :class:`Telemetry` stays the
+#: public spelling so existing call sites and pickles keep working.
+FullTelemetry = Telemetry
+
+
+class AggregateTelemetry:
+    """Aggregate-fidelity telemetry: scalar accumulators, no events.
+
+    The end-of-run-counter tier: everything a scalar-only consumer (LBO
+    cost tables, the minimum-heap search, suite sweeps) reads survives;
+    everything else (per-pause lists, timelines, GC logs) is never
+    materialized.  Every accumulator mirrors the exact addition order of
+    :class:`Telemetry`'s list reductions, so the headline scalars are
+    bit-identical across tiers.
+    """
+
+    fidelity = FIDELITY_AGGREGATE
+    wants_events = False
+
+    __slots__ = (
+        "pause_cpu_s",
+        "concurrent_cpu_s",
+        "stw_wall_s",
+        "stall_wall_s",
+        "gc_count",
+        "_footprint_area",
+        "_footprint_prev_time",
+        "_footprint_prev_occ",
+    )
+
+    def __init__(self) -> None:
+        self.pause_cpu_s = 0.0
+        self.concurrent_cpu_s = 0.0
+        self.stw_wall_s = 0.0
+        self.stall_wall_s = 0.0
+        self.gc_count = 0
+        # Running footprint integral: the same piecewise-trapezoid sum
+        # Telemetry.average_footprint_mb performs over gc_log, folded in
+        # one collection at a time.
+        self._footprint_area = 0.0
+        self._footprint_prev_time = 0.0
+        self._footprint_prev_occ = 0.0
+
+    def record_pause(self, start: float, duration: float, kind: str, workers: float) -> None:
+        """Accumulate a stop-the-world pause and its CPU cost."""
+        self.pause_cpu_s += duration * workers
+        self.stw_wall_s += duration
+
+    def record_stall(self, start: float, duration: float) -> None:
+        """Accumulate an allocation stall."""
+        self.stall_wall_s += duration
+
+    def record_concurrent(
+        self, start: float, end: float, gc_threads: float, dilation: float
+    ) -> None:
+        """Accumulate a concurrent span's CPU cost."""
+        self.concurrent_cpu_s += (end - start) * gc_threads
+
+    def record_collection(
+        self,
+        time: float,
+        kind: str,
+        pause_s: float,
+        reclaimed_mb: float,
+        heap_before_mb: float,
+        heap_after_mb: float,
+    ) -> None:
+        """Count a collection and fold it into the footprint integral.
+
+        The simulator's ``_execute_cycle`` inlines this fold on its hot
+        path — keep the two in lockstep (the tier-equivalence tests pin
+        the result).
+        """
+        self.gc_count += 1
+        dt = time - self._footprint_prev_time
+        if dt < 0.0:
+            dt = 0.0
+        self._footprint_area += dt * (self._footprint_prev_occ + heap_before_mb) / 2.0
+        self._footprint_prev_time = time
+        self._footprint_prev_occ = heap_after_mb
+
+    def record_background_cpu(self, cpu_s: float) -> None:
+        """Account always-on collector service-thread CPU."""
+        if cpu_s < 0:
+            raise ValueError("background CPU cannot be negative")
+        self.concurrent_cpu_s += cpu_s
+
+    @property
+    def gc_cpu_s(self) -> float:
+        """Total CPU attributable to the collector (pauses + concurrent)."""
+        return self.pause_cpu_s + self.concurrent_cpu_s
+
+    def average_footprint_mb(self, end_time: float) -> float:
+        """Time-averaged heap occupancy from the running integral."""
+        if end_time <= 0:
+            raise ValueError("end time must be positive")
+        if not self.gc_count:
+            return 0.0
+        tail = max(end_time - self._footprint_prev_time, 0.0)
+        return (self._footprint_area + tail * self._footprint_prev_occ) / end_time
+
+
+def make_telemetry(fidelity: Optional[str]) -> "TelemetrySink":
+    """Build the telemetry sink for a fidelity tier (``None`` = full)."""
+    if resolve_fidelity(fidelity) == FIDELITY_AGGREGATE:
+        return AggregateTelemetry()
+    return Telemetry()

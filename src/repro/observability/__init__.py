@@ -34,6 +34,7 @@ from repro.observability.events import (
     IterationSpan,
     NullRecorder,
     Recorder,
+    RecorderLike,
     RetryAttempt,
     SpanEvent,
     TraceEvent,
@@ -71,6 +72,7 @@ __all__ = [
     "MetricsRegistry",
     "NullRecorder",
     "Recorder",
+    "RecorderLike",
     "RetryAttempt",
     "SpanEvent",
     "TraceEvent",

@@ -36,6 +36,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, List, Optional, Tuple
 
+try:  # Python 3.8+: typing.Protocol
+    from typing import Protocol, runtime_checkable
+except ImportError:  # pragma: no cover - 3.7 fallback
+    Protocol = object  # type: ignore[assignment]
+
+    def runtime_checkable(cls):  # type: ignore[misc]
+        return cls
+
+
 #: ``CellSpan.worker`` value for cells served from the result cache — they
 #: occupy no worker time, so they are attributed to a pseudo-worker.
 CACHE_WORKER = -1
@@ -203,6 +212,23 @@ class RetryAttempt(TraceEvent):
     attempt: int = 0
     delay_s: float = 0.0
     error: str = ""
+
+
+@runtime_checkable
+class RecorderLike(Protocol):
+    """What instrumented code needs from a recorder: the sink contract.
+
+    Any object with an ``enabled`` flag (so hot paths can skip event
+    construction) and an ``emit`` method qualifies — the no-op
+    :class:`NullRecorder`, the ring-buffered :class:`Recorder`, or a
+    caller's own implementation.  Call sites should type against this
+    protocol, not a concrete recorder class.
+    """
+
+    enabled: bool
+
+    def emit(self, event: TraceEvent) -> None:
+        """Consume one flight-recorder event."""
 
 
 class NullRecorder:

@@ -1,0 +1,234 @@
+"""Fidelity-tier contract tests.
+
+The tiered simulation core promises two things:
+
+1. *Equivalence*: aggregate-fidelity and full-fidelity runs are
+   bit-identical on every headline scalar — the aggregate tier drops
+   event detail, never measurement accuracy.
+2. *Honesty*: consumers that need per-event detail (GC logs, request
+   replay, the flight recorder) either auto-upgrade to the full tier or
+   refuse aggregate results with an error naming the fix, instead of
+   silently producing empty output.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    FIDELITY_AGGREGATE,
+    FIDELITY_FULL,
+    FidelityError,
+    RunConfig,
+    cell_key,
+    latency_workloads,
+    plan_latency,
+    plan_lbo,
+    registry,
+    resolve_fidelity,
+    simulate_run,
+)
+from repro.core.latency import mmu_from_result
+from repro.core.minheap import find_min_heap
+from repro.harness.engine import Cell
+from repro.harness.experiments import heap_timeseries
+from repro.harness.cli import main as cli_main
+from repro.jvm.gclog import format_gc_log
+from repro.jvm.simulator import record_iteration
+from repro.observability import NullRecorder, Recorder
+
+SPEC = registry.workload("lusearch")
+SCALE = 0.05
+
+#: Every headline scalar of an IterationResult, including derived views.
+HEADLINE_SCALARS = (
+    "wall_s",
+    "mutator_cpu_s",
+    "gc_pause_cpu_s",
+    "gc_concurrent_cpu_s",
+    "stw_wall_s",
+    "stall_wall_s",
+    "gc_count",
+    "allocated_mb",
+    "live_end_mb",
+    "avg_footprint_mb",
+    "task_clock_s",
+    "distilled_wall_s",
+    "distilled_task_s",
+)
+
+
+def run_at(fidelity, collector="G1", heap_multiple=2.0):
+    return simulate_run(
+        SPEC,
+        collector,
+        SPEC.heap_mb_for(heap_multiple),
+        iterations=2,
+        duration_scale=SCALE,
+        fidelity=fidelity,
+    ).timed
+
+
+class TestTierEquivalence:
+    @pytest.mark.parametrize("collector", ["Serial", "Parallel", "G1", "Shenandoah", "ZGC"])
+    @pytest.mark.parametrize("heap_multiple", [2.0, 3.0])
+    def test_headline_scalars_bit_identical(self, collector, heap_multiple):
+        full = run_at(FIDELITY_FULL, collector, heap_multiple)
+        aggregate = run_at(FIDELITY_AGGREGATE, collector, heap_multiple)
+        for name in HEADLINE_SCALARS:
+            assert getattr(full, name) == getattr(aggregate, name), name
+        assert full.gc_count > 0  # the equality above wasn't vacuous
+
+    def test_aggregate_carries_no_event_detail(self):
+        result = run_at(FIDELITY_AGGREGATE)
+        assert result.fidelity == FIDELITY_AGGREGATE
+        assert result.timeline is None
+        assert result.telemetry is None
+
+    def test_full_carries_event_detail(self):
+        result = run_at(FIDELITY_FULL)
+        assert result.fidelity == FIDELITY_FULL
+        assert result.require_timeline() is result.timeline
+        assert result.require_telemetry() is result.telemetry
+        assert len(result.telemetry.gc_log) == result.gc_count
+
+    def test_require_methods_name_the_fix(self):
+        result = run_at(FIDELITY_AGGREGATE)
+        with pytest.raises(FidelityError, match="fidelity='full'"):
+            result.require_timeline()
+        with pytest.raises(FidelityError, match="fidelity='full'"):
+            result.require_telemetry()
+
+    def test_resolve_fidelity_validates(self):
+        assert resolve_fidelity(None) == FIDELITY_FULL
+        assert resolve_fidelity(FIDELITY_AGGREGATE) == FIDELITY_AGGREGATE
+        with pytest.raises(ValueError, match="bogus"):
+            resolve_fidelity("bogus")
+        with pytest.raises(ValueError):
+            RunConfig(fidelity="bogus")
+
+
+class TestFullOnlyConsumers:
+    def test_gclog_rejects_aggregate(self):
+        with pytest.raises(FidelityError, match="fidelity='full'"):
+            format_gc_log(run_at(FIDELITY_AGGREGATE), heap_capacity_mb=100.0)
+
+    def test_gclog_renders_full(self):
+        lines = format_gc_log(run_at(FIDELITY_FULL), heap_capacity_mb=100.0)
+        assert lines
+
+    def test_mmu_rejects_aggregate(self):
+        with pytest.raises(FidelityError, match="fidelity='full'"):
+            mmu_from_result(run_at(FIDELITY_AGGREGATE), windows_s=[0.01])
+
+    def test_mmu_reads_full(self):
+        curve = mmu_from_result(run_at(FIDELITY_FULL), windows_s=[0.01])
+        assert 0.0 <= curve[0.01] <= 1.0
+
+    def test_flight_recorder_rejects_aggregate(self):
+        with pytest.raises(FidelityError, match="fidelity='full'"):
+            record_iteration(Recorder(), SPEC, "G1", 1, 0.0, run_at(FIDELITY_AGGREGATE))
+
+    def test_disabled_recorder_ignores_aggregate(self):
+        # Nothing to emit, so nothing to reject.
+        record_iteration(NullRecorder(), SPEC, "G1", 1, 0.0, run_at(FIDELITY_AGGREGATE))
+
+    def test_cli_latency_rejects_aggregate(self, capsys):
+        assert cli_main(["latency", "cassandra", "--fidelity", "aggregate"]) == 2
+        assert "fidelity" in capsys.readouterr().err
+
+
+class TestAutoUpgrade:
+    def test_enabled_recorder_forces_full(self):
+        recorder = Recorder()
+        run = simulate_run(
+            SPEC,
+            "G1",
+            SPEC.heap_mb_for(2.0),
+            iterations=2,
+            duration_scale=SCALE,
+            recorder=recorder,
+            fidelity=FIDELITY_AGGREGATE,
+        )
+        assert run.timed.fidelity == FIDELITY_FULL
+        assert run.timed.timeline is not None
+        assert recorder.events()
+
+    def test_plan_lbo_defaults_to_aggregate(self):
+        plan = plan_lbo(SPEC, ["G1"], (2.0,), RunConfig(invocations=1))
+        assert plan.config.fidelity == FIDELITY_AGGREGATE
+
+    def test_plan_lbo_respects_explicit_full(self):
+        plan = plan_lbo(SPEC, ["G1"], (2.0,), RunConfig(invocations=1, fidelity=FIDELITY_FULL))
+        assert plan.config.fidelity == FIDELITY_FULL
+
+    def test_plan_latency_defaults_to_full(self):
+        spec = latency_workloads()[0]
+        plan = plan_latency(spec, ["G1"], (2.0,), RunConfig(invocations=1))
+        assert plan.config.fidelity == FIDELITY_FULL
+
+    def test_latency_plan_rejects_aggregate(self):
+        spec = latency_workloads()[0]
+        with pytest.raises(ValueError, match="fidelity"):
+            plan_latency(
+                spec, ["G1"], (2.0,), RunConfig(invocations=1, fidelity=FIDELITY_AGGREGATE)
+            )
+
+    def test_heap_timeseries_rejects_explicit_aggregate(self):
+        config = RunConfig(invocations=1, iterations=2, duration_scale=SCALE)
+        series = heap_timeseries(SPEC, "G1", 2.0, config)
+        assert series  # auto fidelity upgrades and reads the GC log
+        with pytest.raises(FidelityError, match="fidelity='full'"):
+            heap_timeseries(
+                SPEC,
+                "G1",
+                2.0,
+                RunConfig(
+                    invocations=1,
+                    iterations=2,
+                    duration_scale=SCALE,
+                    fidelity=FIDELITY_AGGREGATE,
+                ),
+            )
+
+
+class TestCacheKeys:
+    def cell(self, fidelity):
+        config = RunConfig(invocations=1, iterations=2, duration_scale=SCALE, fidelity=fidelity)
+        return Cell(spec=SPEC, collector="G1", heap_mb=100.0, invocation=0, config=config)
+
+    def test_auto_and_full_share_keys(self):
+        # Full is the historical payload shape; auto resolves per-consumer,
+        # so neither perturbs existing cache contents.
+        assert cell_key(self.cell(None)) == cell_key(self.cell(FIDELITY_FULL))
+
+    def test_aggregate_keys_differ(self):
+        # Aggregate payloads carry no timeline/telemetry — never serve one
+        # where a full-tier result was requested.
+        assert cell_key(self.cell(FIDELITY_AGGREGATE)) != cell_key(self.cell(None))
+
+
+class TestMinHeapBracket:
+    def test_search_matches_across_tiers(self):
+        full = find_min_heap(SPEC, "G1", duration_scale=SCALE, fidelity=FIDELITY_FULL)
+        aggregate = find_min_heap(SPEC, "G1", duration_scale=SCALE, fidelity=FIDELITY_AGGREGATE)
+        assert full.min_heap_mb == aggregate.min_heap_mb
+
+    def test_bracket_walks_down_when_low_succeeds(self, monkeypatch):
+        # A misdeclared live_mb makes the usual low bracket (live/2) a
+        # *feasible* heap; the search must not report it as the minimum.
+        true_min = SPEC.live_mb * 0.05
+
+        def fake_runs_in(spec, collector, heap_mb, *args, **kwargs):
+            return heap_mb >= true_min
+
+        monkeypatch.setattr("repro.core.minheap.runs_in", fake_runs_in)
+        result = find_min_heap(SPEC, "G1", tolerance=0.02)
+        assert true_min <= result.min_heap_mb <= 1.05 * true_min
+
+    def test_bracket_degenerate_always_runs(self, monkeypatch):
+        monkeypatch.setattr(
+            "repro.core.minheap.runs_in", lambda *args, **kwargs: True
+        )
+        result = find_min_heap(SPEC, "G1", tolerance=0.02)
+        assert result.min_heap_mb < 0.02

@@ -254,7 +254,9 @@ class TestEngineRecording:
         # cached and the warm rerun hits it negatively.
         spec = registry.workload("lusearch")
         plan = plan_lbo(spec, ("ZGC",), (0.8, 3.0), sweep_config())
-        run_plan(plan, ExecutionEngine(cache_dir=tmp_path))
+        # Warm the cache at the same (recorder-upgraded, full) fidelity
+        # tier the recorded rerun will ask for — tiers are part of the key.
+        run_plan(plan, ExecutionEngine(cache_dir=tmp_path, recorder=Recorder()))
         engine = ExecutionEngine(cache_dir=tmp_path, recorder=Recorder())
         _, stats = run_plan(plan, engine, return_stats=True)
         assert stats.cached == 4 and stats.executed == 0
@@ -287,7 +289,11 @@ class TestEngineRecording:
 
         run_traced(lusearch, cache_dir=tmp_path)
         stream = io.StringIO()
-        engine = ExecutionEngine(cache_dir=tmp_path, progress=LogSink(stream))
+        # Recorder on, so the rerun asks for the same (full) fidelity tier
+        # the traced warming run cached under.
+        engine = ExecutionEngine(
+            cache_dir=tmp_path, progress=LogSink(stream), recorder=Recorder()
+        )
         run_plan(plan_lbo(lusearch, ("G1", "ZGC"), (2.0, 3.0), sweep_config()), engine)
         assert "100% hit rate" in stream.getvalue()
 
