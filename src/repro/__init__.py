@@ -56,21 +56,29 @@ from repro.harness.engine import (
 )
 from repro.harness.experiments import (
     ChaosDrill,
+    SupervisedSweep,
     TracedSweep,
     chaos_drill,
     heap_timeseries,
     latency_experiment,
     lbo_experiment,
     suite_lbo,
+    supervised_sweep,
     trace_sweep,
 )
 from repro.resilience import (
     CellExecutionError,
     CheckpointJournal,
+    CircuitBreaker,
+    CostModel,
     FaultInjector,
     FaultSpec,
     NullInjector,
     RetryPolicy,
+    Supervisor,
+    compact_journal,
+    scan_cache,
+    verify_cells,
 )
 from repro.observability import (
     MetricsRegistry,
@@ -124,19 +132,21 @@ __all__ = [
     "CellExecutionError",
     "ChaosDrill",
     "CheckpointJournal",
+    "CircuitBreaker",
+    "CostModel",
     "EXPERIMENTS",
-    "FIDELITIES",
-    "FIDELITY_AGGREGATE",
-    "FIDELITY_FULL",
-    "FidelityError",
-    "FullTelemetry",
     "EngineStats",
     "EnvironmentProfile",
     "EnvironmentSensitivity",
     "ExecutionEngine",
     "ExperimentPlan",
+    "FIDELITIES",
+    "FIDELITY_AGGREGATE",
+    "FIDELITY_FULL",
     "FaultInjector",
     "FaultSpec",
+    "FidelityError",
+    "FullTelemetry",
     "Heap",
     "Hole",
     "LatencyRun",
@@ -155,25 +165,30 @@ __all__ = [
     "RunConfig",
     "RunCosts",
     "SuiteLbo",
+    "SupervisedSweep",
+    "Supervisor",
     "TracedSweep",
     "UnknownCollectorError",
+    "__version__",
     "all_workloads",
     "available_sizes",
     "bootstrap_ci",
     "cell_key",
     "chaos_drill",
     "characterize",
+    "chrome_trace",
+    "compact_journal",
     "compare_collectors",
-    "format_insights",
-    "insights_for",
     "confidence_interval_95",
     "costs_from_iteration",
     "determinant_metrics",
     "find_min_heap",
+    "format_insights",
     "format_report",
     "geomean_curves",
     "geometric_mean",
     "heap_timeseries",
+    "insights_for",
     "latency_experiment",
     "latency_report",
     "latency_workloads",
@@ -188,21 +203,22 @@ __all__ = [
     "resolve_fidelity",
     "run_experiment",
     "run_plan",
+    "scan_cache",
     "score_benchmark",
     "simple_latencies",
-    "chrome_trace",
     "simulate_iteration",
     "simulate_run",
     "spearman_rank_correlation",
     "suite_lbo",
     "suite_pca",
+    "supervised_sweep",
     "synthetic_starts",
     "trace_sweep",
     "validate_chrome_trace",
+    "verify_cells",
     "workload",
     "write_chrome_trace",
     "write_gc_log_csv",
     "write_jsonl",
     "write_latency_csv",
-    "__version__",
 ]

@@ -23,9 +23,19 @@ from repro.harness.experiments import (
     chaos_drill,
     latency_experiment,
     lbo_experiment,
+    supervised_sweep,
     trace_sweep,
 )
-from repro.resilience import FaultInjector, FaultSpec, RetryPolicy
+from repro.harness.plans import DEFAULT_MULTIPLES, plan_lbo
+from repro.resilience import (
+    FaultInjector,
+    FaultSpec,
+    RetryPolicy,
+    Supervisor,
+    compact_journal,
+    scan_cache,
+    verify_cells,
+)
 from repro.observability import (
     MetricsRegistry,
     Recorder,
@@ -139,6 +149,22 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
         default=0,
         help="seed for deterministic fault injection (default: 0)",
     )
+    parser.add_argument(
+        "--budget",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock deadline budget: cells the cost model says cannot "
+        "finish in time become typed holes a --resume run can fill",
+    )
+    parser.add_argument(
+        "--breaker-threshold",
+        type=_positive_int,
+        default=None,
+        metavar="K",
+        help="open a workload×collector circuit breaker after K consecutive "
+        "cell give-ups; the family's remaining cells fast-fail",
+    )
 
 
 def _add_run_options(parser: argparse.ArgumentParser) -> None:
@@ -177,6 +203,20 @@ def _config(args: argparse.Namespace) -> RunConfig:
     )
 
 
+def _supervisor(args: argparse.Namespace) -> Optional[Supervisor]:
+    budget = getattr(args, "budget", None)
+    breaker = getattr(args, "breaker_threshold", None)
+    if budget is None and breaker is None:
+        return None
+    if args.resume:
+        hint = f"re-run the same command with --resume {args.resume} to fill them"
+    elif args.cache_dir and not args.no_cache:
+        hint = f"re-run the same command with --cache-dir {args.cache_dir} to fill them"
+    else:
+        hint = "re-run with --cache-dir or --resume to make the holes fillable"
+    return Supervisor(budget_s=budget, breaker_threshold=breaker, resume_hint=hint)
+
+
 def _engine(args: argparse.Namespace) -> ExecutionEngine:
     cache_dir = None if args.no_cache else args.cache_dir
     progress = LogSink(sys.stderr) if args.cell_progress else None
@@ -193,6 +233,7 @@ def _engine(args: argparse.Namespace) -> ExecutionEngine:
         retry=retry,
         injector=injector,
         checkpoint=args.resume,
+        supervisor=_supervisor(args),
     )
 
 
@@ -215,10 +256,42 @@ def cmd_stats(args: argparse.Namespace) -> int:
 
 def cmd_lbo(args: argparse.Namespace) -> int:
     spec = registry.workload(args.benchmark)
-    curves = lbo_experiment(spec, config=_config(args), engine=_engine(args))
-    print(format_lbo_curves(curves, "wall"))
-    print()
-    print(format_lbo_curves(curves, "task"))
+    engine = _engine(args)
+    config = _config(args)
+    if not engine.supervised:
+        curves = lbo_experiment(spec, config=config, engine=engine)
+        print(format_lbo_curves(curves, "wall"))
+        print()
+        print(format_lbo_curves(curves, "task"))
+        return 0
+    # Supervised sweeps run in partial mode under signal handlers: the
+    # first Ctrl-C drains (journal and cache stay consistent, a resume
+    # hint is printed), refused cells become typed holes, and the exit
+    # is clean either way — a budget-truncated sweep is a result, not an
+    # error.
+    with engine.supervisor:
+        sweep = supervised_sweep(
+            spec,
+            multiples=DEFAULT_MULTIPLES,
+            config=config,
+            engine=engine,
+            supervisor=engine.supervisor,
+        )
+    if sweep.result is not None:
+        curves = sweep.result.per_benchmark[0]
+        print(format_lbo_curves(curves, "wall"))
+        print()
+        print(format_lbo_curves(curves, "task"))
+    else:
+        print("no complete (collector, heap) group — every cell was refused or failed")
+    if sweep.holes:
+        stats = sweep.stats
+        print(
+            f"supervision: {len(sweep.holes)}/{sweep.cells} cells incomplete "
+            f"({stats.budget_skipped} over budget, {stats.breaker_skipped} "
+            f"breaker-open, {stats.drained} drained, {stats.gave_up} gave up)",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -397,6 +470,48 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 1
 
 
+def cmd_doctor(args: argparse.Namespace) -> int:
+    scan = scan_cache(args.cache_dir, quarantine=not args.dry_run)
+    print(
+        f"doctor: scanned {scan.scanned} cache entries — {scan.healthy} healthy, "
+        f"{scan.corrupt} corrupt, {scan.stale} schema-stale, "
+        f"{scan.misplaced} misplaced"
+    )
+    for path, kind in scan.problems:
+        print(f"doctor: {kind}: {path}", file=sys.stderr)
+    if scan.quarantined:
+        print(
+            f"doctor: quarantined {scan.quarantined} entr"
+            f"{'y' if scan.quarantined == 1 else 'ies'} into {scan.quarantine_dir}"
+        )
+    elif scan.unhealthy and args.dry_run:
+        print(f"doctor: dry run — {scan.unhealthy} unhealthy entries left in place")
+    if args.journal:
+        compaction = compact_journal(args.journal)
+        print(
+            f"doctor: journal {compaction.lines_before} -> "
+            f"{compaction.lines_after} lines ({compaction.torn} torn, "
+            f"{compaction.duplicates} duplicate"
+            f"{'' if compaction.compacted else '; already clean'})"
+        )
+    if args.verify:
+        spec = registry.workload(args.verify)
+        cells = plan_lbo(spec, config=_config(args)).cells()
+        report = verify_cells(
+            cells, args.cache_dir, sample=args.verify_sample, quarantine=not args.dry_run
+        )
+        print(
+            f"doctor: verified {report.sampled} cached cells against "
+            f"recomputation — {report.matched} matched, "
+            f"{report.mismatched} mismatched"
+        )
+        for key in report.divergent_keys:
+            print(f"doctor: divergent payload quarantined: {key}", file=sys.stderr)
+        if report.mismatched:
+            return 1
+    return 0
+
+
 def cmd_pca(args: argparse.Namespace) -> int:
     result = suite_pca(n_components=4)
     print("Principal components analysis of the DaCapo Chopin workloads")
@@ -528,6 +643,59 @@ def build_parser() -> argparse.ArgumentParser:
         help="iteration duration scale (default: 0.1 — drills should be quick)",
     )
     p_chaos.set_defaults(func=cmd_chaos)
+
+    p_doc = sub.add_parser(
+        "doctor", help="self-heal the result cache and checkpoint journal"
+    )
+    p_doc.add_argument(
+        "--cache-dir",
+        required=True,
+        help="result-cache directory to scan (corrupt/stale/misplaced entries "
+        "are quarantined, never deleted)",
+    )
+    p_doc.add_argument(
+        "--journal",
+        default=None,
+        help="checkpoint journal to compact (torn lines dropped, duplicates collapsed)",
+    )
+    p_doc.add_argument(
+        "--verify",
+        default=None,
+        metavar="BENCHMARK",
+        choices=nominal_data.BENCHMARK_NAMES,
+        help="re-simulate a sample of this benchmark's cached cells and "
+        "compare payloads bit-for-bit",
+    )
+    p_doc.add_argument(
+        "--verify-sample",
+        type=_positive_int,
+        default=8,
+        help="cached cells to re-verify with --verify (default: 8)",
+    )
+    p_doc.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="report problems without quarantining anything",
+    )
+    p_doc.add_argument(
+        "--invocations",
+        type=_positive_int,
+        default=3,
+        help="invocations per data point of the sweep being verified",
+    )
+    p_doc.add_argument(
+        "--scale",
+        type=_positive_float,
+        default=1.0,
+        help="duration scale of the sweep being verified",
+    )
+    p_doc.add_argument(
+        "--fidelity",
+        choices=("auto", "aggregate", "full"),
+        default=os.environ.get("CHOPIN_FIDELITY", "auto"),
+        help="fidelity tier of the sweep being verified",
+    )
+    p_doc.set_defaults(func=cmd_doctor)
 
     sub.add_parser("pca", help="suite diversity analysis (Figure 4)").set_defaults(func=cmd_pca)
 

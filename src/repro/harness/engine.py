@@ -77,6 +77,7 @@ from repro.resilience import (
     FaultSpec,
     NullInjector,
     RetryPolicy,
+    Supervisor,
     classify,
     corrupt_entry,
 )
@@ -267,23 +268,37 @@ def _call_with_timeout(fn, payload, timeout_s: float, key: str) -> CellResult:
     path in-process and by pool workers via
     :func:`_execute_cell_chaos_bounded`).
 
-    The attempt runs on a daemon thread joined with ``timeout_s``; a
-    blown deadline raises :class:`~repro.resilience.CellTimeout` and
-    abandons the thread (it finishes — or keeps hanging — harmlessly in
-    the background, like a hung forked JVM left for the OS to reap).
+    The attempt runs on a named daemon thread (``chopin-cell-<key8>``,
+    so a thread dump attributes stragglers to their cell) joined with
+    ``timeout_s``; a blown deadline raises
+    :class:`~repro.resilience.CellTimeout` and *abandons* the thread.
+    Abandonment is explicit, not just neglect: the ``abandoned`` event
+    pinned to the thread is set when the parent gives up, cooperative
+    sleepers (the chaos injector's hang) wake on it and exit instead of
+    leaking for their full duration, and the target drops its result
+    rather than writing into a box nobody will read.
     """
     box: Dict[str, object] = {}
+    abandoned = threading.Event()
 
     def target() -> None:
         try:
-            box["result"] = fn(payload)
+            result = fn(payload)
         except BaseException as exc:  # propagate into the caller's frame
-            box["error"] = exc
+            if not abandoned.is_set():
+                box["error"] = exc
+            return
+        if not abandoned.is_set():
+            box["result"] = result
 
-    thread = threading.Thread(target=target, daemon=True)
+    thread = threading.Thread(
+        target=target, daemon=True, name=f"chopin-cell-{key[:8]}"
+    )
+    thread.abandoned = abandoned  # type: ignore[attr-defined]
     thread.start()
     thread.join(timeout_s)
     if thread.is_alive():
+        abandoned.set()
         raise CellTimeout(f"cell {key[:12]} exceeded {timeout_s:g}s timeout")
     if "error" in box:
         raise box["error"]  # type: ignore[misc]
@@ -406,10 +421,13 @@ class LogSink(ProgressSink):
     def cell_failed(self, cell: Cell, hole: "Hole") -> None:
         self._done += 1
         multiple = cell.heap_mb / cell.spec.minheap_mb
+        if hole.attempts == 0:
+            status = f"SKIPPED ({hole.reason}): {hole.error}"
+        else:
+            status = f"FAILED after {hole.attempts} attempt(s): {hole.error}"
         print(
             f"[{self._done}/{self._total}] {cell.spec.name} {cell.collector} "
-            f"{multiple:.2f}x inv{cell.invocation}: FAILED after "
-            f"{hole.attempts} attempt(s): {hole.error}",
+            f"{multiple:.2f}x inv{cell.invocation}: {status}",
             file=self.stream,
         )
 
@@ -431,6 +449,13 @@ class LogSink(ProgressSink):
             print(
                 f"engine: {stats.retries} retries, {stats.timeouts} timeouts, "
                 f"{stats.gave_up} cells gave up",
+                file=self.stream,
+            )
+        if stats.budget_skipped or stats.breaker_skipped or stats.drained:
+            print(
+                f"engine: supervisor skipped {stats.budget_skipped} over "
+                f"budget, {stats.breaker_skipped} breaker-open, "
+                f"{stats.drained} drained",
                 file=self.stream,
             )
 
@@ -455,6 +480,9 @@ class EngineStats:
     gave_up: int = 0  # cells that exhausted their retry budget (holes)
     corrupt: int = 0  # cache entries that existed but failed to load
     resumed: int = 0  # cache hits confirmed by the checkpoint journal
+    budget_skipped: int = 0  # cells refused by the deadline budget
+    breaker_skipped: int = 0  # cells refused by an open circuit breaker
+    drained: int = 0  # cells refused by a graceful-shutdown drain
 
     @property
     def hits(self) -> int:
@@ -493,18 +521,37 @@ class EngineStats:
             gave_up=self.gave_up - other.gave_up,
             corrupt=self.corrupt - other.corrupt,
             resumed=self.resumed - other.resumed,
+            budget_skipped=self.budget_skipped - other.budget_skipped,
+            breaker_skipped=self.breaker_skipped - other.breaker_skipped,
+            drained=self.drained - other.drained,
         )
+
+
+#: Hole reasons the engine assigns, by provenance: cells that *ran and
+#: failed* (``gave_up``, ``timeout``) versus cells the supervisor
+#: *refused to start* (``budget``, ``breaker``, ``drained`` — zero
+#: attempts, zero backoff).
+HOLE_REASONS: Tuple[str, ...] = ("gave_up", "timeout", "budget", "breaker", "drained")
 
 
 @dataclass(frozen=True)
 class Hole:
     """One cell the engine could not complete: where, how hard it tried,
-    and the last failure — everything needed to re-target the gap."""
+    why, and the last failure — everything needed to re-target the gap.
+
+    ``reason`` is one of :data:`HOLE_REASONS`: ``gave_up`` (exhausted the
+    retry budget on a permanent failure), ``timeout`` (the last attempt
+    blew the per-cell deadline), or a supervised refusal — ``budget``
+    (the deadline budget could not afford the cell), ``breaker`` (the
+    family's circuit breaker was open), ``drained`` (a graceful shutdown
+    was in progress).  Supervised holes carry ``attempts == 0``.
+    """
 
     cell: Cell
     key: str
     attempts: int
     error: str
+    reason: str = "gave_up"
 
 
 @dataclass
@@ -566,6 +613,15 @@ class ExecutionEngine:
     journalling completed cells so interrupted sweeps resume).  When none
     is active, :attr:`resilient` is False and ``run_cells`` takes the
     exact legacy code path.
+
+    ``supervisor`` attaches a :class:`~repro.resilience.Supervisor`: the
+    engine then consults it before starting each cache-missed cell
+    (deadline budget, per-family circuit breaker, graceful drain) and
+    reports completions/give-ups back to it.  Supervision decides
+    *whether* a cell runs, never *how* — cells that do run are
+    bit-identical with or without a supervisor, and refused cells become
+    typed holes (``reason`` of ``budget``/``breaker``/``drained``) a
+    resume run can fill.
     """
 
     def __init__(
@@ -577,6 +633,7 @@ class ExecutionEngine:
         retry: Optional[RetryPolicy] = None,
         injector: Optional[NullInjector] = None,
         checkpoint: Optional[Union[str, Path, CheckpointJournal]] = None,
+        supervisor: Optional[Supervisor] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError("engine needs at least one job")
@@ -589,6 +646,11 @@ class ExecutionEngine:
         if isinstance(checkpoint, (str, Path)):
             checkpoint = CheckpointJournal(checkpoint)
         self.checkpoint = checkpoint
+        # An attached supervisor routes execution through the resilient
+        # path (where admission checks live) even when it has no budget
+        # or breaker — a signal-initiated drain must still work.
+        self._supervised = supervisor is not None
+        self.supervisor = supervisor if supervisor is not None else Supervisor()
         self.stats = EngineStats()
         # Per-batch attempt history (faults injected, retries charged),
         # kept out of CellResult so cached payloads stay bit-identical
@@ -600,6 +662,19 @@ class ExecutionEngine:
         self._worker_clocks = [0.0] * jobs
         self._next_track = 1  # track 0 is the cache-counter track
 
+    def attach_supervisor(self, supervisor: Supervisor) -> None:
+        """Attach (or replace) the engine's supervisor after
+        construction — how :func:`~repro.harness.plans.run_plan` threads
+        one through to a caller-provided engine."""
+        self.supervisor = supervisor
+        self._supervised = True
+
+    @property
+    def supervised(self) -> bool:
+        """True when a caller attached a supervisor (admission checks
+        run and a graceful drain is honoured)."""
+        return self._supervised
+
     @property
     def resilient(self) -> bool:
         """True when any resilience collaborator is active — the single
@@ -609,6 +684,7 @@ class ExecutionEngine:
             self.injector.enabled
             or self.retry.active
             or self.checkpoint is not None
+            or self._supervised
         )
 
     def run_cells(
@@ -699,9 +775,22 @@ class ExecutionEngine:
                 if fail_fast and result.oom is not None:
                     oom_message = result.oom
 
+        # Consume supervision incidents whether or not anyone records
+        # them, so the list never grows without bound across batches.
+        incidents: List[tuple] = []
+        if self._supervised and self.supervisor.incidents:
+            incidents = list(self.supervisor.incidents)
+            self.supervisor.incidents.clear()
         if self.recorder.enabled:
-            self._trace_batch(keyed, results, hit_indices)
+            self._trace_batch(keyed, results, hit_indices, incidents)
         self.progress.batch_finished(self.stats)
+        if self._supervised and self.supervisor.draining:
+            drained = sum(1 for h in holes if h.reason == "drained")
+            if drained:
+                # Everything completed is already durable (fsync'd
+                # journal appends, atomic cache writes) — announce the
+                # clean drain and how to pick the sweep back up.
+                self.supervisor.drain_finished(drained)
         if partial:
             return PartialBatch(results=list(results), holes=holes)
         return [r for r in results if r is not None]
@@ -729,6 +818,10 @@ class ExecutionEngine:
                 results[idx] = result
                 self.stats.skipped += 1
                 self.progress.cell_finished(cell, result, from_cache=False)
+                continue
+            refused = self._supervise_admit(cell, key)
+            if refused is not None:
+                self._skip_supervised(refused, holes, partial)
                 continue
             outcome = self._attempt_serial(cell, key, idx)
             if isinstance(outcome, Hole):
@@ -758,7 +851,13 @@ class ExecutionEngine:
             except Exception as exc:
                 delay = self._charge_failure(key, idx, attempt, exc)
                 if delay is None:
-                    return Hole(cell=cell, key=key, attempts=attempt + 1, error=str(exc))
+                    return Hole(
+                        cell=cell,
+                        key=key,
+                        attempts=attempt + 1,
+                        error=str(exc),
+                        reason="timeout" if isinstance(exc, CellTimeout) else "gave_up",
+                    )
                 if delay > 0:
                     time.sleep(delay)
                 continue
@@ -799,11 +898,20 @@ class ExecutionEngine:
         with ctx.Pool(workers) as pool:
             while ready or napping or inflight:
                 now = time.monotonic()
+                if self._supervised and self.supervisor.draining:
+                    # A drain refuses everything anyway — wake the
+                    # nappers now instead of sleeping out their backoff.
+                    while napping:
+                        ready.append(heapq.heappop(napping)[1])
                 while napping and napping[0][0] <= now:
                     ready.append(heapq.heappop(napping)[1])
                 while ready and len(inflight) < workers:
                     idx = ready.popleft()
                     cell, key = keyed[idx]
+                    refused = self._supervise_admit(cell, key)
+                    if refused is not None:
+                        self._skip_supervised(refused, holes, partial)
+                        continue
                     attempt = attempts[idx]
                     self._log_fault_decision(key, idx, attempt)
                     inflight.add(idx)
@@ -813,8 +921,12 @@ class ExecutionEngine:
                         callback=lambda res, idx=idx: done.put((idx, res, None)),
                         error_callback=lambda exc, idx=idx: done.put((idx, None, exc)),
                     )
-                if not inflight:  # everyone is napping: sleep to the next wake
-                    time.sleep(max(0.0, napping[0][0] - time.monotonic()))
+                if not inflight:
+                    # Nothing running: either everyone is napping (sleep
+                    # to the next wake) or the supervisor refused every
+                    # ready cell and the loop is about to finish.
+                    if napping:
+                        time.sleep(max(0.0, napping[0][0] - time.monotonic()))
                     continue
                 try:
                     # With a free worker and nappers pending, wake up in
@@ -835,7 +947,15 @@ class ExecutionEngine:
                     delay = self._charge_failure(key, idx, attempt, error)
                     if delay is None:
                         hole = Hole(
-                            cell=cell, key=key, attempts=attempt + 1, error=str(error)
+                            cell=cell,
+                            key=key,
+                            attempts=attempt + 1,
+                            error=str(error),
+                            reason=(
+                                "timeout"
+                                if isinstance(error, CellTimeout)
+                                else "gave_up"
+                            ),
                         )
                         self._give_up(hole, holes, partial)
                     elif delay > 0:
@@ -871,10 +991,41 @@ class ExecutionEngine:
         self._attempt_log.setdefault(idx, []).append(("retry", attempt, delay, str(exc)))
         return delay
 
+    def _supervise_admit(self, cell: Cell, key: str) -> Optional[Hole]:
+        """Ask the supervisor whether a pending miss may start.  Returns
+        the typed hole to record when it may not (None: admitted)."""
+        if not self._supervised:
+            return None
+        refused = self.supervisor.admit(cell.spec.name, cell.collector)
+        if refused is None:
+            return None
+        reason, detail = refused
+        return Hole(cell=cell, key=key, attempts=0, error=detail, reason=reason)
+
+    def _skip_supervised(self, hole: Hole, holes: List[Hole], partial: bool) -> None:
+        """A cell the supervisor refused to start: count it under its
+        reason (exactly one stats field per hole), then hole in partial
+        mode or raise in strict mode — same contract as :meth:`_give_up`
+        but without touching the attempt-level counters, because nothing
+        was attempted."""
+        if hole.reason == "budget":
+            self.stats.budget_skipped += 1
+        elif hole.reason == "breaker":
+            self.stats.breaker_skipped += 1
+        else:
+            self.stats.drained += 1
+        if not partial:
+            raise CellExecutionError(hole.key, hole.attempts, hole.error)
+        holes.append(hole)
+        self.progress.cell_failed(hole.cell, hole)
+
     def _give_up(self, hole: Hole, holes: List[Hole], partial: bool) -> None:
         """A cell exhausted its budget: hole in partial mode, raise in
-        strict mode."""
+        strict mode.  The supervisor hears about it first — a cell-level
+        give-up is what trips the family's circuit breaker."""
         self.stats.gave_up += 1
+        if self._supervised:
+            self.supervisor.record_failure(hole.cell.spec.name, hole.cell.collector)
         if not partial:
             raise CellExecutionError(hole.key, hole.attempts, hole.error)
         holes.append(hole)
@@ -888,6 +1039,10 @@ class ExecutionEngine:
         corruption (*after* the write, so the tear is observed by the
         next reader, exactly like real disk rot)."""
         self._record(cell, result)
+        if self._supervised:
+            # Feed the cost model (and close any half-open breaker): a
+            # negative result still counts — the harness *ran* the cell.
+            self.supervisor.observe(cell.spec.name, cell.collector, result.duration_s)
         if self.checkpoint is not None:
             self.checkpoint.record(key, oom=result.oom is not None)
         if self.injector.enabled and self.cache is not None and self.injector.corrupts(key):
@@ -899,6 +1054,7 @@ class ExecutionEngine:
         keyed: Sequence[Tuple[Cell, str]],
         results: Sequence[Optional[CellResult]],
         hit_indices,
+        incidents: Sequence[tuple] = (),
     ) -> None:
         """Emit one batch's flight-recorder events.
 
@@ -915,8 +1071,32 @@ class ExecutionEngine:
         recorder = self.recorder
         batch_start = min(self._worker_clocks)
         next_worker = 0
+        # Supervision incidents go on the batch track at the batch start:
+        # refused cells never ran, so they have no timeline of their own.
+        for record in incidents:
+            if record[0] == "budget":
+                _, family, estimate, remaining = record
+                recorder.emit(
+                    flight.BudgetExceeded(
+                        ts=batch_start,
+                        family="/".join(family),
+                        estimate_s=estimate,
+                        remaining_s=remaining,
+                    )
+                )
+            elif record[0] == "breaker":
+                _, family, failures = record
+                recorder.emit(
+                    flight.BreakerOpened(
+                        ts=batch_start, family="/".join(family), failures=failures
+                    )
+                )
+            else:
+                recorder.emit(flight.DrainStarted(ts=batch_start, signal=record[1]))
         for idx, ((cell, key), result) in enumerate(zip(keyed, results)):
-            if result is None:  # pragma: no cover - results are always filled
+            if result is None:
+                # Supervised refusals and give-ups leave genuine gaps in
+                # partial mode — nothing ran, nothing to trace.
                 continue
             track = self._next_track
             self._next_track += 1
@@ -1053,9 +1233,11 @@ def engine_from_env(environ=os.environ) -> ExecutionEngine:
     Recognised: ``CHOPIN_JOBS``, ``CHOPIN_CACHE_DIR``,
     ``CHOPIN_NO_CACHE``, ``CHOPIN_PROGRESS``, ``CHOPIN_RETRIES``,
     ``CHOPIN_CELL_TIMEOUT`` (seconds), ``CHOPIN_RESUME`` (checkpoint
-    journal path), ``CHOPIN_CHAOS_RATE``, and ``CHOPIN_CHAOS_SEED``.
-    Malformed values raise a ``ValueError`` naming the variable and the
-    accepted format instead of a bare parse error.
+    journal path), ``CHOPIN_CHAOS_RATE``, ``CHOPIN_CHAOS_SEED``,
+    ``CHOPIN_BUDGET`` (wall-clock deadline budget, seconds), and
+    ``CHOPIN_BREAKER`` (circuit-breaker threshold, consecutive
+    give-ups).  Malformed values raise a ``ValueError`` naming the
+    variable and the accepted format instead of a bare parse error.
     """
     jobs = _env_int(environ, "CHOPIN_JOBS", 1, "4")
     cache_dir: Optional[str] = environ.get("CHOPIN_CACHE_DIR") or None
@@ -1080,6 +1262,25 @@ def engine_from_env(environ=os.environ) -> ExecutionEngine:
         seed = _env_int(environ, "CHOPIN_CHAOS_SEED", 0, "42")
         injector = FaultInjector(FaultSpec.uniform(rate, seed=seed))
     checkpoint = environ.get("CHOPIN_RESUME") or None
+    budget = _env_float(environ, "CHOPIN_BUDGET", None, "600")
+    if budget is not None and budget <= 0:
+        raise ValueError(
+            f"CHOPIN_BUDGET must be a positive number of seconds, got "
+            f"{budget!r} (e.g. CHOPIN_BUDGET=600)"
+        )
+    breaker: Optional[int] = None
+    if environ.get("CHOPIN_BREAKER") not in (None, ""):
+        breaker = _env_int(environ, "CHOPIN_BREAKER", 0, "3")
+        if breaker < 1:
+            raise ValueError(
+                f"CHOPIN_BREAKER must be a positive integer, got "
+                f"{breaker!r} (e.g. CHOPIN_BREAKER=3)"
+            )
+    supervisor = (
+        Supervisor(budget_s=budget, breaker_threshold=breaker)
+        if budget is not None or breaker is not None
+        else None
+    )
     return ExecutionEngine(
         jobs=max(1, jobs),
         cache_dir=cache_dir,
@@ -1087,4 +1288,5 @@ def engine_from_env(environ=os.environ) -> ExecutionEngine:
         retry=retry,
         injector=injector,
         checkpoint=checkpoint,
+        supervisor=supervisor,
     )

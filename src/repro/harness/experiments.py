@@ -22,11 +22,12 @@ from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.harness.engine import Cell, EngineStats, ExecutionEngine, Hole
 from repro.observability import Recorder
-from repro.resilience import FaultInjector, FaultSpec, RetryPolicy
+from repro.resilience import FaultInjector, FaultSpec, RetryPolicy, Supervisor
 from repro.harness.plans import (
     DEFAULT_MULTIPLES,
     LatencyRun,
     SuiteLbo,
+    _assemble_lbo,
     _scaled_for_replay,
     plan_latency,
     plan_lbo,
@@ -44,12 +45,14 @@ __all__ = [
     "DEFAULT_MULTIPLES",
     "LatencyRun",
     "SuiteLbo",
+    "SupervisedSweep",
     "TracedSweep",
     "chaos_drill",
     "heap_timeseries",
     "latency_experiment",
     "lbo_experiment",
     "suite_lbo",
+    "supervised_sweep",
     "trace_sweep",
 ]
 
@@ -235,6 +238,73 @@ def chaos_drill(
         holes=holes,
         divergent=divergent,
         stats=chaos_engine.stats,
+    )
+
+
+@dataclass(frozen=True)
+class SupervisedSweep:
+    """Outcome of :func:`supervised_sweep`: what ran, what was refused.
+
+    ``result`` is the assembled :class:`SuiteLbo`, or ``None`` when so
+    much was refused that no benchmark had a single complete group;
+    ``holes`` lists every incomplete cell with its typed ``reason``
+    (``budget``/``breaker``/``drained`` for supervised refusals,
+    ``gave_up``/``timeout`` for cells that ran and failed); ``stats`` is
+    the engine delta for this sweep; ``drained`` reports whether a
+    graceful shutdown was in progress when the sweep ended.
+    """
+
+    cells: int
+    result: Optional[SuiteLbo]
+    holes: List[Hole]
+    stats: EngineStats
+    drained: bool = False
+
+    @property
+    def complete(self) -> bool:
+        """True when every cell produced a result."""
+        return not self.holes
+
+
+def supervised_sweep(
+    specs: Union[WorkloadSpec, Sequence[WorkloadSpec]],
+    collectors: Sequence[str] = COLLECTOR_NAMES,
+    multiples: Sequence[float] = (2.0, 3.0),
+    config: RunConfig = DEFAULT_CONFIG,
+    engine: Optional[ExecutionEngine] = None,
+    supervisor: Optional[Supervisor] = None,
+    budget_s: Optional[float] = None,
+    breaker_threshold: Optional[int] = None,
+) -> SupervisedSweep:
+    """Run an LBO-style sweep under a :class:`~repro.resilience.Supervisor`
+    (``chopin lbo --budget/--breaker-threshold``).
+
+    The sweep always runs in partial mode — a supervised refusal is a
+    typed hole to report, not an error to die on — and assembly
+    tolerates total refusal (a budget of a few milliseconds holes every
+    cell; ``result`` is then ``None`` instead of an
+    ``OutOfMemoryError`` escaping from an empty LBO table).  Cells that
+    do run are bit-identical to an unsupervised sweep; refused cells are
+    absent from the cache and the journal, so a follow-up run with the
+    same ``--cache-dir``/``--resume`` executes exactly the missing cells.
+    """
+    if supervisor is None:
+        supervisor = Supervisor(budget_s=budget_s, breaker_threshold=breaker_threshold)
+    plan = plan_lbo(specs, collectors, multiples, config)
+    engine = engine if engine is not None else ExecutionEngine()
+    engine.attach_supervisor(supervisor)
+    before = replace(engine.stats)
+    batch = engine.run_cells(plan.cells(), partial=True)
+    try:
+        result: Optional[SuiteLbo] = _assemble_lbo(plan, batch.results)
+    except OutOfMemoryError:
+        result = None
+    return SupervisedSweep(
+        cells=len(batch.results),
+        result=result,
+        holes=list(batch.holes),
+        stats=engine.stats.minus(before),
+        drained=supervisor.draining,
     )
 
 

@@ -33,7 +33,7 @@ from repro.harness.engine import (
     PartialBatch,
 )
 from repro.harness.runner import DEFAULT_CONFIG, RunConfig
-from repro.resilience import CellExecutionError
+from repro.resilience import CellExecutionError, Supervisor
 from repro.jvm.collectors import COLLECTOR_NAMES, resolve_collector
 from repro.jvm.heap import OutOfMemoryError
 from repro.jvm.telemetry import FIDELITY_AGGREGATE, FIDELITY_FULL
@@ -206,6 +206,7 @@ def run_plan(
     strict: bool = False,
     return_stats: bool = False,
     partial: bool = False,
+    supervisor: Optional["Supervisor"] = None,
 ):
     """Execute a plan through an engine and assemble the results.
 
@@ -238,8 +239,15 @@ def run_plan(
     fidelity (the trace nests per-event GC slices, which aggregate
     results do not carry) — the same auto-upgrade
     :func:`~repro.jvm.simulator.simulate_run` applies when recording.
+
+    ``supervisor`` attaches a :class:`~repro.resilience.Supervisor` to
+    the engine for this (and subsequent) runs: cells the budget, a
+    tripped breaker, or a graceful drain refuses become typed holes —
+    combine with ``partial`` unless a refusal should fail the sweep.
     """
     engine = engine if engine is not None else ExecutionEngine()
+    if supervisor is not None:
+        engine.attach_supervisor(supervisor)
     if engine.recorder.enabled and plan.config.fidelity != FIDELITY_FULL:
         plan = replace(plan, config=replace(plan.config, fidelity=FIDELITY_FULL))
     before = dataclasses.replace(engine.stats)

@@ -25,10 +25,13 @@ from repro.observability.events import (
     AllocationStall,
     BatchSpan,
     CacheHit,
+    BreakerOpened,
+    BudgetExceeded,
     CacheMiss,
     CellSpan,
     CompileWarmup,
     ConcurrentSpan,
+    DrainStarted,
     FaultInjected,
     GcPause,
     IterationSpan,
@@ -59,11 +62,14 @@ __all__ = [
     "AllocationStall",
     "BatchSpan",
     "CacheHit",
+    "BreakerOpened",
+    "BudgetExceeded",
     "CacheMiss",
     "CellSpan",
     "CompileWarmup",
     "ConcurrentSpan",
     "Counter",
+    "DrainStarted",
     "FaultInjected",
     "Gauge",
     "GcPause",

@@ -15,7 +15,11 @@ every layer of the system:
   scheduled across workers and served from the result cache;
 - resilience events (:class:`FaultInjected`, :class:`RetryAttempt`)
   describe what chaos was injected into a cell and how the retry policy
-  recovered, so a chaos run is traceable end to end in ``chopin trace``.
+  recovered, so a chaos run is traceable end to end in ``chopin trace``;
+- supervision events (:class:`BudgetExceeded`, :class:`BreakerOpened`,
+  :class:`DrainStarted`) describe why the supervisor refused work — a
+  cell the deadline budget could not afford, a workload×collector family
+  whose circuit breaker tripped, or a signal-initiated graceful drain.
 
 Every timestamp is **simulated time in seconds** — never wall clock — so
 a recording is a deterministic function of the experiment coordinates,
@@ -212,6 +216,44 @@ class RetryAttempt(TraceEvent):
     attempt: int = 0
     delay_s: float = 0.0
     error: str = ""
+
+
+@dataclass(frozen=True)
+class BudgetExceeded(TraceEvent):
+    """The supervisor refused a cell the deadline budget cannot afford.
+
+    ``estimate_s`` is the EWMA cost model's prediction for the family's
+    next cell and ``remaining_s`` the wall-clock budget left when the
+    decision was made (0 when the deadline had already passed).  The
+    cell becomes a ``Hole(reason="budget")`` a resume run can fill.
+    """
+
+    family: str = ""
+    estimate_s: float = 0.0
+    remaining_s: float = 0.0
+
+
+@dataclass(frozen=True)
+class BreakerOpened(TraceEvent):
+    """A workload×collector family's circuit breaker tripped.
+
+    Emitted once per opening, on the batch track; ``failures`` is the
+    consecutive-give-up count that crossed the threshold.  Subsequent
+    cells of the family fast-fail as ``Hole(reason="breaker")`` until a
+    half-open probe succeeds.
+    """
+
+    family: str = ""
+    failures: int = 0
+
+
+@dataclass(frozen=True)
+class DrainStarted(TraceEvent):
+    """Graceful shutdown began: no new cells start, in-flight cells
+    finish and are journalled.  ``signal`` names the trigger (SIGINT,
+    SIGTERM, or a programmatic drain request)."""
+
+    signal: str = ""
 
 
 @runtime_checkable

@@ -23,10 +23,13 @@ from typing import Dict, Iterable, List, Tuple
 
 from repro.observability.events import (
     AllocationStall,
+    BreakerOpened,
+    BudgetExceeded,
     CacheHit,
     CacheMiss,
     CellSpan,
     CompileWarmup,
+    DrainStarted,
     FaultInjected,
     GcPause,
     RetryAttempt,
@@ -202,6 +205,12 @@ class MetricsRegistry:
             elif isinstance(event, RetryAttempt):
                 self.counter("resilience.retries").inc()
                 self.histogram("resilience.backoff_seconds").record(event.delay_s)
+            elif isinstance(event, BudgetExceeded):
+                self.counter("supervision.budget_exceeded").inc()
+            elif isinstance(event, BreakerOpened):
+                self.counter("supervision.breaker_opened").inc()
+            elif isinstance(event, DrainStarted):
+                self.counter("supervision.drains").inc()
         hits = self.counter("engine.cache.hits").value
         misses = self.counter("engine.cache.misses").value
         if hits + misses:

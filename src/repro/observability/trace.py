@@ -34,11 +34,14 @@ from typing import Dict, Iterable, List, Sequence, Union
 from repro.observability.events import (
     AllocationStall,
     BatchSpan,
+    BreakerOpened,
+    BudgetExceeded,
     CacheHit,
     CacheMiss,
     CellSpan,
     CompileWarmup,
     ConcurrentSpan,
+    DrainStarted,
     FaultInjected,
     GcPause,
     IterationSpan,
@@ -169,6 +172,36 @@ def chrome_trace_events(events: Iterable[TraceEvent]) -> List[dict]:
                     "cat": "resilience",
                     "ph": "I",
                     "s": "t",
+                    "ts": _micros(event.ts),
+                    "pid": TRACE_PID,
+                    "tid": event.track,
+                    "args": args,
+                }
+            )
+            continue
+        if isinstance(event, (BudgetExceeded, BreakerOpened, DrainStarted)):
+            # Supervision events are process-scoped instants: the work
+            # they refused never ran, so there is no cell track to pin
+            # them to — they mark the moment the supervisor intervened.
+            if isinstance(event, BudgetExceeded):
+                name = f"budget-exceeded {event.family}"
+                args = {
+                    "family": event.family,
+                    "estimate_s": event.estimate_s,
+                    "remaining_s": event.remaining_s,
+                }
+            elif isinstance(event, BreakerOpened):
+                name = f"breaker-opened {event.family}"
+                args = {"family": event.family, "failures": event.failures}
+            else:
+                name = f"drain ({event.signal})"
+                args = {"signal": event.signal}
+            out.append(
+                {
+                    "name": name,
+                    "cat": "supervision",
+                    "ph": "I",
+                    "s": "p",
                     "ts": _micros(event.ts),
                     "pid": TRACE_PID,
                     "tid": event.track,

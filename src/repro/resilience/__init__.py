@@ -11,7 +11,13 @@ parts that compose:
   exponential backoff with deterministic jitter) and the
   transient-vs-permanent taxonomy (:func:`classify`);
 - :mod:`.checkpoint` — the append-only :class:`CheckpointJournal` that
-  makes interrupted sweeps resumable on top of the result cache.
+  makes interrupted sweeps resumable on top of the result cache;
+- :mod:`.supervisor` — the :class:`Supervisor` that wraps a whole sweep:
+  wall-clock deadline budgets (EWMA cost model), per-family circuit
+  breakers with half-open probes, and graceful SIGINT/SIGTERM drains;
+- :mod:`.doctor` — cache/journal self-healing behind ``chopin doctor``:
+  quarantine corrupt/stale/misplaced cache entries, compact the
+  checkpoint journal, re-verify sampled cells against recomputation.
 
 Design contract, mirrored from the flight recorder: resilience is
 *observational about results*.  An injected fault replaces or delays an
@@ -21,6 +27,14 @@ tests, and checked in CI by the chaos smoke job.
 """
 
 from repro.resilience.checkpoint import CheckpointJournal
+from repro.resilience.doctor import (
+    CacheScan,
+    JournalCompaction,
+    VerifyReport,
+    compact_journal,
+    scan_cache,
+    verify_cells,
+)
 from repro.resilience.faults import (
     EXECUTION_FAULTS,
     FAULT_KINDS,
@@ -39,21 +53,37 @@ from repro.resilience.retry import (
     RetryPolicy,
     classify,
 )
+from repro.resilience.supervisor import (
+    SUPERVISED_REASONS,
+    CircuitBreaker,
+    CostModel,
+    Supervisor,
+)
 
 __all__ = [
+    "CacheScan",
     "CellExecutionError",
     "CellTimeout",
     "CheckpointJournal",
+    "CircuitBreaker",
+    "CostModel",
     "EXECUTION_FAULTS",
     "FAULT_KINDS",
     "FaultInjector",
     "FaultSpec",
     "InjectedFault",
+    "JournalCompaction",
     "NullInjector",
     "RetryPolicy",
+    "SUPERVISED_REASONS",
+    "Supervisor",
     "TRANSIENT_ERRORS",
     "TransientFault",
+    "VerifyReport",
     "WorkerCrash",
     "classify",
+    "compact_journal",
     "corrupt_entry",
+    "scan_cache",
+    "verify_cells",
 ]

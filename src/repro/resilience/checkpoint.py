@@ -9,17 +9,24 @@ skip even the cache probe bookkeeping for work it knows is done.
 
 :class:`CheckpointJournal` is that record: an append-only JSONL manifest
 of completed cell keys.  Appends are line-atomic on POSIX (single small
-``write`` in append mode), and the reader tolerates a torn final line —
-the worst an interruption can cost is re-executing the one cell whose
-record was being written.  The journal is *advisory*: results always
-come from the cache or fresh execution, so a journal that is stale,
-deleted, or lists keys the cache no longer holds degrades to a cold
-start, never to a wrong answer.
+``write`` in append mode) and *durable* — each record is flushed and
+``fsync``'d before ``record`` returns, so a ``kill -9`` landing right
+after a cell completes cannot lose the line the resume path depends on.
+The reader tolerates a torn final line — the worst an interruption can
+cost is re-executing the one cell whose record was being written.  The
+journal is *advisory*: results always come from the cache or fresh
+execution, so a journal that is stale, deleted, or lists keys the cache
+no longer holds degrades to a cold start, never to a wrong answer.
+
+Journals accumulate cruft over many interrupted runs (torn lines,
+duplicate keys from cache-hit reconciliation); ``chopin doctor``
+compacts them via :func:`repro.resilience.doctor.compact_journal`.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Set, Union
 
@@ -70,9 +77,15 @@ class CheckpointJournal:
         return len(self._completed)
 
     def record(self, key: str, oom: bool = False) -> None:
-        """Journal one completed cell.  Idempotent per key; IO failures
-        are swallowed (the journal accelerates resumption, it is not a
-        correctness dependency)."""
+        """Journal one completed cell, durably.  Idempotent per key; IO
+        failures are swallowed (the journal accelerates resumption, it
+        is not a correctness dependency).
+
+        The write is flushed and ``os.fsync``'d before returning: a
+        journal line exists on disk for every cell whose completion this
+        process has acknowledged, so even ``kill -9`` immediately after
+        a cell finishes costs a resume nothing.
+        """
         if key in self._completed:
             return
         self._completed.add(key)
@@ -84,5 +97,7 @@ class CheckpointJournal:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             with self.path.open("a") as fh:
                 fh.write(line + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
         except OSError:
             pass

@@ -1,0 +1,260 @@
+"""Cache and journal self-healing: the ``chopin doctor`` machinery.
+
+A long-lived result cache accumulates rot: torn writes from power loss,
+entries pickled under an older schema, files a disk error garbled.  The
+engine already *tolerates* all of these (a bad entry reads as a miss and
+is counted), but tolerance is not hygiene — a cache full of corpses
+re-counts the same corruption on every sweep and hides real rot in the
+noise.  This module repairs instead of tolerating:
+
+- :func:`scan_cache` walks every entry, loads and validates it exactly
+  the way :class:`~repro.harness.engine.ResultCache` would, and
+  *quarantines* the failures (moved to ``<root>/_quarantine/``, never
+  deleted — rot is evidence) with a per-kind breakdown: ``corrupt``
+  (unreadable or not a result), ``stale`` (a result object missing
+  fields the current schema requires), ``misplaced`` (a valid result
+  filed under the wrong key — a torn rename or a copied cache);
+- :func:`compact_journal` rewrites the append-only checkpoint journal:
+  torn lines dropped, duplicate keys collapsed to one line, the rewrite
+  crash-safe (temp file + fsync + atomic rename) so the doctor itself
+  cannot tear the journal it is healing;
+- :func:`verify_cells` re-simulates a deterministic sample of cached
+  cells and compares payloads bit-for-bit — the last line of defence
+  against *plausible* corruption (an entry that unpickles fine but
+  carries wrong numbers), quarantining any mismatch.
+
+Engine imports are deferred inside functions: the engine imports
+:mod:`repro.resilience`, so a module-level import here would be a cycle.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+#: Where quarantined entries go, inside the cache root.  The directory
+#: name starts with an underscore so the two-hex-digit shard globs of
+#: the cache layout can never collide with it.
+QUARANTINE_DIR = "_quarantine"
+
+
+@dataclass
+class CacheScan:
+    """What :func:`scan_cache` found (and moved)."""
+
+    scanned: int = 0
+    healthy: int = 0
+    corrupt: int = 0  # unreadable, unpicklable, or not a CellResult
+    stale: int = 0  # a CellResult missing current-schema fields
+    misplaced: int = 0  # valid result filed under the wrong key
+    quarantined: int = 0
+    quarantine_dir: Optional[Path] = None
+    #: ``(path, kind)`` for every unhealthy entry, in scan order.
+    problems: List[Tuple[Path, str]] = field(default_factory=list)
+
+    @property
+    def unhealthy(self) -> int:
+        return self.corrupt + self.stale + self.misplaced
+
+
+@dataclass
+class JournalCompaction:
+    """Before/after accounting for :func:`compact_journal`."""
+
+    lines_before: int = 0
+    lines_after: int = 0
+    torn: int = 0  # unparseable or foreign lines dropped
+    duplicates: int = 0  # repeat keys collapsed
+    compacted: bool = False  # False: journal was missing or already clean
+
+
+@dataclass
+class VerifyReport:
+    """Outcome of :func:`verify_cells`: sampled recomputation."""
+
+    sampled: int = 0
+    matched: int = 0
+    mismatched: int = 0
+    quarantined: int = 0
+    #: Keys whose cached payload diverged from recomputation.
+    divergent_keys: List[str] = field(default_factory=list)
+
+
+def _missing_fields(obj: object) -> List[str]:
+    """Dataclass fields the unpickled object lacks — the signature of an
+    entry written under an older schema."""
+    return [
+        f.name
+        for f in dataclasses.fields(type(obj))
+        if not hasattr(obj, f.name)
+    ]
+
+
+def _diagnose(path: Path, key: str) -> Optional[str]:
+    """Classify one cache entry: None when healthy, else the problem kind."""
+    import pickle
+
+    from repro.harness.engine import CellResult
+
+    try:
+        with path.open("rb") as fh:
+            result = pickle.load(fh)
+    except Exception:
+        return "corrupt"
+    if not isinstance(result, CellResult):
+        return "corrupt"
+    if _missing_fields(result):
+        return "stale"
+    timed = getattr(result, "timed", None)
+    if timed is not None and dataclasses.is_dataclass(timed) and _missing_fields(timed):
+        return "stale"  # the nested IterationResult predates the schema
+    if result.key != key:
+        return "misplaced"
+    return None
+
+
+def _quarantine(path: Path, quarantine_dir: Path) -> bool:
+    """Move one entry into quarantine (never delete — rot is evidence)."""
+    try:
+        quarantine_dir.mkdir(parents=True, exist_ok=True)
+        target = quarantine_dir / path.name
+        suffix = 0
+        while target.exists():
+            suffix += 1
+            target = quarantine_dir / f"{path.name}.{suffix}"
+        os.replace(str(path), str(target))
+    except OSError:
+        return False
+    return True
+
+
+def scan_cache(root: Union[str, Path], quarantine: bool = True) -> CacheScan:
+    """Scan a result-cache directory and quarantine unhealthy entries.
+
+    Entries live at ``<root>/<key[:2]>/<key>.pkl`` (the
+    :class:`~repro.harness.engine.ResultCache` layout); anything that
+    fails to load, predates the current schema, or is filed under the
+    wrong key is moved to ``<root>/_quarantine/`` when ``quarantine``
+    is set (pass ``False`` for a dry run).
+    """
+    root = Path(root)
+    scan = CacheScan(quarantine_dir=root / QUARANTINE_DIR)
+    if not root.is_dir():
+        return scan
+    for path in sorted(root.glob("??/*.pkl")):
+        scan.scanned += 1
+        kind = _diagnose(path, path.stem)
+        if kind is None:
+            scan.healthy += 1
+            continue
+        setattr(scan, kind, getattr(scan, kind) + 1)
+        scan.problems.append((path, kind))
+        if quarantine and _quarantine(path, scan.quarantine_dir):
+            scan.quarantined += 1
+    return scan
+
+
+def compact_journal(path: Union[str, Path]) -> JournalCompaction:
+    """Rewrite a checkpoint journal: drop torn lines, collapse duplicates.
+
+    The rewrite is crash-safe (temp file in the same directory, fsync,
+    atomic rename) and preserves first-seen order, so a journal the
+    doctor compacts resumes exactly the cells the original did.  A
+    missing or already-clean journal is left untouched.
+    """
+    path = Path(path)
+    report = JournalCompaction()
+    try:
+        text = path.read_text()
+    except OSError:
+        return report
+    seen: Dict[str, str] = {}
+    for line in text.splitlines():
+        if line:
+            report.lines_before += 1
+        else:
+            continue
+        try:
+            entry = json.loads(line)
+        except ValueError:
+            report.torn += 1
+            continue
+        if not (isinstance(entry, dict) and isinstance(entry.get("key"), str)):
+            report.torn += 1
+            continue
+        if entry["key"] in seen:
+            report.duplicates += 1
+            continue
+        seen[entry["key"]] = json.dumps(entry, sort_keys=True)
+    report.lines_after = len(seen)
+    torn_tail = bool(text) and not text.endswith("\n")
+    if report.lines_after == report.lines_before and not torn_tail:
+        return report  # already clean: do not churn the inode
+    fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".compact")
+    try:
+        with os.fdopen(fd, "w") as fh:
+            for line in seen.values():
+                fh.write(line + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, str(path))
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    report.compacted = True
+    return report
+
+
+def verify_cells(
+    cells: Sequence[object],
+    cache_root: Union[str, Path],
+    sample: int = 8,
+    quarantine: bool = True,
+) -> VerifyReport:
+    """Re-simulate a deterministic sample of cached cells and compare.
+
+    ``cells`` enumerates candidate :class:`~repro.harness.engine.Cell`
+    jobs (e.g. from a plan); of those with a cache entry, the ``sample``
+    lowest keys are recomputed and compared payload-for-payload.  A
+    divergent entry is quarantined — it would silently poison every
+    future warm sweep — and reported by key.
+    """
+    import pickle
+
+    from repro.harness.engine import ResultCache, _execute_cell, cell_key
+
+    if sample < 1:
+        raise ValueError(f"verification sample must be at least 1, got {sample}")
+    cache = ResultCache(cache_root)
+    report = VerifyReport()
+    keyed = sorted(
+        ((cell_key(cell), cell) for cell in cells), key=lambda pair: pair[0]
+    )
+    for key, cell in keyed:
+        if report.sampled >= sample:
+            break
+        cached = cache.get(key)
+        if cached is None:
+            continue
+        report.sampled += 1
+        fresh = _execute_cell((cell, key))
+        if pickle.dumps((cached.timed, cached.oom)) == pickle.dumps(
+            (fresh.timed, fresh.oom)
+        ):
+            report.matched += 1
+            continue
+        report.mismatched += 1
+        report.divergent_keys.append(key)
+        if quarantine and _quarantine(
+            cache.path_for(key), Path(cache_root) / QUARANTINE_DIR
+        ):
+            report.quarantined += 1
+    return report

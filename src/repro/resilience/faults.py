@@ -32,6 +32,7 @@ flight recorder's ``NullRecorder``): the engine's fast path pays one
 from __future__ import annotations
 
 import hashlib
+import threading
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -180,6 +181,13 @@ class FaultInjector(NullInjector):
         replaces or delays it.  ``transient`` and ``crash`` raise;
         ``hang`` sleeps ``hang_s`` of real time and then lets the cell
         proceed, which a per-cell timeout converts into a retry.
+
+        A hang honours the timeout runner's abandonment flag (the
+        ``abandoned`` event :func:`repro.harness.engine._call_with_timeout`
+        pins to the attempt thread): once the parent has charged the
+        timeout and moved on, the sleep wakes immediately so the
+        abandoned thread exits instead of leaking for the rest of
+        ``hang_s``.
         """
         if kind == "transient":
             raise TransientFault(
@@ -190,7 +198,11 @@ class FaultInjector(NullInjector):
                 f"injected worker crash (cell {key[:12]}, attempt {attempt})"
             )
         if kind == "hang":
-            time.sleep(self.spec.hang_s)
+            abandoned = getattr(threading.current_thread(), "abandoned", None)
+            if abandoned is None:
+                time.sleep(self.spec.hang_s)
+            else:
+                abandoned.wait(self.spec.hang_s)
             return
         raise ValueError(f"unknown fault kind {kind!r}")
 

@@ -102,6 +102,8 @@ class RetryPolicy:
         jitter factor derived from ``(key, attempt)`` — deterministic,
         but decorrelated across cells.
         """
+        if attempt < 0:
+            raise ValueError(f"attempt numbers are 0-based, got {attempt}")
         raw = min(self.backoff_cap_s, self.backoff_base_s * (2.0 ** attempt))
         if not self.jitter:
             return raw

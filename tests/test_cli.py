@@ -85,6 +85,12 @@ class TestArgumentValidation:
             ["lbo", "fop", "--retries", "-1"],
             ["lbo", "fop", "--cell-timeout", "0"],
             ["lbo", "fop", "--chaos-rate", "1.5"],
+            ["lbo", "fop", "--budget", "-1"],
+            ["lbo", "fop", "--budget", "0"],
+            ["lbo", "fop", "--budget", "soon"],
+            ["lbo", "fop", "--breaker-threshold", "0"],
+            ["lbo", "fop", "--breaker-threshold", "-3"],
+            ["lbo", "fop", "--breaker-threshold", "many"],
         ],
     )
     def test_invalid_value_exits_2_with_one_line(self, capsys, argv):
@@ -156,3 +162,93 @@ class TestInsightsCommand:
         assert main(["insights", "avrora"]) == 0
         out = capsys.readouterr().out
         assert "kernel mode" in out
+
+
+class TestSupervisedLbo:
+    def test_tiny_budget_exits_cleanly_with_holes(self, capsys, tmp_path):
+        argv = ["lbo", "lusearch", "--budget", "0.000001",
+                "--cache-dir", str(tmp_path / "cache"),
+                "--resume", str(tmp_path / "journal.jsonl"),
+                "--invocations", "1", "--scale", "0.05"]
+        assert main(argv) == 0
+        err = capsys.readouterr().err
+        assert "supervision:" in err and "over budget" in err
+
+    def test_budget_then_resume_completes(self, capsys, tmp_path):
+        cache = ["--cache-dir", str(tmp_path / "cache"),
+                 "--resume", str(tmp_path / "journal.jsonl"),
+                 "--invocations", "1", "--scale", "0.05"]
+        assert main(["lbo", "lusearch", "--budget", "0.000001"] + cache) == 0
+        capsys.readouterr()
+        assert main(["lbo", "lusearch"] + cache) == 0
+        out = capsys.readouterr().out
+        assert "lusearch" in out  # the resumed sweep printed real curves
+
+    def test_generous_budget_prints_curves(self, capsys):
+        argv = ["lbo", "lusearch", "--budget", "3600",
+                "--breaker-threshold", "5",
+                "--invocations", "1", "--scale", "0.05"]
+        assert main(argv) == 0
+        captured = capsys.readouterr()
+        assert "lusearch" in captured.out
+        assert "incomplete" not in captured.err
+
+
+class TestDoctorCommand:
+    def test_doctor_heals_torn_cache(self, capsys, tmp_path):
+        cache = str(tmp_path / "cache")
+        journal = str(tmp_path / "journal.jsonl")
+        base = ["--invocations", "1", "--scale", "0.05"]
+        assert main(["lbo", "lusearch", "--cache-dir", cache,
+                     "--resume", journal] + base) == 0
+        capsys.readouterr()
+        # Tear one entry the way a crashed writer would.
+        victim = next((tmp_path / "cache").glob("??/*.pkl"))
+        victim.write_bytes(victim.read_bytes()[: 40])
+        assert main(["doctor", "--cache-dir", cache, "--journal", journal]) == 0
+        captured = capsys.readouterr()
+        assert "1 corrupt" in captured.out
+        assert "quarantined 1" in captured.out
+        assert not victim.exists()
+
+    def test_doctor_dry_run_leaves_rot_in_place(self, capsys, tmp_path):
+        cache = str(tmp_path / "cache")
+        assert main(["lbo", "lusearch", "--cache-dir", cache,
+                     "--invocations", "1", "--scale", "0.05"]) == 0
+        victim = next((tmp_path / "cache").glob("??/*.pkl"))
+        victim.write_bytes(b"rot")
+        capsys.readouterr()
+        assert main(["doctor", "--cache-dir", cache, "--dry-run"]) == 0
+        assert victim.exists()
+
+    def test_doctor_verify_clean_cache(self, capsys, tmp_path):
+        cache = str(tmp_path / "cache")
+        base = ["--invocations", "2", "--scale", "0.05"]
+        assert main(["lbo", "lusearch", "--cache-dir", cache] + base) == 0
+        capsys.readouterr()
+        assert main(["doctor", "--cache-dir", cache, "--verify", "lusearch",
+                     "--verify-sample", "4", "--invocations", "2",
+                     "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "4 matched" in out
+
+    def test_doctor_verify_flags_divergence(self, capsys, tmp_path):
+        import dataclasses
+        import pickle
+
+        cache = str(tmp_path / "cache")
+        base = ["--invocations", "2", "--scale", "0.05"]
+        assert main(["lbo", "lusearch", "--cache-dir", cache] + base) == 0
+        capsys.readouterr()
+        # Swap one entry's payload for another's: valid pickle, wrong bits.
+        paths = sorted((tmp_path / "cache").glob("??/*.pkl"))
+        donor = pickle.loads(paths[1].read_bytes())
+        paths[0].write_bytes(
+            pickle.dumps(dataclasses.replace(donor, key=paths[0].stem))
+        )
+        assert main(["doctor", "--cache-dir", cache, "--verify", "lusearch",
+                     "--verify-sample", "8", "--invocations", "2",
+                     "--scale", "0.05"]) == 1
+        captured = capsys.readouterr()
+        assert "1 mismatched" in captured.out
+        assert "divergent payload quarantined" in captured.err
