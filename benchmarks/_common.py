@@ -12,41 +12,39 @@ reproduction targets, and those are scale-invariant.
 
 from __future__ import annotations
 
-import os
 import pathlib
 
 from repro import RunConfig
-from repro.harness.engine import engine_from_env
+from repro.harness.config import engine_from_config, harness_config
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
+#: Repo root — perf-trajectory artifacts (``BENCH_sim.json``,
+#: ``BENCH_engine.json``) are written here as well as under
+#: ``RESULTS_DIR`` so the numbers are tracked across PRs.
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: The resolved harness knobs: every ``CHOPIN_*`` variable, parsed once by
+#: :mod:`repro.harness.config` (the same parser the ``chopin`` CLI and
+#: ``engine_from_env`` consume, with the same flag > env > default
+#: precedence).  See that module's docstring for the full variable list —
+#: including ``CHOPIN_FIDELITY`` (telemetry tier) and ``CHOPIN_BATCH``
+#: (vectorized batch execution of aggregate-fidelity sweep rows).
+CONFIG = harness_config()
+
 #: Shared execution engine for the sweep-heavy benches.  Controlled by
-#: environment variables so no pytest plumbing is needed:
+#: the ``CHOPIN_*`` environment so no pytest plumbing is needed, e.g.::
 #:
 #:   CHOPIN_JOBS=8          fan cells out over 8 worker processes
 #:   CHOPIN_CACHE_DIR=p     memoize cell results under p (reruns are ~free)
-#:   CHOPIN_NO_CACHE=1      ignore CHOPIN_CACHE_DIR
-#:   CHOPIN_PROGRESS=1      log per-cell progress to stderr
-#:   CHOPIN_RETRIES=3       retry budget per cell for transient failures
-#:   CHOPIN_CELL_TIMEOUT=60 per-cell wall-clock timeout in seconds
-#:   CHOPIN_RESUME=p.jsonl  checkpoint journal: interrupted sweeps resume
-#:   CHOPIN_CHAOS_RATE=0.1  seeded fault injection (harness self-test)
-#:   CHOPIN_CHAOS_SEED=42   seed for the injected fault sequence
-#:   CHOPIN_FIDELITY=full   telemetry tier (auto/aggregate/full; auto lets
-#:                          each analysis pick — LBO sweeps run aggregate)
-ENGINE = engine_from_env()
+#:   CHOPIN_FIDELITY=full   telemetry tier (auto/aggregate/full)
+#:   CHOPIN_BATCH=1         vectorize aggregate-fidelity sweep rows
+ENGINE = engine_from_config(CONFIG)
 
 
 def fidelity_from_env():
-    """Telemetry tier from ``CHOPIN_FIDELITY`` (None = auto)."""
-    value = os.environ.get("CHOPIN_FIDELITY", "auto")
-    if value in ("", "auto"):
-        return None
-    if value not in ("aggregate", "full"):
-        raise SystemExit(
-            f"CHOPIN_FIDELITY must be auto, aggregate, or full, got {value!r}"
-        )
-    return value
+    """Telemetry tier from the resolved config (None = auto)."""
+    return CONFIG.fidelity
 
 
 #: Scaled-down analogue of the paper's Section 6.1 configuration.

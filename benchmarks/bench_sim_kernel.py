@@ -1,13 +1,22 @@
-"""Simulation-kernel cost of fidelity tiers: full vs. aggregate telemetry.
+"""Simulation-kernel cost: fidelity tiers and the vectorized batch kernel.
 
 Not a paper figure — a harness health metric for the simulation core,
-emitted as ``BENCH_sim.json``.  The hottest paths in the repro (the
-minimum-heap binary search, the suite LBO sweeps) consume only headline
-scalars, so they run at aggregate fidelity; this benchmark quantifies
-what that buys and **gates the tier contract**: every headline scalar
-must be bit-identical between tiers, and the min-heap/LBO outputs must
-be exactly equal whichever tier produced them.  Any divergence exits
-non-zero, which is what the CI smoke step relies on.
+emitted as ``BENCH_sim.json`` (written to the repo root *and*
+``benchmarks/results/`` so the perf trajectory is tracked across PRs).
+Two splits are timed and gated:
+
+1. **Fidelity tiers** (full vs. aggregate telemetry): every headline
+   scalar must be bit-identical between tiers, and the min-heap/LBO
+   outputs must be exactly equal whichever tier produced them.
+2. **Batch kernel** (vectorized struct-of-arrays rows vs. the scalar
+   per-cell path): the same 130-scalar grid must agree within the
+   documented :data:`repro.jvm.batch.BATCH_TOLERANCE` (``gc_count``
+   exactly, OOM messages byte-identical), and the suite-sweep curves
+   from a ``batch=True`` engine must match the scalar engine's at that
+   tolerance.  The batch-vs-scalar sweep speedup is reported as
+   ``batch_vs_scalar_speedup``.
+
+Any divergence exits non-zero, which is what the CI smoke step relies on.
 
 Run standalone (no install needed)::
 
@@ -28,10 +37,17 @@ for entry in (_HERE, _HERE.parent / "src"):
     if str(entry) not in sys.path:
         sys.path.insert(0, str(entry))
 
-from _common import RESULTS_DIR  # noqa: E402
+from _common import REPO_ROOT, RESULTS_DIR  # noqa: E402
 
 from repro import ExecutionEngine, RunConfig, registry, simulate_run, suite_lbo  # noqa: E402
 from repro.core.minheap import find_min_heap  # noqa: E402
+from repro.jvm.batch import (  # noqa: E402
+    BATCH_TOLERANCE,
+    BatchCell,
+    BatchSpec,
+    batch_scalars_close,
+    simulate_batch,
+)
 
 #: Every headline scalar of an IterationResult, including the derived
 #: views — the tier contract covers all of them, exactly.
@@ -88,6 +104,93 @@ def check_cell_equivalence(spec, collector, heap_multiple, scale) -> int:
     return len(HEADLINE_SCALARS)
 
 
+def check_batch_oracle(spec, collector, multiples, scale) -> int:
+    """Assert the batch kernel matches the scalar oracle on one row.
+
+    The row's cells run in one vectorized pass; each is then compared
+    against a scalar :func:`simulate_run` of the same cell.  Headline
+    scalars must agree within ``BATCH_TOLERANCE`` (``gc_count`` exactly,
+    OOM messages byte-identical).  Returns the count of scalars compared.
+    """
+    from repro.jvm.heap import OutOfMemoryError
+
+    heaps = [spec.heap_mb_for(m) for m in multiples]
+    batch = simulate_batch(
+        BatchSpec(
+            collector=collector,
+            cells=tuple(BatchCell(spec=spec, heap_mb=h) for h in heaps),
+            iterations=2,
+            duration_scale=scale,
+        )
+    )
+    compared = 0
+    for multiple, heap_mb, outcome in zip(multiples, heaps, batch):
+        try:
+            timed = simulate_run(
+                spec, collector, heap_mb, iterations=2,
+                duration_scale=scale, fidelity="aggregate",
+            ).timed
+        except OutOfMemoryError as exc:
+            if outcome.oom != str(exc):
+                raise SystemExit(
+                    f"batch divergence: {spec.name}/{collector}@{multiple}x "
+                    f"scalar OOM {str(exc)!r} but batch gave {outcome.oom!r}"
+                )
+            continue
+        if not outcome.ok:
+            raise SystemExit(
+                f"batch divergence: {spec.name}/{collector}@{multiple}x "
+                f"completed on the scalar path but batch OOM'd: {outcome.oom!r}"
+            )
+        batch_timed = outcome.run.timed
+        for name in HEADLINE_SCALARS:
+            bv, sv = getattr(batch_timed, name), getattr(timed, name)
+            ok = bv == sv if name == "gc_count" else batch_scalars_close(bv, sv)
+            if not ok:
+                raise SystemExit(
+                    f"batch divergence: {spec.name}/{collector}@{multiple}x "
+                    f"{name}: scalar={sv!r} batch={bv!r} "
+                    f"(tolerance {BATCH_TOLERANCE})"
+                )
+            compared += 1
+    return compared
+
+
+def bench_batch_sweep(specs, collectors, multiples, invocations, scale, repeats):
+    """Time the suite LBO sweep through the vectorized batch engine
+    (best of ``repeats``, fresh cache-less engine each time); the
+    geomean curves must match the scalar engine's within
+    ``BATCH_TOLERANCE``."""
+    config = RunConfig(
+        invocations=invocations,
+        iterations=2,
+        duration_scale=scale,
+        fidelity="aggregate",
+    )
+    reference = suite_lbo(
+        specs, collectors, multiples, config, engine=ExecutionEngine()
+    )
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        suite = suite_lbo(
+            specs, collectors, multiples, config, engine=ExecutionEngine(batch=True)
+        )
+        best = min(best, time.perf_counter() - start)
+    for kind, ref_curves, got_curves in (
+        ("wall", reference.geomean_wall, suite.geomean_wall),
+        ("task", reference.geomean_task, suite.geomean_task),
+    ):
+        for collector, ref_series in ref_curves.items():
+            for (rm, rv), (gm, gv) in zip(ref_series, got_curves[collector]):
+                if rm != gm or not batch_scalars_close(rv, gv):
+                    raise SystemExit(
+                        f"batch sweep divergence: geomean_{kind} {collector}@{rm}x "
+                        f"scalar={rv!r} batch={gv!r} (tolerance {BATCH_TOLERANCE})"
+                    )
+    return best
+
+
 def bench_min_heap(spec, scale, repeats):
     """Time the min-heap binary search at each tier (best of ``repeats``,
     to shed scheduler noise); the minima must agree."""
@@ -142,7 +245,8 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--out",
         default=None,
-        help=f"report path (default: {RESULTS_DIR / 'BENCH_sim.json'})",
+        help="primary report path (default: BENCH_sim.json at the repo "
+        "root; a copy always lands in benchmarks/results/)",
     )
     args = parser.parse_args(argv)
 
@@ -153,7 +257,7 @@ def main(argv=None) -> int:
         scale, sweep_specs, sweep_collectors = 0.1, ("lusearch", "fop", "avrora", "biojava"), COLLECTORS
         multiples, invocations, repeats = (1.0, 1.25, 1.5, 2.0, 3.0), 2, 3
 
-    # 1. The contract gate: bit-identical headline scalars on the smoke
+    # 1. The tier gate: bit-identical headline scalars on the smoke
     # cell grid, all five collectors at two heap factors.
     spec = registry.workload("lusearch")
     compared = 0
@@ -162,45 +266,85 @@ def main(argv=None) -> int:
             compared += check_cell_equivalence(spec, collector, multiple, scale)
     print(f"equivalence: {compared} headline scalars bit-identical across tiers")
 
+    # 1b. The batch-oracle gate: the same 130-scalar grid, batch kernel
+    # vs. the scalar path, at the documented tolerance.
+    batch_compared = 0
+    for collector in COLLECTORS:
+        batch_compared += check_batch_oracle(spec, collector, (2.0, 3.0), scale)
+    print(
+        f"batch oracle: {batch_compared} headline scalars within "
+        f"{BATCH_TOLERANCE} of the scalar path"
+    )
+
     # 2. Min-heap search: the search discards everything but OOM-or-not.
     minheap_timings, min_heap_mb = bench_min_heap(spec, scale, repeats)
 
+    # 2b. The same search probing 8 heap sizes per round through the
+    # batch kernel (K-section; same tolerance contract).
+    minheap_batch_s = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        find_min_heap(spec, "G1", duration_scale=scale, probes=8)
+        minheap_batch_s = min(minheap_batch_s, time.perf_counter() - start)
+
     # 3. Suite LBO sweep: assembly reduces every cell to a few floats.
+    specs = [registry.workload(name) for name in sweep_specs]
     sweep_timings = bench_suite_sweep(
-        [registry.workload(name) for name in sweep_specs],
-        sweep_collectors,
-        multiples,
-        invocations,
-        scale,
-        repeats,
+        specs, sweep_collectors, multiples, invocations, scale, repeats
+    )
+
+    # 4. The same sweep through the vectorized batch engine; curves are
+    # gated against the scalar engine's at BATCH_TOLERANCE.
+    batch_sweep_s = bench_batch_sweep(
+        specs, sweep_collectors, multiples, invocations, scale, repeats
     )
 
     report = {
         "smoke": args.smoke,
         "scalars_compared": compared,
+        "batch_scalars_compared": batch_compared,
+        "batch_tolerance": BATCH_TOLERANCE,
         "min_heap_mb": round(min_heap_mb, 3),
         "minheap_full_s": round(minheap_timings["full"], 3),
         "minheap_aggregate_s": round(minheap_timings["aggregate"], 3),
         "minheap_speedup": round(
             minheap_timings["full"] / minheap_timings["aggregate"], 2
         ),
+        "minheap_batch_s": round(minheap_batch_s, 3),
+        "minheap_batch_speedup": round(
+            minheap_timings["aggregate"] / minheap_batch_s, 2
+        ),
         "sweep_full_s": round(sweep_timings["full"], 3),
         "sweep_aggregate_s": round(sweep_timings["aggregate"], 3),
         "sweep_speedup": round(sweep_timings["full"] / sweep_timings["aggregate"], 2),
+        "batch_sweep_s": round(batch_sweep_s, 3),
+        "batch_vs_scalar_speedup": round(
+            sweep_timings["aggregate"] / batch_sweep_s, 2
+        ),
     }
+    # The perf trajectory lives at the repo root; benchmarks/results/
+    # keeps a copy next to the other rendered artefacts.
+    payload = json.dumps(report, indent=2, sort_keys=True) + "\n"
     RESULTS_DIR.mkdir(exist_ok=True)
-    path = pathlib.Path(args.out) if args.out else RESULTS_DIR / "BENCH_sim.json"
-    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
-    print(f"wrote {path}")
+    (RESULTS_DIR / "BENCH_sim.json").write_text(payload)
+    path = pathlib.Path(args.out) if args.out else REPO_ROOT / "BENCH_sim.json"
+    path.write_text(payload)
+    print(f"wrote {path} (and {RESULTS_DIR / 'BENCH_sim.json'})")
     print(
         f"min-heap search: {minheap_timings['full']:.2f}s full -> "
         f"{minheap_timings['aggregate']:.2f}s aggregate "
-        f"({report['minheap_speedup']}x)"
+        f"({report['minheap_speedup']}x) -> {minheap_batch_s:.2f}s batched probes "
+        f"({report['minheap_batch_speedup']}x more)"
     )
     print(
         f"suite LBO sweep: {sweep_timings['full']:.2f}s full -> "
         f"{sweep_timings['aggregate']:.2f}s aggregate "
         f"({report['sweep_speedup']}x)"
+    )
+    print(
+        f"batch kernel sweep: {sweep_timings['aggregate']:.2f}s scalar -> "
+        f"{batch_sweep_s:.2f}s batch "
+        f"({report['batch_vs_scalar_speedup']}x over scalar aggregate)"
     )
     return 0
 

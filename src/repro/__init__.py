@@ -4,9 +4,11 @@
 The package implements the DaCapo Chopin methodology suite over a
 simulated JVM:
 
-- :mod:`repro.jvm` - the substrate: heap, machine model, and the five
+- :mod:`repro.jvm` - the substrate: heap, machine model, the five
   OpenJDK 21 production collector models (Serial, Parallel, G1,
-  Shenandoah, ZGC).
+  Shenandoah, ZGC), and the vectorized batch kernel
+  (:func:`simulate_batch`) that runs a whole heap-factor row in one
+  struct-of-arrays pass.
 - :mod:`repro.workloads` - the 22 workload models parameterized from the
   paper's published nominal statistics, including the nine
   latency-sensitive request-driven workloads.
@@ -97,9 +99,19 @@ from repro.harness.plans import (
     plan_lbo,
     run_plan,
 )
+from repro.harness.config import HarnessConfig, engine_from_config, harness_config
 from repro.harness.runner import RunConfig, measure
 from repro.harness.configs import EXPERIMENTS, run_experiment
 from repro.harness.export import write_gc_log_csv, write_latency_csv
+from repro.jvm.batch import (
+    BATCH_TOLERANCE,
+    BatchCell,
+    BatchResult,
+    BatchSpec,
+    CellOutcome,
+    batch_scalars_close,
+    simulate_batch,
+)
 from repro.jvm.collectors import (
     COLLECTOR_NAMES,
     COLLECTORS,
@@ -126,9 +138,14 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AggregateTelemetry",
+    "BATCH_TOLERANCE",
+    "BatchCell",
+    "BatchResult",
+    "BatchSpec",
     "COLLECTORS",
     "COLLECTOR_NAMES",
     "Cell",
+    "CellOutcome",
     "CellExecutionError",
     "ChaosDrill",
     "CheckpointJournal",
@@ -147,6 +164,7 @@ __all__ = [
     "FaultSpec",
     "FidelityError",
     "FullTelemetry",
+    "HarnessConfig",
     "Heap",
     "Hole",
     "LatencyRun",
@@ -172,6 +190,7 @@ __all__ = [
     "__version__",
     "all_workloads",
     "available_sizes",
+    "batch_scalars_close",
     "bootstrap_ci",
     "cell_key",
     "chaos_drill",
@@ -182,11 +201,13 @@ __all__ = [
     "confidence_interval_95",
     "costs_from_iteration",
     "determinant_metrics",
+    "engine_from_config",
     "find_min_heap",
     "format_insights",
     "format_report",
     "geomean_curves",
     "geometric_mean",
+    "harness_config",
     "heap_timeseries",
     "insights_for",
     "latency_experiment",
@@ -206,6 +227,7 @@ __all__ = [
     "scan_cache",
     "score_benchmark",
     "simple_latencies",
+    "simulate_batch",
     "simulate_iteration",
     "simulate_run",
     "spearman_rank_correlation",

@@ -10,7 +10,7 @@ i.e. does not raise :class:`~repro.jvm.heap.OutOfMemoryError`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional, Sequence
 
 from repro.jvm.cpu import DEFAULT_MACHINE, Machine
 from repro.jvm.heap import OutOfMemoryError
@@ -62,6 +62,37 @@ def runs_in(
         return False
 
 
+def runs_in_batch(
+    spec,
+    collector: str,
+    heap_mbs: Sequence[float],
+    iterations: int = 1,
+    machine: Machine = DEFAULT_MACHINE,
+    duration_scale: float = 1.0,
+) -> List[bool]:
+    """Probe many heap sizes in one vectorized pass.
+
+    The batched analogue of :func:`runs_in`: one
+    :func:`~repro.jvm.batch.simulate_batch` call answers OOM-or-not for
+    every candidate at once.  The answers are identical to per-heap
+    :func:`runs_in` calls — the batch kernel reproduces the scalar
+    path's OOM frontier exactly (messages byte-for-byte; see the
+    equivalence contract in :mod:`repro.jvm.batch`).
+    """
+    from repro.jvm.batch import BatchCell, BatchSpec, simulate_batch
+
+    batch = simulate_batch(
+        BatchSpec(
+            collector=collector,
+            cells=tuple(BatchCell(spec=spec, heap_mb=h) for h in heap_mbs),
+            iterations=iterations,
+            machine=machine,
+            duration_scale=duration_scale,
+        )
+    )
+    return [outcome.ok for outcome in batch]
+
+
 def find_min_heap(
     spec,
     collector: str,
@@ -71,6 +102,7 @@ def find_min_heap(
     duration_scale: float = 1.0,
     upper_bound_mb: Optional[float] = None,
     fidelity: str = FIDELITY_AGGREGATE,
+    probes: int = 1,
 ) -> MinHeapResult:
     """Binary-search the minimum heap for ``spec`` with ``collector``.
 
@@ -82,9 +114,21 @@ def find_min_heap(
     The probe runs discard everything but the OOM outcome, so they run at
     aggregate fidelity by default — the reported minimum is identical at
     either tier because OOM detection never depends on telemetry detail.
+
+    ``probes`` > 1 switches the narrowing phase from bisection to
+    *K*-section through the vectorized batch kernel: each round splits
+    the bracket into ``probes + 1`` equal sub-intervals and decides all
+    ``probes`` interior points in one :func:`runs_in_batch` call, so the
+    bracket shrinks ``(probes + 1)×`` per round instead of 2×.  Every
+    probe answers exactly as the scalar path would (the OOM frontier is
+    identical), so the result honours the same ``tolerance`` contract;
+    the reported minimum may differ from bisection's within that bracket
+    because the two searches probe different midpoints.
     """
     if tolerance <= 0:
         raise ValueError("tolerance must be positive")
+    if probes < 1:
+        raise ValueError("probes must be at least 1")
     high = upper_bound_mb if upper_bound_mb is not None else 16.0 * spec.minheap_mb
     if not runs_in(spec, collector, high, iterations, machine, duration_scale, fidelity):
         raise OutOfMemoryError(
@@ -103,8 +147,24 @@ def find_min_heap(
         if high < 0.01:  # degenerate: effectively any heap runs it
             break
     while high - low > tolerance * high:
-        mid = (low + high) / 2.0
-        if runs_in(spec, collector, mid, iterations, machine, duration_scale, fidelity):
+        if probes > 1:
+            # K-section: all interior points decided in one batch.  The
+            # minimum lies between the highest failing probe and the
+            # lowest succeeding one (outcomes are monotone in heap size).
+            width = (high - low) / (probes + 1)
+            grid = [low + width * (k + 1) for k in range(probes)]
+            fits = runs_in_batch(
+                spec, collector, grid, iterations, machine, duration_scale
+            )
+            for heap_mb, ok in zip(grid, fits):
+                if ok:
+                    high = heap_mb
+                    break
+                low = heap_mb
+        elif runs_in(
+            spec, collector, mid := (low + high) / 2.0,
+            iterations, machine, duration_scale, fidelity,
+        ):
             high = mid
         else:
             low = mid

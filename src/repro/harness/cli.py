@@ -18,7 +18,8 @@ from repro.core.compare import compare_collectors
 from repro.core.insights import format_insights
 from repro.core.nominal import format_report
 from repro.core.pca import determinant_metrics, suite_pca
-from repro.harness.engine import ExecutionEngine, LogSink
+from repro.harness.config import HarnessConfig, engine_from_config, harness_config
+from repro.harness.engine import ExecutionEngine
 from repro.harness.experiments import (
     chaos_drill,
     latency_experiment,
@@ -28,9 +29,6 @@ from repro.harness.experiments import (
 )
 from repro.harness.plans import DEFAULT_MULTIPLES, plan_lbo
 from repro.resilience import (
-    FaultInjector,
-    FaultSpec,
-    RetryPolicy,
     Supervisor,
     compact_journal,
     scan_cache,
@@ -101,11 +99,31 @@ def _rate(text: str) -> float:
 
 
 def _add_engine_options(parser: argparse.ArgumentParser) -> None:
+    # Engine flags default to None ("not specified"): resolution follows
+    # repro.harness.config precedence — flag > CHOPIN_* env > default —
+    # so `chopin lbo --jobs 8` beats CHOPIN_JOBS=4 beats the default 1.
     parser.add_argument(
         "--jobs",
         type=_positive_int,
-        default=1,
-        help="worker processes for sweep cells (1 = in-process serial)",
+        default=None,
+        help="worker processes for sweep cells (default: 1 = in-process "
+        "serial; env: CHOPIN_JOBS)",
+    )
+    batch = parser.add_mutually_exclusive_group()
+    batch.add_argument(
+        "--batch",
+        dest="batch",
+        action="store_true",
+        default=None,
+        help="vectorize aggregate-fidelity sweep rows through the batch "
+        "simulation kernel (same cells, same cache keys, scalars within "
+        "1e-9; env: CHOPIN_BATCH)",
+    )
+    batch.add_argument(
+        "--no-batch",
+        dest="batch",
+        action="store_false",
+        help="force the scalar per-cell path even when CHOPIN_BATCH is set",
     )
     parser.add_argument(
         "--cache-dir",
@@ -121,8 +139,9 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--retries",
         type=_non_negative_int,
-        default=0,
-        help="retry budget per cell for transient failures (default: 0)",
+        default=None,
+        help="retry budget per cell for transient failures (default: 0; "
+        "env: CHOPIN_RETRIES)",
     )
     parser.add_argument(
         "--cell-timeout",
@@ -146,8 +165,9 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--chaos-seed",
         type=int,
-        default=0,
-        help="seed for deterministic fault injection (default: 0)",
+        default=None,
+        help="seed for deterministic fault injection (default: 0; "
+        "env: CHOPIN_CHAOS_SEED)",
     )
     parser.add_argument(
         "--budget",
@@ -203,38 +223,43 @@ def _config(args: argparse.Namespace) -> RunConfig:
     )
 
 
-def _supervisor(args: argparse.Namespace) -> Optional[Supervisor]:
-    budget = getattr(args, "budget", None)
-    breaker = getattr(args, "breaker_threshold", None)
-    if budget is None and breaker is None:
+def _supervisor(config: HarnessConfig, args: argparse.Namespace) -> Optional[Supervisor]:
+    if config.budget_s is None and config.breaker_threshold is None:
         return None
-    if args.resume:
-        hint = f"re-run the same command with --resume {args.resume} to fill them"
-    elif args.cache_dir and not args.no_cache:
-        hint = f"re-run the same command with --cache-dir {args.cache_dir} to fill them"
+    if config.resume:
+        hint = f"re-run the same command with --resume {config.resume} to fill them"
+    elif config.effective_cache_dir:
+        hint = (
+            f"re-run the same command with --cache-dir "
+            f"{config.effective_cache_dir} to fill them"
+        )
     else:
         hint = "re-run with --cache-dir or --resume to make the holes fillable"
-    return Supervisor(budget_s=budget, breaker_threshold=breaker, resume_hint=hint)
+    return Supervisor(
+        budget_s=config.budget_s,
+        breaker_threshold=config.breaker_threshold,
+        resume_hint=hint,
+    )
 
 
 def _engine(args: argparse.Namespace) -> ExecutionEngine:
-    cache_dir = None if args.no_cache else args.cache_dir
-    progress = LogSink(sys.stderr) if args.cell_progress else None
-    retry = None
-    if args.retries or args.cell_timeout is not None:
-        retry = RetryPolicy(retries=args.retries, cell_timeout_s=args.cell_timeout)
-    injector = None
-    if args.chaos_rate:
-        injector = FaultInjector(FaultSpec.uniform(args.chaos_rate, seed=args.chaos_seed))
-    return ExecutionEngine(
+    # Flags feed repro.harness.config as overrides: any flag the user
+    # did not pass (None) falls through to CHOPIN_* env, then defaults.
+    config = harness_config(
         jobs=args.jobs,
-        cache_dir=cache_dir,
-        progress=progress,
-        retry=retry,
-        injector=injector,
-        checkpoint=args.resume,
-        supervisor=_supervisor(args),
+        cache_dir=args.cache_dir,
+        no_cache=True if args.no_cache else None,
+        progress=True if args.cell_progress else None,
+        retries=args.retries,
+        cell_timeout_s=args.cell_timeout,
+        resume=args.resume,
+        chaos_rate=args.chaos_rate,
+        chaos_seed=args.chaos_seed,
+        budget_s=getattr(args, "budget", None),
+        breaker_threshold=getattr(args, "breaker_threshold", None),
+        batch=getattr(args, "batch", None),
     )
+    return engine_from_config(config, supervisor=_supervisor(config, args))
 
 
 def cmd_list(_: argparse.Namespace) -> int:

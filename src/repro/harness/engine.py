@@ -634,10 +634,19 @@ class ExecutionEngine:
         injector: Optional[NullInjector] = None,
         checkpoint: Optional[Union[str, Path, CheckpointJournal]] = None,
         supervisor: Optional[Supervisor] = None,
+        batch: bool = False,
     ) -> None:
         if jobs < 1:
             raise ValueError("engine needs at least one job")
         self.jobs = jobs
+        #: Vectorized batch execution (opt-in): cache-missed cells at
+        #: aggregate fidelity are grouped by collector and simulated in
+        #: one :func:`repro.jvm.batch.simulate_batch` call per group.
+        #: Cell keys, cache entries, progress callbacks, and fail-fast
+        #: semantics are unchanged — batching is engine-internal — but
+        #: results match the scalar path to BATCH_TOLERANCE rather than
+        #: bit-exactly, which is why it is off by default.
+        self.batch = batch
         self.cache = ResultCache(cache_dir) if cache_dir is not None else None
         self.progress = progress if progress is not None else ProgressSink()
         self.recorder = recorder if recorder is not None else flight.NullRecorder()
@@ -750,6 +759,8 @@ class ExecutionEngine:
 
         if self.resilient:
             holes = self._run_resilient(keyed, misses, results, fail_fast, partial)
+        elif self.batch and misses:
+            self._run_batched(keyed, misses, results, fail_fast)
         elif self.jobs > 1 and len(misses) > 1:
             ctx = multiprocessing.get_context(
                 "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
@@ -794,6 +805,93 @@ class ExecutionEngine:
         if partial:
             return PartialBatch(results=list(results), holes=holes)
         return [r for r in results if r is not None]
+
+    def _run_batched(
+        self,
+        keyed: Sequence[Tuple[Cell, str]],
+        misses: Sequence[int],
+        results: List[Optional[CellResult]],
+        fail_fast: bool,
+    ) -> None:
+        """Execute cache misses through the vectorized batch kernel.
+
+        Misses at aggregate fidelity are grouped by ``(collector, config
+        identity)`` — the two axes :func:`repro.jvm.batch.simulate_batch`
+        shares across a batch — and each group runs as one struct-of-
+        arrays simulation; everything else (full/auto fidelity) falls
+        back to the scalar path cell by cell.  Results are then consumed
+        **in input order**, so observable behaviour matches the serial
+        path exactly: per-cell progress callbacks fire in the same order,
+        cache writes use the same keys, and with ``fail_fast`` (at
+        ``jobs=1``, as on the scalar path) every cell after the first
+        ``OutOfMemoryError`` becomes an uncached ``skipped`` placeholder
+        — its already-computed batch result is discarded, mirroring how
+        the serial loop never executes those cells.  ``SIMULATE_CALLS``
+        is charged one per *kept* batch result, so the warm-cache
+        zero-simulation guarantee holds identically.
+        """
+        global SIMULATE_CALLS
+        from repro.jvm.batch import BatchCell, BatchSpec, simulate_batch
+
+        groups: Dict[Tuple[str, int], List[int]] = {}
+        for idx in misses:
+            cell = keyed[idx][0]
+            if getattr(cell.config, "fidelity", None) == "aggregate":
+                groups.setdefault((cell.collector, id(cell.config)), []).append(idx)
+        outcomes: Dict[int, CellResult] = {}
+        for (collector, _), indices in groups.items():
+            config = keyed[indices[0]][0].config
+            batch_cells = tuple(
+                BatchCell(
+                    spec=keyed[i][0].spec,
+                    heap_mb=keyed[i][0].heap_mb,
+                    invocation=keyed[i][0].invocation,
+                )
+                for i in indices
+            )
+            started = time.perf_counter()
+            batch = simulate_batch(
+                BatchSpec(
+                    collector=collector,
+                    cells=batch_cells,
+                    iterations=config.iterations,
+                    machine=config.machine,
+                    tuning=config.tuning,
+                    duration_scale=config.duration_scale,
+                    environment=config.environment,
+                )
+            )
+            # The batch is one shared pass: attribute its wall time
+            # evenly so per-cell durations stay meaningful to sinks.
+            per_cell_s = (time.perf_counter() - started) / len(indices)
+            for i, outcome in zip(indices, batch.outcomes):
+                key = keyed[i][1]
+                if outcome.ok:
+                    outcomes[i] = CellResult(
+                        key=key, timed=outcome.run.timed, duration_s=per_cell_s
+                    )
+                else:
+                    outcomes[i] = CellResult(
+                        key=key, timed=None, oom=outcome.oom, duration_s=per_cell_s
+                    )
+        oom_message: Optional[str] = None
+        for idx in misses:
+            cell, key = keyed[idx]
+            if oom_message is not None:
+                result = CellResult(key=key, timed=None, oom=oom_message, skipped=True)
+                results[idx] = result
+                self.stats.skipped += 1
+                self.progress.cell_finished(cell, result, from_cache=False)
+                continue
+            result = outcomes.get(idx)
+            if result is None:
+                result = _execute_cell((cell, key))
+            else:
+                SIMULATE_CALLS += 1
+            results[idx] = result
+            self._record(cell, result)
+            if fail_fast and self.jobs == 1 and result.oom is not None:
+                oom_message = result.oom
 
     def _run_resilient(
         self,
@@ -1199,94 +1297,24 @@ class ExecutionEngine:
         self.progress.cell_finished(cell, result, from_cache=False)
 
 
-def _env_int(environ, name: str, default: int, example: str) -> int:
-    """Parse an integer environment variable with a diagnosable error."""
-    raw = environ.get(name)
-    if raw is None or raw == "":
-        return default
-    try:
-        return int(raw)
-    except ValueError:
-        raise ValueError(
-            f"{name} must be an integer, got {raw!r} (e.g. {name}={example})"
-        ) from None
-
-
-def _env_float(environ, name: str, default: Optional[float], example: str) -> Optional[float]:
-    """Parse a float environment variable with a diagnosable error."""
-    raw = environ.get(name)
-    if raw is None or raw == "":
-        return default
-    try:
-        return float(raw)
-    except ValueError:
-        raise ValueError(
-            f"{name} must be a number, got {raw!r} (e.g. {name}={example})"
-        ) from None
-
-
 def engine_from_env(environ=os.environ) -> ExecutionEngine:
     """Build an engine from ``CHOPIN_*`` environment variables — how the
     benchmark harness threads parallelism, caching, and resilience
     through pytest without new command-line plumbing.
 
-    Recognised: ``CHOPIN_JOBS``, ``CHOPIN_CACHE_DIR``,
-    ``CHOPIN_NO_CACHE``, ``CHOPIN_PROGRESS``, ``CHOPIN_RETRIES``,
-    ``CHOPIN_CELL_TIMEOUT`` (seconds), ``CHOPIN_RESUME`` (checkpoint
-    journal path), ``CHOPIN_CHAOS_RATE``, ``CHOPIN_CHAOS_SEED``,
-    ``CHOPIN_BUDGET`` (wall-clock deadline budget, seconds), and
-    ``CHOPIN_BREAKER`` (circuit-breaker threshold, consecutive
-    give-ups).  Malformed values raise a ``ValueError`` naming the
-    variable and the accepted format instead of a bare parse error.
+    A thin wrapper over :mod:`repro.harness.config`, which owns the
+    variable list, the parsing, and the flag > env > default precedence
+    shared with the ``chopin`` CLI.  Recognised: ``CHOPIN_JOBS``,
+    ``CHOPIN_CACHE_DIR``, ``CHOPIN_NO_CACHE``, ``CHOPIN_PROGRESS``,
+    ``CHOPIN_RETRIES``, ``CHOPIN_CELL_TIMEOUT`` (seconds),
+    ``CHOPIN_RESUME`` (checkpoint journal path), ``CHOPIN_CHAOS_RATE``,
+    ``CHOPIN_CHAOS_SEED``, ``CHOPIN_BUDGET`` (wall-clock deadline
+    budget, seconds), ``CHOPIN_BREAKER`` (circuit-breaker threshold,
+    consecutive give-ups), ``CHOPIN_FIDELITY``, and ``CHOPIN_BATCH``
+    (vectorized batch execution).  Malformed values raise a
+    ``ValueError`` naming the variable and the accepted format instead
+    of a bare parse error.
     """
-    jobs = _env_int(environ, "CHOPIN_JOBS", 1, "4")
-    cache_dir: Optional[str] = environ.get("CHOPIN_CACHE_DIR") or None
-    if environ.get("CHOPIN_NO_CACHE"):
-        cache_dir = None
-    progress = LogSink() if environ.get("CHOPIN_PROGRESS") else None
-    retries = _env_int(environ, "CHOPIN_RETRIES", 0, "3")
-    timeout = _env_float(environ, "CHOPIN_CELL_TIMEOUT", None, "30.0")
-    retry = (
-        RetryPolicy(retries=max(0, retries), cell_timeout_s=timeout)
-        if retries or timeout is not None
-        else None
-    )
-    rate = _env_float(environ, "CHOPIN_CHAOS_RATE", None, "0.1")
-    if rate is not None and not 0.0 <= rate <= 1.0:
-        raise ValueError(
-            f"CHOPIN_CHAOS_RATE must be between 0 and 1, got {rate!r} "
-            f"(e.g. CHOPIN_CHAOS_RATE=0.1)"
-        )
-    injector: Optional[NullInjector] = None
-    if rate:
-        seed = _env_int(environ, "CHOPIN_CHAOS_SEED", 0, "42")
-        injector = FaultInjector(FaultSpec.uniform(rate, seed=seed))
-    checkpoint = environ.get("CHOPIN_RESUME") or None
-    budget = _env_float(environ, "CHOPIN_BUDGET", None, "600")
-    if budget is not None and budget <= 0:
-        raise ValueError(
-            f"CHOPIN_BUDGET must be a positive number of seconds, got "
-            f"{budget!r} (e.g. CHOPIN_BUDGET=600)"
-        )
-    breaker: Optional[int] = None
-    if environ.get("CHOPIN_BREAKER") not in (None, ""):
-        breaker = _env_int(environ, "CHOPIN_BREAKER", 0, "3")
-        if breaker < 1:
-            raise ValueError(
-                f"CHOPIN_BREAKER must be a positive integer, got "
-                f"{breaker!r} (e.g. CHOPIN_BREAKER=3)"
-            )
-    supervisor = (
-        Supervisor(budget_s=budget, breaker_threshold=breaker)
-        if budget is not None or breaker is not None
-        else None
-    )
-    return ExecutionEngine(
-        jobs=max(1, jobs),
-        cache_dir=cache_dir,
-        progress=progress,
-        retry=retry,
-        injector=injector,
-        checkpoint=checkpoint,
-        supervisor=supervisor,
-    )
+    from repro.harness.config import engine_from_config, harness_config
+
+    return engine_from_config(harness_config(environ))

@@ -121,26 +121,43 @@ class ExperimentPlan:
             * self.config.invocations
         )
 
-    def cells(self) -> List[Cell]:
-        """Enumerate the plan into independent cell jobs.
+    def rows(self) -> List[List[Cell]]:
+        """Enumerate the plan into heap-factor rows.
 
-        Order is spec-major, then collector, multiple, invocation — the
-        same nesting the legacy serial loops used, which is what lets
-        :func:`run_plan` reassemble results positionally.
+        A *row* is one (workload, collector) pair swept across every heap
+        multiple and invocation: its cells share the workload model, the
+        collector, and the run configuration, and differ only in heap
+        size and noise seed.  That shared structure is what the
+        vectorized batch kernel (:func:`repro.jvm.batch.simulate_batch`)
+        exploits — an engine with ``batch=True`` simulates each row in
+        one struct-of-arrays pass — so plans are built row-first and
+        :meth:`cells` is defined as the concatenation of rows.
+
+        Row order is spec-major then collector; within a row, multiple
+        then invocation — exactly the nesting the legacy serial loops
+        used, which is what lets :func:`run_plan` reassemble results
+        positionally.
         """
         return [
-            Cell(
-                spec=spec,
-                collector=collector,
-                heap_mb=spec.heap_mb_for(multiple),
-                invocation=invocation,
-                config=self.config,
-            )
+            [
+                Cell(
+                    spec=spec,
+                    collector=collector,
+                    heap_mb=spec.heap_mb_for(multiple),
+                    invocation=invocation,
+                    config=self.config,
+                )
+                for multiple in self.multiples
+                for invocation in range(self.config.invocations)
+            ]
             for spec in self.specs
             for collector in self.collectors
-            for multiple in self.multiples
-            for invocation in range(self.config.invocations)
         ]
+
+    def cells(self) -> List[Cell]:
+        """Enumerate the plan into independent cell jobs — the flattened
+        :meth:`rows`, preserving the legacy spec-major ordering."""
+        return [cell for row in self.rows() for cell in row]
 
 
 def _specs_tuple(specs: Union[WorkloadSpec, Sequence[WorkloadSpec]]) -> Tuple[WorkloadSpec, ...]:
@@ -163,6 +180,12 @@ def plan_lbo(
     the curves are bit-identical and the sweep is substantially faster.
     Pass ``fidelity="full"`` explicitly to keep per-event telemetry on
     the cached results (e.g. for ``chopin trace``).
+
+    The plan is organized in heap-factor rows (:meth:`ExperimentPlan.rows`);
+    submitting it through an engine built with ``batch=True`` (CLI
+    ``--batch``, env ``CHOPIN_BATCH=1``) simulates each row's cache
+    misses in one vectorized pass.  Cell keys are unchanged either way,
+    so warm caches survive toggling the batch kernel on or off.
     """
     if config.fidelity is None:
         config = replace(config, fidelity=FIDELITY_AGGREGATE)
