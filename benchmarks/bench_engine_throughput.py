@@ -7,7 +7,9 @@ regressions in cell dispatch, cache lookup, or pool fan-out show up as
 numbers rather than as slower sweeps.  Reported: cells/sec simulated
 cold at ``jobs=1`` and ``jobs=4``, cells/sec through the vectorized
 batch kernel (``batch_speedup`` is the batch-vs-scalar factor at
-aggregate fidelity), and cache hits/sec on a fully warm rerun.
+aggregate fidelity), cache hits/sec on a fully warm rerun, and the
+service round trip — jobs/sec submitted-to-terminal through the HTTP
+API cold, and warm-cache hits/sec per cell through the same path.
 """
 
 import json
@@ -16,6 +18,7 @@ import time
 from _common import REPO_ROOT, RESULTS_DIR
 
 from repro import Cell, ExecutionEngine, RunConfig, registry
+from repro.service import JobSpec, ServiceClient, SweepService
 
 #: Small cells so the benchmark measures engine overhead, not simulation.
 GRID_CONFIG = RunConfig(invocations=2, iterations=2, duration_scale=0.05)
@@ -77,12 +80,49 @@ def test_engine_throughput(benchmark, tmp_path):
     warm = rate(cells, warm_engine.run_cells)
     assert warm_engine.stats.executed == 0  # fully warm: hits/sec, not a mix
 
+    # Service round trip: the same sweeps submitted over HTTP.  Cold
+    # measures queue + HTTP + engine end to end; the warm pass measures
+    # per-cell hit rate through the full service path (submit → poll →
+    # result), the number a lab cares about for a shared artifact store.
+    specs = [
+        JobSpec(
+            benchmark=name,
+            collectors=("Serial", "G1"),
+            multiples=(2.0, 3.0),
+            invocations=2,
+            scale=0.05,
+        )
+        for name in ("lusearch", "fop", "avrora", "biojava")
+    ]
+
+    def round_trip(client):
+        ids = [client.submit(spec)["id"] for spec in specs]
+        finals = [client.wait(job_id, timeout_s=300.0) for job_id in ids]
+        assert all(f["state"] == "DONE" for f in finals)
+        return sum(f["cells"] for f in finals)
+
+    service = SweepService(tmp_path / "service", port=0).start()
+    try:
+        client = ServiceClient(f"http://127.0.0.1:{service.port}")
+        start = time.perf_counter()
+        service_cells = round_trip(client)
+        cold_s = time.perf_counter() - start
+        start = time.perf_counter()
+        round_trip(client)  # every cell warm-hits the sharded cache
+        warm_s = time.perf_counter() - start
+    finally:
+        service.stop("benchmark")
+    service_jobs_per_s = len(specs) / cold_s
+    service_warm_hits_per_s = service_cells / warm_s
+
     report = {
         "cells": len(cells),
         "cold_jobs1_cells_per_s": round(cold_1, 2),
         "cold_jobs4_cells_per_s": round(cold_4, 2),
         "batch_cells_per_s": round(batch_agg, 2),
         "warm_hits_per_s": round(warm, 2),
+        "service_jobs_per_s": round(service_jobs_per_s, 2),
+        "service_warm_hits_per_s": round(service_warm_hits_per_s, 2),
         "jobs4_speedup": round(cold_4 / cold_1, 3),
         "batch_speedup": round(batch_agg / scalar_agg, 3),
         "warm_speedup": round(warm / cold_1, 3),

@@ -21,6 +21,9 @@ simulated JVM:
   events, metrics, and Chrome-trace export.
 - :mod:`repro.resilience` - retries, timeouts, checkpoint/resume, and
   deterministic fault injection for production-scale sweeps.
+- :mod:`repro.service` - the long-running sweep service behind ``chopin
+  serve``: an HTTP/JSON job queue over the engine with a sharded
+  multi-tenant result cache.
 
 Quickstart::
 
@@ -131,6 +134,15 @@ from repro.jvm.telemetry import (
     resolve_fidelity,
 )
 from repro.observability import RecorderLike
+from repro.service import (
+    JobQueue,
+    JobSpec,
+    ServiceClient,
+    ServiceError,
+    ShardedResultCache,
+    SweepService,
+    service_from_config,
+)
 from repro.workloads import registry
 from repro.workloads.registry import all_workloads, available_sizes, latency_workloads, workload
 
@@ -167,6 +179,8 @@ __all__ = [
     "HarnessConfig",
     "Heap",
     "Hole",
+    "JobQueue",
+    "JobSpec",
     "LatencyRun",
     "LogSink",
     "METRICS",
@@ -182,9 +196,13 @@ __all__ = [
     "RetryPolicy",
     "RunConfig",
     "RunCosts",
+    "ServiceClient",
+    "ServiceError",
+    "ShardedResultCache",
     "SuiteLbo",
     "SupervisedSweep",
     "Supervisor",
+    "SweepService",
     "TracedSweep",
     "UnknownCollectorError",
     "__version__",
@@ -226,6 +244,7 @@ __all__ = [
     "run_plan",
     "scan_cache",
     "score_benchmark",
+    "service_from_config",
     "simple_latencies",
     "simulate_batch",
     "simulate_iteration",

@@ -3,12 +3,16 @@
 Mirrors the DaCapo harness's ergonomics where they matter to the paper:
 ``chopin stats <benchmark>`` is the ``-p`` nominal-statistics report;
 ``chopin lbo`` and ``chopin latency`` run the Section 6 analyses; ``chopin
-pca`` prints the Figure 4 diversity analysis.
+pca`` prints the Figure 4 diversity analysis.  ``chopin serve`` runs the
+long-running sweep service, and the four client verbs (``submit`` /
+``status`` / ``result`` / ``cancel``) script it over HTTP — ``chopin
+result`` prints byte-identical output to the one-shot ``chopin lbo``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from typing import List, Optional
@@ -50,6 +54,7 @@ from repro.harness.report import (
 )
 from repro.harness.runner import RunConfig
 from repro.jvm.collectors import COLLECTOR_NAMES, UnknownCollectorError, resolve_collector
+from repro.service import JobSpec, ServiceClient, ServiceError, service_from_config
 from repro.workloads import nominal_data, registry
 
 
@@ -537,6 +542,114 @@ def cmd_doctor(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    config = harness_config(
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        no_cache=True if args.no_cache else None,
+        progress=True if args.cell_progress else None,
+        retries=args.retries,
+        cell_timeout_s=args.cell_timeout,
+        resume=args.resume,
+        chaos_rate=args.chaos_rate,
+        chaos_seed=args.chaos_seed,
+        budget_s=args.budget,
+        breaker_threshold=args.breaker_threshold,
+        batch=args.batch,
+        serve_host=args.host,
+        serve_port=args.port,
+        cache_shards=args.cache_shards,
+    )
+    return service_from_config(config, args.state_dir, workers=args.workers).run()
+
+
+def _service_client(args: argparse.Namespace) -> ServiceClient:
+    url = args.url
+    if url is None:
+        # No --url: the same CHOPIN_SERVE_HOST/PORT resolution `chopin
+        # serve` used, so client and server agree by default.
+        config = harness_config()
+        url = f"http://{config.serve_host}:{config.serve_port}"
+    return ServiceClient(url, timeout_s=args.timeout)
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    spec = JobSpec(
+        benchmark=args.benchmark,
+        collectors=tuple(args.collector or ()),
+        multiples=tuple(args.multiple or ()),
+        invocations=args.invocations,
+        scale=args.scale,
+        fidelity=None if args.fidelity == "auto" else args.fidelity,
+        priority=args.priority,
+        budget_s=args.budget,
+    )
+    client = _service_client(args)
+    try:
+        reply = client.submit(spec)
+    except ServiceError as exc:
+        print(f"chopin submit: {exc}", file=sys.stderr)
+        return 1
+    # Bare job id on stdout (scripts capture it); the chatter on stderr.
+    print(f"submitted {reply['id']} ({reply['state']}) to {client.base_url}",
+          file=sys.stderr)
+    print(reply["id"])
+    return 0
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    try:
+        payload = _service_client(args).status(args.job_id)
+    except ServiceError as exc:
+        print(f"chopin status: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_result(args: argparse.Namespace) -> int:
+    client = _service_client(args)
+    try:
+        if args.wait is not None:
+            client.wait(args.job_id, timeout_s=args.wait)
+        payload = client.result(args.job_id)
+    except ServiceError as exc:
+        print(f"chopin result: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0 if payload["state"] in ("DONE", "PARTIAL") else 1
+    result = payload.get("result")
+    if result is not None:
+        # Byte-identical to `chopin lbo` stdout (the rendered text
+        # already carries its trailing newline) — diff them in CI.
+        sys.stdout.write(result["rendered"])
+    holes = payload.get("holes") or []
+    if holes:
+        print(
+            f"supervision: {len(holes)}/{payload.get('cells', 0)} cells "
+            f"incomplete (job {payload['state']})",
+            file=sys.stderr,
+        )
+    if payload["state"] in ("DONE", "PARTIAL"):
+        return 0
+    print(
+        f"{payload['id']} {payload['state']}: {payload.get('error') or 'no result'}",
+        file=sys.stderr,
+    )
+    return 1
+
+
+def cmd_cancel(args: argparse.Namespace) -> int:
+    try:
+        reply = _service_client(args).cancel(args.job_id)
+    except ServiceError as exc:
+        print(f"chopin cancel: {exc}", file=sys.stderr)
+        return 1
+    print(f"{reply['id']} {reply['state']} ({reply['outcome']})")
+    return 0
+
+
 def cmd_pca(args: argparse.Namespace) -> int:
     result = suite_pca(n_components=4)
     print("Principal components analysis of the DaCapo Chopin workloads")
@@ -748,6 +861,139 @@ def build_parser() -> argparse.ArgumentParser:
     p_ins.add_argument("benchmark", choices=nominal_data.BENCHMARK_NAMES)
     p_ins.add_argument("--limit", type=int, default=10, help="statements to include")
     p_ins.set_defaults(func=cmd_insights)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the long-running sweep service (HTTP/JSON job queue)"
+    )
+    p_serve.add_argument(
+        "--state-dir",
+        required=True,
+        help="directory for the job journal and (unless --cache-dir) the "
+        "shared sharded result cache; a restarted service resumes its "
+        "queue from here",
+    )
+    p_serve.add_argument(
+        "--host",
+        default=None,
+        help="bind address (default: 127.0.0.1; env: CHOPIN_SERVE_HOST)",
+    )
+    p_serve.add_argument(
+        "--port",
+        type=_non_negative_int,
+        default=None,
+        help="bind port, 0 for ephemeral (default: 8642; env: CHOPIN_SERVE_PORT)",
+    )
+    p_serve.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        help="worker threads (default: 1 — jobs serialize, so overlapping "
+        "sweeps never simulate a shared cell twice)",
+    )
+    p_serve.add_argument(
+        "--cache-shards",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="fan-out of the shared result cache: 1, 16, 256, or 4096 "
+        "(default: 256; env: CHOPIN_CACHE_SHARDS)",
+    )
+    _add_engine_options(p_serve)
+    p_serve.set_defaults(func=cmd_serve)
+
+    def _add_client_options(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument(
+            "--url",
+            default=None,
+            help="service base URL (default: built from CHOPIN_SERVE_HOST "
+            "and CHOPIN_SERVE_PORT)",
+        )
+        parser.add_argument(
+            "--timeout",
+            type=_positive_float,
+            default=10.0,
+            help="per-request HTTP timeout in seconds (default: 10)",
+        )
+
+    p_sub = sub.add_parser(
+        "submit", help="submit an lbo sweep job to a running service"
+    )
+    p_sub.add_argument("benchmark", choices=nominal_data.BENCHMARK_NAMES)
+    p_sub.add_argument(
+        "--collector",
+        action="append",
+        default=None,
+        help="collector to sweep (repeatable; default: all five)",
+    )
+    p_sub.add_argument(
+        "--multiple",
+        action="append",
+        type=_positive_float,
+        default=None,
+        help="heap multiple to sweep (repeatable; default: the lbo grid)",
+    )
+    p_sub.add_argument(
+        "--invocations", type=_positive_int, default=3, help="invocations per data point"
+    )
+    p_sub.add_argument(
+        "--scale",
+        type=_positive_float,
+        default=1.0,
+        help="iteration duration scale (use <1 for quick looks)",
+    )
+    p_sub.add_argument(
+        "--fidelity",
+        choices=("auto", "aggregate", "full"),
+        default="auto",
+        help="telemetry tier for the job (default: auto)",
+    )
+    p_sub.add_argument(
+        "--priority",
+        type=int,
+        default=0,
+        help="queue priority: higher runs first, ties are FIFO (default: 0)",
+    )
+    p_sub.add_argument(
+        "--budget",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help="per-job deadline budget: refused cells become typed holes "
+        "in the status payload",
+    )
+    _add_client_options(p_sub)
+    p_sub.set_defaults(func=cmd_submit)
+
+    p_st = sub.add_parser("status", help="print a service job's status as JSON")
+    p_st.add_argument("job_id")
+    _add_client_options(p_st)
+    p_st.set_defaults(func=cmd_status)
+
+    p_res = sub.add_parser(
+        "result", help="fetch a terminal job's result (byte-identical to chopin lbo)"
+    )
+    p_res.add_argument("job_id")
+    p_res.add_argument(
+        "--wait",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help="poll until the job is terminal, up to this many seconds",
+    )
+    p_res.add_argument(
+        "--json",
+        action="store_true",
+        help="print the full JSON payload (structured curves, holes, stats)",
+    )
+    _add_client_options(p_res)
+    p_res.set_defaults(func=cmd_result)
+
+    p_can = sub.add_parser(
+        "cancel", help="cancel a queued job, or drain a running one into typed holes"
+    )
+    p_can.add_argument("job_id")
+    _add_client_options(p_can)
+    p_can.set_defaults(func=cmd_cancel)
 
     p_run = sub.add_parser(
         "runbms", help="run a predefined experiment (the running-ng analogue)"

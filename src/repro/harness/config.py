@@ -32,6 +32,9 @@ Recognised environment variables (one per :class:`HarnessConfig` field):
 ``CHOPIN_BREAKER``     circuit-breaker threshold, consecutive give-ups
 ``CHOPIN_FIDELITY``    telemetry tier: ``auto`` / ``aggregate`` / ``full``
 ``CHOPIN_BATCH``       vectorized batch execution: ``1``/``true`` or ``0``/``false``
+``CHOPIN_SERVE_HOST``  sweep-service bind address (default ``127.0.0.1``)
+``CHOPIN_SERVE_PORT``  sweep-service TCP port (default 8642; 0 = ephemeral)
+``CHOPIN_CACHE_SHARDS`` result-cache fan-out: 1, 16, 256 (default), or 4096
 ====================== ==========================================================
 
 Malformed values raise ``ValueError`` naming the variable and the
@@ -79,6 +82,14 @@ class HarnessConfig:
     #: Vectorized batch execution of aggregate-fidelity cells
     #: (:mod:`repro.jvm.batch`); off by default — opt in per sweep.
     batch: bool = False
+    #: Sweep-service bind address and port (``chopin serve`` / the
+    #: ``chopin submit`` default URL).  Port 0 binds ephemerally.
+    serve_host: str = "127.0.0.1"
+    serve_port: int = 8642
+    #: Result-cache fan-out directories (hex-prefix sharding): one of
+    #: :data:`repro.service.shards.SHARD_CHOICES`.  256 is the legacy
+    #: two-hex-char layout, so existing caches keep working unchanged.
+    cache_shards: int = 256
 
     @property
     def effective_cache_dir(self) -> Optional[str]:
@@ -157,6 +168,9 @@ def _from_environ(environ: Mapping[str, str]) -> HarnessConfig:
         ),
         fidelity=fidelity,
         batch=_env_bool(environ, "CHOPIN_BATCH", False, "1"),
+        serve_host=environ.get("CHOPIN_SERVE_HOST") or "127.0.0.1",
+        serve_port=_env_int(environ, "CHOPIN_SERVE_PORT", 8642, "8642"),
+        cache_shards=_env_int(environ, "CHOPIN_CACHE_SHARDS", 256, "256"),
     )
 
 
@@ -187,6 +201,17 @@ def _validate(config: HarnessConfig) -> HarnessConfig:
         raise ValueError(
             f"CHOPIN_FIDELITY must be auto, aggregate, or full, got "
             f"{config.fidelity!r}"
+        )
+    if not 0 <= config.serve_port <= 65535:
+        raise ValueError(
+            f"CHOPIN_SERVE_PORT must be a TCP port in [0, 65535], got "
+            f"{config.serve_port!r} (e.g. CHOPIN_SERVE_PORT=8642)"
+        )
+    if config.cache_shards not in (1, 16, 256, 4096):
+        raise ValueError(
+            f"CHOPIN_CACHE_SHARDS must be 1, 16, 256, or 4096 (powers of 16 "
+            f"— hex-prefix fan-out), got {config.cache_shards!r} "
+            f"(e.g. CHOPIN_CACHE_SHARDS=256)"
         )
     return config
 
@@ -219,7 +244,7 @@ def harness_config(
     return _validate(config)
 
 
-def engine_from_config(config: HarnessConfig, supervisor=None):
+def engine_from_config(config: HarnessConfig, supervisor=None, cache=None):
     """Build an :class:`~repro.harness.engine.ExecutionEngine` from a
     resolved configuration.
 
@@ -227,6 +252,15 @@ def engine_from_config(config: HarnessConfig, supervisor=None):
     passes a supervisor carrying a resume hint; when omitted, a
     supervisor is attached iff ``budget_s`` or ``breaker_threshold`` is
     set.
+
+    ``cache`` overrides the result cache the config would build — the
+    sweep service passes one shared
+    :class:`~repro.service.shards.ShardedResultCache` so every worker
+    engine is a tenant of the same store.  When omitted and a cache
+    directory is configured, the cache is built sharded per
+    ``cache_shards`` (with the hot set disabled so cache-read semantics —
+    including corrupt-entry detection on every disk read — match the
+    legacy per-engine :class:`~repro.harness.engine.ResultCache` exactly).
     """
     # Imported here: engine.py's engine_from_env delegates to this module,
     # so the top-level import must flow config <- engine, not both ways.
@@ -249,9 +283,15 @@ def engine_from_config(config: HarnessConfig, supervisor=None):
         supervisor = Supervisor(
             budget_s=config.budget_s, breaker_threshold=config.breaker_threshold
         )
+    if cache is None and config.effective_cache_dir is not None:
+        from repro.service.shards import ShardedResultCache
+
+        cache = ShardedResultCache(
+            config.effective_cache_dir, shards=config.cache_shards, hot_set=0
+        )
     return ExecutionEngine(
         jobs=max(1, config.jobs),
-        cache_dir=config.effective_cache_dir,
+        cache=cache,
         progress=LogSink() if config.progress else None,
         retry=retry,
         injector=injector,

@@ -635,9 +635,12 @@ class ExecutionEngine:
         checkpoint: Optional[Union[str, Path, CheckpointJournal]] = None,
         supervisor: Optional[Supervisor] = None,
         batch: bool = False,
+        cache: Optional[ResultCache] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError("engine needs at least one job")
+        if cache is not None and cache_dir is not None:
+            raise ValueError("pass cache_dir or a cache instance, not both")
         self.jobs = jobs
         #: Vectorized batch execution (opt-in): cache-missed cells at
         #: aggregate fidelity are grouped by collector and simulated in
@@ -647,7 +650,12 @@ class ExecutionEngine:
         #: results match the scalar path to BATCH_TOLERANCE rather than
         #: bit-exactly, which is why it is off by default.
         self.batch = batch
-        self.cache = ResultCache(cache_dir) if cache_dir is not None else None
+        # ``cache`` accepts a ready-made ResultCache (e.g. one shared
+        # ShardedResultCache tenanted across a service's worker engines);
+        # ``cache_dir`` keeps the one-engine-one-cache convenience path.
+        if cache is None and cache_dir is not None:
+            cache = ResultCache(cache_dir)
+        self.cache = cache
         self.progress = progress if progress is not None else ProgressSink()
         self.recorder = recorder if recorder is not None else flight.NullRecorder()
         self.retry = retry if retry is not None else RetryPolicy()

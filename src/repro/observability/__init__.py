@@ -35,7 +35,9 @@ from repro.observability.events import (
     FaultInjected,
     GcPause,
     IterationSpan,
+    JobSpan,
     NullRecorder,
+    QueueDepth,
     Recorder,
     RecorderLike,
     RetryAttempt,
@@ -74,9 +76,11 @@ __all__ = [
     "Gauge",
     "GcPause",
     "IterationSpan",
+    "JobSpan",
     "LogLinearHistogram",
     "MetricsRegistry",
     "NullRecorder",
+    "QueueDepth",
     "Recorder",
     "RecorderLike",
     "RetryAttempt",

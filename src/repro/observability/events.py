@@ -19,11 +19,17 @@ every layer of the system:
 - supervision events (:class:`BudgetExceeded`, :class:`BreakerOpened`,
   :class:`DrainStarted`) describe why the supervisor refused work — a
   cell the deadline budget could not afford, a workload×collector family
-  whose circuit breaker tripped, or a signal-initiated graceful drain.
+  whose circuit breaker tripped, or a signal-initiated graceful drain;
+- service events (:class:`JobSpan`, :class:`QueueDepth`) describe the
+  sweep service's job pipeline: one span per job from claim to terminal
+  state, and queue-depth samples at every queue transition.
 
 Every timestamp is **simulated time in seconds** — never wall clock — so
 a recording is a deterministic function of the experiment coordinates,
-exactly like the results themselves.  ``track`` groups events onto
+exactly like the results themselves.  The one documented exception is
+the service events, whose timestamps are wall seconds since service
+start: a job queue is a real-time phenomenon, and job latency in wall
+time is what its operator needs (see :mod:`repro.service.server`).  ``track`` groups events onto
 display tracks (one per cell in engine recordings) and ``worker`` names
 the engine worker a cell was attributed to (``CACHE_WORKER`` for
 zero-work cache hits).
@@ -254,6 +260,34 @@ class DrainStarted(TraceEvent):
     SIGTERM, or a programmatic drain request)."""
 
     signal: str = ""
+
+
+@dataclass(frozen=True)
+class JobSpan(SpanEvent):
+    """One sweep-service job, claim to terminal state (service layer).
+
+    ``state`` is the terminal state the job reached (``DONE`` /
+    ``FAILED`` / ``CANCELLED`` / ``PARTIAL``); ``cells`` the sweep size
+    and ``holes`` how many cells were refused or failed.  Timestamps are
+    wall seconds since service start — the service-track exception to
+    the simulated-time rule (see the module docstring).
+    """
+
+    job_id: str = ""
+    benchmark: str = ""
+    state: str = ""
+    cells: int = 0
+    holes: int = 0
+
+
+@dataclass(frozen=True)
+class QueueDepth(TraceEvent):
+    """A sample of the service job queue: how many jobs are waiting
+    (``depth``) and executing (``running``).  Emitted at every queue
+    transition; renders as a counter track in the Chrome trace."""
+
+    depth: int = 0
+    running: int = 0
 
 
 @runtime_checkable

@@ -32,6 +32,8 @@ from repro.observability.events import (
     DrainStarted,
     FaultInjected,
     GcPause,
+    JobSpan,
+    QueueDepth,
     RetryAttempt,
     TraceEvent,
 )
@@ -211,6 +213,15 @@ class MetricsRegistry:
                 self.counter("supervision.breaker_opened").inc()
             elif isinstance(event, DrainStarted):
                 self.counter("supervision.drains").inc()
+            elif isinstance(event, JobSpan):
+                self.counter("service.jobs.served").inc()
+                self.counter(f"service.jobs.{event.state.lower()}").inc()
+                self.histogram("service.job_seconds").record(event.dur)
+                if event.holes:
+                    self.counter("service.holes").inc(event.holes)
+            elif isinstance(event, QueueDepth):
+                self.gauge("service.queue.depth").set(event.depth)
+                self.gauge("service.queue.running").set(event.running)
         hits = self.counter("engine.cache.hits").value
         misses = self.counter("engine.cache.misses").value
         if hits + misses:

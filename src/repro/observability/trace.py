@@ -45,6 +45,8 @@ from repro.observability.events import (
     FaultInjected,
     GcPause,
     IterationSpan,
+    JobSpan,
+    QueueDepth,
     RetryAttempt,
     SpanEvent,
     TraceEvent,
@@ -82,6 +84,8 @@ def _span_name(event: SpanEvent) -> str:
         return f"warmup x{event.factor:.2f}"
     if isinstance(event, BatchSpan):
         return f"batch ({event.cells} cells)"
+    if isinstance(event, JobSpan):
+        return f"{event.job_id} {event.benchmark} [{event.state}]"
     return type(event).__name__
 
 
@@ -92,6 +96,8 @@ def _span_category(event: SpanEvent) -> str:
         return "jit"
     if isinstance(event, IterationSpan):
         return "iteration"
+    if isinstance(event, JobSpan):
+        return "service"
     return "engine"
 
 
@@ -118,6 +124,14 @@ def _span_args(event: SpanEvent) -> Dict[str, object]:
         args = {"iteration": event.iteration, "factor": event.factor}
     elif isinstance(event, IterationSpan):
         args = {"benchmark": event.benchmark, "collector": event.collector}
+    elif isinstance(event, JobSpan):
+        args = {
+            "job_id": event.job_id,
+            "benchmark": event.benchmark,
+            "state": event.state,
+            "cells": event.cells,
+            "holes": event.holes,
+        }
     return args
 
 
@@ -149,6 +163,20 @@ def chrome_trace_events(events: Iterable[TraceEvent]) -> List[dict]:
                     "pid": TRACE_PID,
                     "tid": 0,
                     "args": {"hits": hits, "misses": misses},
+                }
+            )
+            continue
+        if isinstance(event, QueueDepth):
+            # The service queue renders like the cache: a counter track
+            # sampled at every transition.
+            out.append(
+                {
+                    "name": "queue",
+                    "ph": "C",
+                    "ts": _micros(event.ts),
+                    "pid": TRACE_PID,
+                    "tid": event.track,
+                    "args": {"depth": event.depth, "running": event.running},
                 }
             )
             continue

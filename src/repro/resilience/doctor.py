@@ -133,22 +133,39 @@ def _quarantine(path: Path, quarantine_dir: Path) -> bool:
     return True
 
 
+#: Every on-disk layout a cache root may carry: flat (``shards=1``) plus
+#: the one/two/three-hex-digit fan-outs.  The glob set is disjoint by
+#: construction — an entry sits at exactly one depth, and the quarantine
+#: directory's leading underscore can never match a hex-prefix pattern —
+#: so a union over these never counts a file twice.
+_LAYOUT_GLOBS = ("*.pkl", "?/*.pkl", "??/*.pkl", "???/*.pkl")
+
+
 def scan_cache(root: Union[str, Path], quarantine: bool = True) -> CacheScan:
     """Scan a result-cache directory and quarantine unhealthy entries.
 
-    Entries live at ``<root>/<key[:2]>/<key>.pkl`` (the
-    :class:`~repro.harness.engine.ResultCache` layout); anything that
+    Both cache generations are scanned in one pass: the legacy flat and
+    two-hex-digit :class:`~repro.harness.engine.ResultCache` layout and
+    every :class:`~repro.service.shards.ShardedResultCache` fan-out
+    (``<root>/<key[:width]>/<key>.pkl`` for widths 0–3).  Anything that
     fails to load, predates the current schema, or is filed under the
-    wrong key is moved to ``<root>/_quarantine/`` when ``quarantine``
-    is set (pass ``False`` for a dry run).
+    wrong key — including a valid result sitting in a shard directory
+    whose hex prefix disagrees with its key — is moved to
+    ``<root>/_quarantine/`` when ``quarantine`` is set (pass ``False``
+    for a dry run).
     """
     root = Path(root)
     scan = CacheScan(quarantine_dir=root / QUARANTINE_DIR)
     if not root.is_dir():
         return scan
-    for path in sorted(root.glob("??/*.pkl")):
+    paths = sorted({path for glob in _LAYOUT_GLOBS for path in root.glob(glob)})
+    for path in paths:
         scan.scanned += 1
         kind = _diagnose(path, path.stem)
+        if kind is None and path.parent != root and not path.stem.startswith(
+            path.parent.name
+        ):
+            kind = "misplaced"  # healthy payload, wrong shard directory
         if kind is None:
             scan.healthy += 1
             continue

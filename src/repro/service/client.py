@@ -1,0 +1,122 @@
+"""ServiceClient: the thin stdlib-urllib client behind ``chopin submit``.
+
+One class, no dependencies beyond ``urllib.request``: enough to script
+the service end to end (submit → poll → fetch → cancel) from the CLI
+verbs, the tests, and the benchmark harness.  Transport and HTTP-status
+failures both surface as :class:`ServiceError` carrying the status code
+and the server's ``error`` message, so callers never parse tracebacks.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Optional
+
+
+class ServiceError(Exception):
+    """An HTTP error from the sweep service (or a transport failure).
+
+    ``status`` is the HTTP status code (0 for transport failures —
+    connection refused, timeouts); the message is the server's ``error``
+    field when it sent one.
+    """
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class ServiceClient:
+    """A client for one :class:`~repro.service.server.SweepService`.
+
+    ``base_url`` is the service root (e.g. ``http://127.0.0.1:8642``);
+    ``timeout_s`` bounds each HTTP call.  Methods return the decoded
+    JSON payloads the endpoints document.
+    """
+
+    def __init__(self, base_url: str, timeout_s: float = 10.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    def _request(
+        self, method: str, path: str, body: Optional[dict] = None, raw: bool = False
+    ):
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout_s) as response:
+                payload = response.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            detail = exc.read().decode("utf-8", "replace")
+            try:
+                detail = json.loads(detail).get("error", detail)
+            except ValueError:
+                pass
+            raise ServiceError(exc.code, f"{method} {path}: {detail}") from None
+        except urllib.error.URLError as exc:
+            raise ServiceError(0, f"{method} {path}: {exc.reason}") from None
+        return payload if raw else json.loads(payload)
+
+    # ------------------------------------------------------------------
+    # The five verbs
+
+    def submit(self, spec: dict) -> dict:
+        """``POST /jobs`` — returns ``{"id": ..., "state": "QUEUED"}``.
+
+        ``spec`` is a JSON job spec (or anything with ``to_payload()``,
+        e.g. a :class:`~repro.service.jobqueue.JobSpec`)."""
+        payload = spec.to_payload() if hasattr(spec, "to_payload") else spec
+        return self._request("POST", "/jobs", body=payload)
+
+    def status(self, job_id: str) -> dict:
+        """``GET /jobs/<id>`` — state, holes, stats."""
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def result(self, job_id: str) -> dict:
+        """``GET /jobs/<id>/result`` — the terminal payload (raises
+        :class:`ServiceError` 409 while the job is still in flight)."""
+        return self._request("GET", f"/jobs/{job_id}/result")
+
+    def cancel(self, job_id: str) -> dict:
+        """``POST /jobs/<id>/cancel``."""
+        return self._request("POST", f"/jobs/{job_id}/cancel")
+
+    def health(self) -> dict:
+        """``GET /health``."""
+        return self._request("GET", "/health")
+
+    # ------------------------------------------------------------------
+    # Conveniences
+
+    def jobs(self) -> list:
+        """``GET /jobs`` — every known job's status payload."""
+        return self._request("GET", "/jobs")["jobs"]
+
+    def metrics(self) -> str:
+        """``GET /metrics`` — the rendered metrics dump."""
+        return self._request("GET", "/metrics", raw=True)
+
+    def wait(self, job_id: str, timeout_s: float = 60.0, poll_s: float = 0.05) -> dict:
+        """Poll until the job reaches a terminal state; returns the final
+        status payload, or raises :class:`ServiceError` on timeout."""
+        from repro.service.jobqueue import TERMINAL_STATES
+
+        deadline = time.monotonic() + timeout_s
+        while True:
+            status = self.status(job_id)
+            if status["state"] in TERMINAL_STATES:
+                return status
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    0, f"job {job_id} still {status['state']} after {timeout_s:g}s"
+                )
+            time.sleep(poll_s)

@@ -1,0 +1,455 @@
+"""Async job queue: priority FIFO, per-job state machine, JSONL journal.
+
+A sweep submitted to the service is a *job*: a declarative
+:class:`JobSpec` (benchmark, collectors, heap multiples, run config,
+priority) that the server later compiles to an
+:class:`~repro.harness.plans.ExperimentPlan`.  The queue owns the job
+lifecycle:
+
+``QUEUED → RUNNING → DONE / FAILED / CANCELLED / PARTIAL``
+
+with one extra edge — ``QUEUED → CANCELLED`` for jobs cancelled before a
+worker claims them, and ``RUNNING → QUEUED`` for the restart path (a job
+the previous process died holding is re-queued, not lost; its completed
+cells are already in the shared cache so the re-run is warm).
+
+Ordering is priority-FIFO: higher ``priority`` first, submission order
+within a priority (a heap over ``(-priority, seq)``).  Workers block in
+:meth:`JobQueue.claim` on a condition variable — no polling.
+
+Every transition is persisted as one JSON line in an append-only journal
+reusing the :class:`~repro.resilience.CheckpointJournal` idiom: appends
+are line-atomic and ``fsync``'d before the transition returns, and the
+reader tolerates a torn final line (the worst a crash can cost is one
+transition record, and an un-journalled ``RUNNING`` just replays as a
+re-queued ``QUEUED`` job).  On construction the queue replays the
+journal: the latest state per job wins, non-terminal jobs go back on the
+heap, terminal jobs are retained with their persisted result payloads so
+a restarted service still answers ``GET /jobs/<id>/result``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import os
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+#: Every state a job can be in, in lifecycle order.
+JOB_STATES: Tuple[str, ...] = (
+    "QUEUED",
+    "RUNNING",
+    "DONE",
+    "FAILED",
+    "CANCELLED",
+    "PARTIAL",
+)
+
+#: States a job never leaves.
+TERMINAL_STATES = frozenset({"DONE", "FAILED", "CANCELLED", "PARTIAL"})
+
+#: Legal state-machine edges (see the module docstring for the two
+#: non-obvious ones: pre-claim cancel and restart re-queue).
+_TRANSITIONS: Dict[str, frozenset] = {
+    "QUEUED": frozenset({"RUNNING", "CANCELLED"}),
+    "RUNNING": frozenset({"DONE", "FAILED", "CANCELLED", "PARTIAL", "QUEUED"}),
+    "DONE": frozenset(),
+    "FAILED": frozenset(),
+    "CANCELLED": frozenset(),
+    "PARTIAL": frozenset(),
+}
+
+
+class JobStateError(Exception):
+    """An illegal state-machine transition (or an unknown job id)."""
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """What to sweep — the declarative half of a job, JSON round-trippable.
+
+    Mirrors the ``chopin lbo`` knobs: the server compiles a spec to
+    ``plan_lbo(registry.workload(benchmark), collectors, multiples,
+    RunConfig(invocations, scale, fidelity))``, which is what makes the
+    HTTP path bit-identical to the one-shot CLI path.  ``priority``
+    orders the queue (higher first); ``budget_s`` caps the job's
+    wall-clock through its per-job supervisor.
+    """
+
+    benchmark: str
+    collectors: Tuple[str, ...] = ()
+    multiples: Tuple[float, ...] = ()
+    invocations: int = 3
+    scale: float = 1.0
+    fidelity: Optional[str] = None
+    priority: int = 0
+    budget_s: Optional[float] = None
+
+    def to_payload(self) -> dict:
+        return {
+            "benchmark": self.benchmark,
+            "collectors": list(self.collectors),
+            "multiples": list(self.multiples),
+            "invocations": self.invocations,
+            "scale": self.scale,
+            "fidelity": self.fidelity,
+            "priority": self.priority,
+            "budget_s": self.budget_s,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "JobSpec":
+        """Validate and build a spec from a JSON object (an HTTP body or
+        a journal line).  Errors name the field and the accepted format —
+        the HTTP layer forwards them verbatim as 400 bodies."""
+        if not isinstance(payload, dict):
+            raise ValueError(f"job spec must be a JSON object, got {type(payload).__name__}")
+        known = {
+            "benchmark", "collectors", "multiples", "invocations",
+            "scale", "fidelity", "priority", "budget_s",
+        }
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown job spec field(s): {', '.join(unknown)}; "
+                f"accepted: {', '.join(sorted(known))}"
+            )
+        benchmark = payload.get("benchmark")
+        if not isinstance(benchmark, str) or not benchmark:
+            raise ValueError("job spec field 'benchmark' must be a workload name")
+        collectors = payload.get("collectors") or ()
+        if not isinstance(collectors, (list, tuple)) or not all(
+            isinstance(c, str) for c in collectors
+        ):
+            raise ValueError(
+                "job spec field 'collectors' must be a list of collector names"
+            )
+        multiples = payload.get("multiples") or ()
+        if not isinstance(multiples, (list, tuple)) or not all(
+            isinstance(m, (int, float)) and not isinstance(m, bool) and m > 0
+            for m in multiples
+        ):
+            raise ValueError(
+                "job spec field 'multiples' must be a list of positive numbers"
+            )
+        invocations = payload.get("invocations", 3)
+        if not isinstance(invocations, int) or isinstance(invocations, bool) or invocations < 1:
+            raise ValueError(
+                "job spec field 'invocations' must be a positive integer (e.g. 3)"
+            )
+        scale = payload.get("scale", 1.0)
+        if not isinstance(scale, (int, float)) or isinstance(scale, bool) or scale <= 0:
+            raise ValueError(
+                "job spec field 'scale' must be a positive number (e.g. 0.1)"
+            )
+        fidelity = payload.get("fidelity")
+        if fidelity in ("auto", ""):
+            fidelity = None
+        if fidelity is not None and fidelity not in ("aggregate", "full"):
+            raise ValueError(
+                "job spec field 'fidelity' must be auto, aggregate, or full"
+            )
+        priority = payload.get("priority", 0)
+        if not isinstance(priority, int) or isinstance(priority, bool):
+            raise ValueError("job spec field 'priority' must be an integer (e.g. 0)")
+        budget_s = payload.get("budget_s")
+        if budget_s is not None and (
+            not isinstance(budget_s, (int, float))
+            or isinstance(budget_s, bool)
+            or budget_s <= 0
+        ):
+            raise ValueError(
+                "job spec field 'budget_s' must be a positive number of seconds"
+            )
+        return cls(
+            benchmark=benchmark,
+            collectors=tuple(collectors),
+            multiples=tuple(float(m) for m in multiples),
+            invocations=invocations,
+            scale=float(scale),
+            fidelity=fidelity,
+            priority=priority,
+            budget_s=budget_s,
+        )
+
+
+@dataclass
+class Job:
+    """One job's live record: spec plus everything the lifecycle added.
+
+    ``holes`` are JSON-ready dicts (``key``/``reason``/``detail``) for
+    the status payload; ``result`` is the terminal result payload
+    (rendered tables plus structured curves); ``stats`` the engine-stats
+    delta of the run.  ``cancel_requested`` is the soft-cancel flag for
+    a ``RUNNING`` job — the server turns it into a supervisor drain.
+    """
+
+    id: str
+    spec: JobSpec
+    seq: int
+    state: str = "QUEUED"
+    error: Optional[str] = None
+    cells: int = 0
+    holes: List[dict] = field(default_factory=list)
+    stats: Optional[dict] = None
+    result: Optional[dict] = None
+    requeues: int = 0
+    cancel_requested: bool = False
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def status_payload(self) -> dict:
+        """The ``GET /jobs/<id>`` body (everything but the result)."""
+        return {
+            "id": self.id,
+            "state": self.state,
+            "benchmark": self.spec.benchmark,
+            "priority": self.spec.priority,
+            "cells": self.cells,
+            "holes": list(self.holes),
+            "stats": self.stats,
+            "error": self.error,
+            "requeues": self.requeues,
+            "cancel_requested": self.cancel_requested,
+        }
+
+
+class JobQueue:
+    """Priority-FIFO queue of :class:`Job` with a journaled state machine.
+
+    ``journal`` is the JSONL path (``None`` = in-memory only, for
+    tests); an existing journal is replayed on construction — see the
+    module docstring for the resume semantics.  All methods are
+    thread-safe; :meth:`claim` blocks until a job or :meth:`close`.
+    """
+
+    def __init__(self, journal: Optional[Union[str, Path]] = None) -> None:
+        self.path = Path(journal) if journal is not None else None
+        self._cond = threading.Condition()
+        self._jobs: Dict[str, Job] = {}
+        self._heap: List[Tuple[int, int, str]] = []  # (-priority, seq, id)
+        self._seq = 0
+        self._closed = False
+        self._torn_tail = False
+        self.requeued = 0  # RUNNING jobs inherited from a dead process
+        if self.path is not None:
+            self._replay()
+
+    # ------------------------------------------------------------------
+    # Journal (the CheckpointJournal idiom: fsync'd line-atomic appends,
+    # torn-tail tolerant replay)
+
+    def _append(self, record: dict) -> None:
+        if self.path is None:
+            return
+        line = json.dumps(record, sort_keys=True)
+        if self._torn_tail:
+            line = "\n" + line
+            self._torn_tail = False
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with self.path.open("a") as fh:
+                fh.write(line + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+        except OSError:
+            pass  # the journal accelerates restart, it is not correctness
+
+    def _replay(self) -> None:
+        try:
+            text = self.path.read_text()
+        except OSError:
+            return
+        self._torn_tail = bool(text) and not text.endswith("\n")
+        for line in text.splitlines():
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue  # torn line from an interrupted writer
+            if not isinstance(record, dict):
+                continue
+            self._apply(record)
+        # Jobs the dead process was running resume as QUEUED: their
+        # completed cells are in the shared cache, so the re-run is warm.
+        for job in self._jobs.values():
+            if job.state == "RUNNING":
+                job.state = "QUEUED"
+                job.requeues += 1
+                self.requeued += 1
+                self._append({"id": job.id, "state": "QUEUED", "requeued": True})
+            if job.state == "QUEUED":
+                heapq.heappush(self._heap, (-job.spec.priority, job.seq, job.id))
+
+    def _apply(self, record: dict) -> None:
+        """Fold one journal line into the replayed state (last wins)."""
+        job_id = record.get("id")
+        if not isinstance(job_id, str):
+            return
+        job = self._jobs.get(job_id)
+        if job is None:
+            spec_payload = record.get("spec")
+            if not isinstance(spec_payload, dict):
+                return  # transition for a job whose submit line was lost
+            try:
+                spec = JobSpec.from_payload(spec_payload)
+            except ValueError:
+                return  # foreign or corrupt submit line
+            seq = record.get("seq")
+            seq = seq if isinstance(seq, int) else self._seq + 1
+            job = Job(id=job_id, spec=spec, seq=seq)
+            self._jobs[job_id] = job
+            self._seq = max(self._seq, seq)
+        state = record.get("state")
+        if isinstance(state, str) and state in JOB_STATES:
+            job.state = state
+        if record.get("requeued"):
+            job.requeues += 1
+        for key in ("error", "cells", "holes", "stats", "result"):
+            if key in record:
+                setattr(job, key, record[key])
+
+    # ------------------------------------------------------------------
+    # Producer side
+
+    def submit(self, spec: JobSpec) -> Job:
+        """Enqueue a job; returns it with its assigned id, journalled."""
+        with self._cond:
+            if self._closed:
+                raise JobStateError("queue is closed")
+            self._seq += 1
+            job = Job(id=f"job-{self._seq:06d}", spec=spec, seq=self._seq)
+            self._jobs[job.id] = job
+            heapq.heappush(self._heap, (-spec.priority, job.seq, job.id))
+            self._append(
+                {
+                    "id": job.id,
+                    "seq": job.seq,
+                    "state": "QUEUED",
+                    "spec": spec.to_payload(),
+                }
+            )
+            self._cond.notify()
+            return job
+
+    def cancel(self, job_id: str) -> Optional[str]:
+        """Cancel a job.  ``QUEUED`` jobs go straight to ``CANCELLED``
+        (returns ``"cancelled"``); ``RUNNING`` jobs get the soft flag
+        (returns ``"cancelling"`` — the server drains the job's
+        supervisor and the worker records the terminal state); terminal
+        jobs return ``None`` (nothing to do)."""
+        with self._cond:
+            job = self._require(job_id)
+            if job.state == "QUEUED":
+                self._transition_locked(job, "CANCELLED", error="cancelled before start")
+                return "cancelled"
+            if job.state == "RUNNING":
+                job.cancel_requested = True
+                return "cancelling"
+            return None
+
+    # ------------------------------------------------------------------
+    # Worker side
+
+    def claim(self, timeout: Optional[float] = None) -> Optional[Job]:
+        """Block until a job is available, claim it (→ ``RUNNING``), and
+        return it; ``None`` on timeout or once the queue is closed."""
+        with self._cond:
+            while True:
+                job = self._pop_locked()
+                if job is not None:
+                    self._transition_locked(job, "RUNNING")
+                    return job
+                if self._closed:
+                    return None
+                if not self._cond.wait(timeout):
+                    return None
+
+    def _pop_locked(self) -> Optional[Job]:
+        while self._heap:
+            _, _, job_id = heapq.heappop(self._heap)
+            job = self._jobs[job_id]
+            if job.state == "QUEUED":  # skip lazily-removed (cancelled) entries
+                return job
+        return None
+
+    def finish(
+        self,
+        job_id: str,
+        state: str,
+        error: Optional[str] = None,
+        cells: int = 0,
+        holes: Optional[Sequence[dict]] = None,
+        stats: Optional[dict] = None,
+        result: Optional[dict] = None,
+    ) -> Job:
+        """Record a ``RUNNING`` job's terminal outcome, journalled with
+        its full payload so a restarted service still serves it."""
+        if state not in TERMINAL_STATES:
+            raise JobStateError(f"{state!r} is not a terminal state")
+        with self._cond:
+            job = self._require(job_id)
+            job.error = error
+            job.cells = cells
+            job.holes = list(holes or [])
+            job.stats = stats
+            job.result = result
+            self._transition_locked(
+                job,
+                state,
+                error=error,
+                cells=cells,
+                holes=job.holes,
+                stats=stats,
+                result=result,
+            )
+            return job
+
+    def _transition_locked(self, job: Job, state: str, **extra) -> None:
+        if state not in _TRANSITIONS.get(job.state, frozenset()):
+            raise JobStateError(
+                f"{job.id}: illegal transition {job.state} -> {state}"
+            )
+        job.state = state
+        record = {"id": job.id, "state": state}
+        record.update({k: v for k, v in extra.items() if v is not None})
+        self._append(record)
+
+    # ------------------------------------------------------------------
+    # Introspection
+
+    def _require(self, job_id: str) -> Job:
+        job = self._jobs.get(job_id)
+        if job is None:
+            raise JobStateError(f"unknown job id {job_id!r}")
+        return job
+
+    def get(self, job_id: str) -> Job:
+        with self._cond:
+            return self._require(job_id)
+
+    def jobs(self) -> List[Job]:
+        """Every known job, submission order."""
+        with self._cond:
+            return sorted(self._jobs.values(), key=lambda j: j.seq)
+
+    @property
+    def depth(self) -> int:
+        """Jobs waiting to be claimed."""
+        with self._cond:
+            return sum(1 for j in self._jobs.values() if j.state == "QUEUED")
+
+    @property
+    def running(self) -> int:
+        with self._cond:
+            return sum(1 for j in self._jobs.values() if j.state == "RUNNING")
+
+    def close(self) -> None:
+        """Stop claim(): blocked workers wake up and return ``None``."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()

@@ -1,0 +1,626 @@
+"""The sweep daemon behind ``chopin serve``: HTTP front, worker back.
+
+:class:`SweepService` wires the other three modules together into the
+PKB-style stage pipeline the ROADMAP asks for:
+
+- **admit** — ``POST /jobs`` validates a :class:`~.jobqueue.JobSpec`
+  (unknown workloads and collectors are 400s with the same messages the
+  CLI prints) and enqueues it on the journaled :class:`~.jobqueue.JobQueue`;
+- **prepare** — a worker thread claims the job and compiles it to the
+  same :func:`~repro.harness.plans.plan_lbo` plan ``chopin lbo`` builds,
+  with the same auto-fidelity resolution;
+- **run** — the plan executes through
+  :func:`~repro.harness.experiments.supervised_sweep` on the worker's
+  :class:`~repro.harness.engine.ExecutionEngine`, every worker sharing
+  one :class:`~.shards.ShardedResultCache`.  Each job gets its **own**
+  :class:`~repro.resilience.Supervisor`, which is what turns deadline
+  budgets (``budget_s`` in the spec) and cancellation into per-job
+  admission control: refused cells surface as typed holes in the status
+  payload instead of failing the job;
+- **cleanup** — the terminal state (``DONE`` / ``PARTIAL`` / ``FAILED``
+  / ``CANCELLED``), holes, engine-stats delta, and the fully rendered
+  result tables are journalled, so a restarted service still serves
+  ``GET /jobs/<id>/result``.
+
+The HTTP layer is stdlib :class:`~http.server.ThreadingHTTPServer` —
+JSON in, JSON out, no new dependencies.  Endpoints::
+
+    POST /jobs            submit a job spec            → 202 {id, state}
+    GET  /jobs            list every known job
+    GET  /jobs/<id>       status (state, holes, stats)
+    GET  /jobs/<id>/result terminal payload (409 while non-terminal)
+    POST /jobs/<id>/cancel queued → CANCELLED; running → drain
+    GET  /health          liveness + queue depth + cache counters
+    GET  /metrics         the service MetricsRegistry, one line per metric
+
+Bit-identity contract: the worker path and ``chopin lbo`` compile the
+same plan and run it on the same engine machinery, and the stored
+``rendered`` text is produced by the same
+:func:`~repro.harness.report.format_lbo_curves` calls in the same
+order — so ``chopin result`` output is byte-identical to the one-shot
+CLI, and a resubmitted sweep against a warm service cache runs zero
+simulations.
+
+The default ``workers=1`` is deliberate admission control, not a
+limitation: overlapping jobs serialize through the queue, so two clients
+sweeping intersecting grids never simulate a shared cell twice — the
+second job warm-hits everything the first computed.
+
+Unlike every other recorder timestamp in this codebase (simulated
+seconds), service events (:class:`~repro.observability.events.JobSpan`,
+:class:`~repro.observability.events.QueueDepth`) are stamped in wall
+seconds since service start — a queue is a real-time phenomenon, and
+job latency in wall time is exactly what the operator wants on the
+service track.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import sys
+import threading
+import time
+from dataclasses import replace
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Dict, List, Optional, TextIO, Union
+
+from repro.harness.config import HarnessConfig, engine_from_config
+from repro.harness.engine import ExecutionEngine, Hole
+from repro.harness.experiments import supervised_sweep
+from repro.harness.plans import DEFAULT_MULTIPLES
+from repro.harness.report import format_lbo_curves
+from repro.harness.runner import RunConfig
+from repro.jvm.collectors import COLLECTOR_NAMES, UnknownCollectorError, resolve_collector
+from repro.observability import MetricsRegistry, RecorderLike
+from repro.observability.events import JobSpan, NullRecorder, QueueDepth
+from repro.resilience import Supervisor
+from repro.service.jobqueue import Job, JobQueue, JobSpec, JobStateError
+from repro.service.shards import ShardedResultCache
+from repro.workloads import registry
+
+
+def _curves_payload(curves) -> dict:
+    """A JSON round-trippable form of :class:`~repro.core.lbo.LboCurves`.
+
+    ``json`` round-trips Python floats exactly (repr-based), so the
+    structured curves carry the same doubles the in-process objects do.
+    """
+    def side(source) -> Dict[str, List[dict]]:
+        return {
+            collector: [
+                {
+                    "heap_multiple": p.heap_multiple,
+                    "mean": p.overhead.mean,
+                    "half_width": p.overhead.half_width,
+                    "n": p.overhead.n,
+                }
+                for p in points
+            ]
+            for collector, points in sorted(source.items())
+        }
+
+    return {
+        "benchmark": curves.benchmark,
+        "baseline_wall_s": curves.baseline_wall_s,
+        "baseline_task_s": curves.baseline_task_s,
+        "wall": side(curves.wall),
+        "task": side(curves.task),
+    }
+
+
+def _hole_payload(hole: Hole) -> dict:
+    cell = hole.cell
+    return {
+        "key": hole.key,
+        "reason": hole.reason,
+        "detail": hole.error,
+        "attempts": hole.attempts,
+        "benchmark": cell.spec.name,
+        "collector": cell.collector,
+        "heap_mb": cell.heap_mb,
+        "invocation": cell.invocation,
+    }
+
+
+def _stats_payload(stats) -> dict:
+    return {
+        "executed": stats.executed,
+        "cached": stats.cached,
+        "negative_hits": stats.negative_hits,
+        "oom": stats.oom,
+        "corrupt": stats.corrupt,
+        "gave_up": stats.gave_up,
+        "budget_skipped": stats.budget_skipped,
+        "breaker_skipped": stats.breaker_skipped,
+        "drained": stats.drained,
+        "execute_s": stats.execute_s,
+    }
+
+
+class ServiceWorker:
+    """One worker thread's execution half: claim → compile → run → record.
+
+    Split out of :class:`SweepService` (and given its own engine — the
+    shared state between workers is the sharded cache, nothing else) so
+    tests can drive :meth:`execute` synchronously, e.g. cancelling a job
+    from a progress callback halfway through its sweep.
+    """
+
+    def __init__(self, service: "SweepService", engine: ExecutionEngine) -> None:
+        self.service = service
+        self.engine = engine
+
+    def run(self) -> None:
+        """The worker loop: claim jobs until the queue closes."""
+        while True:
+            job = self.service.queue.claim()
+            if job is None:
+                return
+            self.execute(job)
+
+    def execute(self, job: Job) -> None:
+        """Run one claimed job to its terminal state, journalled."""
+        service = self.service
+        started = service.clock()
+        # The job's own budget wins; the service config's budget and
+        # breaker threshold are the per-job defaults `chopin serve
+        # --budget/--breaker-threshold` set for every tenant.
+        budget_s = job.spec.budget_s
+        if budget_s is None:
+            budget_s = service.config.budget_s
+        supervisor = Supervisor(
+            budget_s=budget_s,
+            breaker_threshold=service.config.breaker_threshold,
+        )
+        service.job_started(job, supervisor)
+        try:
+            spec = registry.workload(job.spec.benchmark)
+            collectors = job.spec.collectors or tuple(COLLECTOR_NAMES)
+            multiples = job.spec.multiples or DEFAULT_MULTIPLES
+            config = RunConfig(
+                invocations=job.spec.invocations,
+                duration_scale=job.spec.scale,
+                fidelity=job.spec.fidelity,
+            )
+            sweep = supervised_sweep(
+                spec,
+                collectors=collectors,
+                multiples=multiples,
+                config=config,
+                engine=self.engine,
+                supervisor=supervisor,
+            )
+        except Exception as exc:
+            service.job_finished(
+                job, "FAILED", error=f"{type(exc).__name__}: {exc}", started=started
+            )
+            return
+        finally:
+            flushed = getattr(self.engine.cache, "flush", None)
+            if flushed is not None:
+                flushed()  # job boundary: drain any write-behind buffer
+        holes = [_hole_payload(h) for h in sweep.holes]
+        result = None
+        if sweep.result is not None:
+            curves = sweep.result.per_benchmark[0]
+            # Byte-identical to cmd_lbo's stdout: wall table, blank
+            # line, task table, trailing newline.
+            rendered = (
+                format_lbo_curves(curves, "wall")
+                + "\n\n"
+                + format_lbo_curves(curves, "task")
+                + "\n"
+            )
+            result = {"rendered": rendered, "curves": _curves_payload(curves)}
+        if job.cancel_requested:
+            state, error = "CANCELLED", "cancelled mid-sweep"
+        elif sweep.result is None:
+            state = "FAILED"
+            error = "no complete (collector, heap) group — every cell was refused or failed"
+        elif holes:
+            state, error = "PARTIAL", None
+        else:
+            state, error = "DONE", None
+        service.job_finished(
+            job,
+            state,
+            error=error,
+            cells=sweep.cells,
+            holes=holes,
+            stats=_stats_payload(sweep.stats),
+            result=result,
+            started=started,
+        )
+
+
+class SweepService:
+    """The long-running sweep service: HTTP API + job queue + workers.
+
+    ``state_dir`` holds the service's durable state: the job journal
+    (``jobs.jsonl``) and, unless the config names a cache directory, the
+    shared sharded result cache (``cache/``).  ``port=0`` binds an
+    ephemeral port (read :attr:`port` after :meth:`start` — how the
+    tests run hermetically).  ``workers`` sizes the execution pool; the
+    default 1 serializes jobs (see the module docstring for why that is
+    the multi-tenant-dedup guarantee).
+    """
+
+    def __init__(
+        self,
+        state_dir: Union[str, Path],
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 1,
+        config: Optional[HarnessConfig] = None,
+        cache: Optional[ShardedResultCache] = None,
+        recorder: Optional[RecorderLike] = None,
+        stream: Optional[TextIO] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"service needs at least one worker, got {workers}")
+        self.state_dir = Path(state_dir)
+        self.state_dir.mkdir(parents=True, exist_ok=True)
+        self.host = host
+        self.port = port
+        self.workers = workers
+        self.config = config if config is not None else HarnessConfig()
+        cache_root = self.config.effective_cache_dir or self.state_dir / "cache"
+        self.cache = (
+            cache
+            if cache is not None
+            else ShardedResultCache(
+                cache_root, shards=getattr(self.config, "cache_shards", 256)
+            )
+        )
+        self.queue = JobQueue(self.state_dir / "jobs.jsonl")
+        self.recorder = recorder if recorder is not None else NullRecorder()
+        self.metrics = MetricsRegistry()
+        self.stream = stream if stream is not None else sys.stderr
+        self.jobs_served = 0
+        self._epoch = time.monotonic()
+        self._running: Dict[str, Supervisor] = {}
+        self._lock = threading.Lock()
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._threads: List[threading.Thread] = []
+        self._stopped = threading.Event()
+        # Seed the queue gauges so /metrics reflects replayed jobs (and
+        # is never empty) before the first submission.
+        self._observe_queue()
+
+    def clock(self) -> float:
+        """Wall seconds since service start (the service-track timebase)."""
+        return time.monotonic() - self._epoch
+
+    def make_worker(self) -> ServiceWorker:
+        """A worker with its own engine sharing this service's cache.
+
+        The engine starts unsupervised — resume journals and the
+        config-level budget/breaker belong to one-shot sweeps; here every
+        job attaches its own :class:`~repro.resilience.Supervisor` in
+        :meth:`ServiceWorker.execute` (with the config values as per-job
+        defaults), which is what makes admission control per-tenant.
+        """
+        engine = engine_from_config(
+            replace(self.config, resume=None, budget_s=None, breaker_threshold=None),
+            cache=self.cache,
+        )
+        return ServiceWorker(self, engine)
+
+    # ------------------------------------------------------------------
+    # Job lifecycle hooks (called by workers and the HTTP layer)
+
+    def submit(self, spec: JobSpec) -> Job:
+        job = self.queue.submit(spec)
+        self.metrics.counter("service.jobs.submitted").inc()
+        self._observe_queue()
+        return job
+
+    def cancel(self, job_id: str) -> Optional[str]:
+        """Cancel a job; running jobs drain their supervisor so pending
+        cells become typed ``drained`` holes, not lost work."""
+        outcome = self.queue.cancel(job_id)
+        if outcome == "cancelling":
+            with self._lock:
+                supervisor = self._running.get(job_id)
+            if supervisor is not None:
+                supervisor.request_drain("cancel")
+        if outcome is not None:
+            self.metrics.counter("service.jobs.cancel_requests").inc()
+        self._observe_queue()
+        return outcome
+
+    def job_started(self, job: Job, supervisor: Supervisor) -> None:
+        with self._lock:
+            self._running[job.id] = supervisor
+        # A cancel that raced the claim still lands: drain immediately.
+        if job.cancel_requested:
+            supervisor.request_drain("cancel")
+        self._observe_queue()
+
+    def job_finished(
+        self,
+        job: Job,
+        state: str,
+        error: Optional[str] = None,
+        cells: int = 0,
+        holes: Optional[List[dict]] = None,
+        stats: Optional[dict] = None,
+        result: Optional[dict] = None,
+        started: float = 0.0,
+    ) -> None:
+        self.queue.finish(
+            job.id, state, error=error, cells=cells, holes=holes, stats=stats,
+            result=result,
+        )
+        with self._lock:
+            self._running.pop(job.id, None)
+            self.jobs_served += 1
+        duration = max(0.0, self.clock() - started)
+        self.metrics.counter(f"service.jobs.{state.lower()}").inc()
+        self.metrics.histogram("service.job_seconds").record(duration)
+        if self.recorder.enabled:
+            self.recorder.emit(
+                JobSpan(
+                    ts=max(0.0, started),
+                    dur=duration,
+                    job_id=job.id,
+                    benchmark=job.spec.benchmark,
+                    state=state,
+                    cells=cells,
+                    holes=len(holes or ()),
+                )
+            )
+        self._observe_queue()
+
+    def _observe_queue(self) -> None:
+        depth, running = self.queue.depth, self.queue.running
+        self.metrics.gauge("service.queue.depth").set(depth)
+        self.metrics.gauge("service.queue.running").set(running)
+        if self.recorder.enabled:
+            self.recorder.emit(QueueDepth(ts=self.clock(), depth=depth, running=running))
+
+    # ------------------------------------------------------------------
+    # HTTP payloads (shared by the handler and in-process callers)
+
+    def health_payload(self) -> dict:
+        return {
+            "status": "ok",
+            "queued": self.queue.depth,
+            "running": self.queue.running,
+            "workers": self.workers,
+            "jobs_served": self.jobs_served,
+            "cache": {
+                "corrupt": self.cache.corrupt,
+                "hot_hits": getattr(self.cache, "hot_hits", 0),
+                "legacy_hits": getattr(self.cache, "legacy_hits", 0),
+                "shards": getattr(self.cache, "shards", 256),
+            },
+        }
+
+    def result_payload(self, job: Job) -> dict:
+        payload = job.status_payload()
+        payload["result"] = job.result
+        return payload
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+
+    def start(self) -> "SweepService":
+        """Bind the HTTP server and start the worker pool; returns self.
+        With ``port=0`` the bound ephemeral port is in :attr:`port`."""
+        handler = _make_handler(self)
+        self._httpd = ThreadingHTTPServer((self.host, self.port), handler)
+        self._httpd.daemon_threads = True
+        self.port = self._httpd.server_address[1]
+        http_thread = threading.Thread(
+            target=self._httpd.serve_forever, name="chopin-serve-http", daemon=True
+        )
+        http_thread.start()
+        self._threads.append(http_thread)
+        for index in range(self.workers):
+            worker = self.make_worker()
+            thread = threading.Thread(
+                target=worker.run, name=f"chopin-serve-worker-{index}", daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    def stop(self, reason: str = "shutdown") -> None:
+        """Graceful drain: stop accepting, drain in-flight jobs (their
+        pending cells become typed holes, everything completed stays in
+        the shared cache and journal), flush, and report."""
+        if self._stopped.is_set():
+            return
+        self._stopped.set()
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+        self.queue.close()
+        with self._lock:
+            running = list(self._running.values())
+        for supervisor in running:
+            supervisor.request_drain(reason)
+        for thread in self._threads:
+            if thread is not threading.current_thread():
+                thread.join(timeout=30.0)
+        self.cache.flush()
+        print(
+            f"chopin serve: drained cleanly ({self.jobs_served} job"
+            f"{'s' if self.jobs_served != 1 else ''} served) on {reason}",
+            file=self.stream,
+        )
+
+    def run(self) -> int:
+        """The ``chopin serve`` foreground loop: start, wait for
+        SIGTERM/SIGINT, drain, exit 0."""
+        woken = threading.Event()
+        reasons: List[str] = []
+
+        def _on_signal(signum: int, frame: object) -> None:
+            reasons.append(signal.Signals(signum).name)
+            woken.set()
+
+        previous = [
+            (signum, signal.signal(signum, _on_signal))
+            for signum in (signal.SIGTERM, signal.SIGINT)
+        ]
+        try:
+            self.start()
+            print(
+                f"chopin serve: listening on http://{self.host}:{self.port} "
+                f"(state in {self.state_dir}, {self.workers} worker"
+                f"{'s' if self.workers != 1 else ''})",
+                file=self.stream,
+            )
+            woken.wait()
+        finally:
+            for signum, handler in previous:
+                signal.signal(signum, handler)
+        self.stop(reasons[0] if reasons else "shutdown")
+        return 0
+
+
+def service_from_config(
+    config: HarnessConfig,
+    state_dir: Union[str, Path],
+    workers: int = 1,
+    recorder: Optional[RecorderLike] = None,
+) -> SweepService:
+    """Build a :class:`SweepService` from a resolved
+    :class:`~repro.harness.config.HarnessConfig` — host/port from
+    ``CHOPIN_SERVE_HOST``/``CHOPIN_SERVE_PORT`` (or their flags), the
+    shared cache sharded per ``CHOPIN_CACHE_SHARDS``."""
+    return SweepService(
+        state_dir,
+        host=config.serve_host,
+        port=config.serve_port,
+        workers=workers,
+        config=config,
+        recorder=recorder,
+    )
+
+
+# ----------------------------------------------------------------------
+# The HTTP layer
+
+
+def _make_handler(service: SweepService):
+    """A request-handler class closed over one service instance."""
+
+    class Handler(BaseHTTPRequestHandler):
+        server_version = "chopin-serve/1.0"
+        protocol_version = "HTTP/1.1"
+
+        def log_message(self, format: str, *args: object) -> None:
+            pass  # the service reports through its own stream, not stderr spam
+
+        # -- plumbing ---------------------------------------------------
+
+        def _send(self, status: int, payload: dict) -> None:
+            body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _send_text(self, status: int, text: str) -> None:
+            body = text.encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "text/plain; charset=utf-8")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _body(self) -> object:
+            length = int(self.headers.get("Content-Length") or 0)
+            raw = self.rfile.read(length) if length else b""
+            if not raw:
+                raise ValueError("request body must be a JSON object")
+            return json.loads(raw.decode("utf-8"))
+
+        def _job(self, job_id: str) -> Optional[Job]:
+            try:
+                return service.queue.get(job_id)
+            except JobStateError:
+                self._send(404, {"error": f"unknown job id {job_id!r}"})
+                return None
+
+        # -- routes -----------------------------------------------------
+
+        def do_GET(self) -> None:
+            parts = [p for p in self.path.split("?")[0].split("/") if p]
+            if parts == ["health"]:
+                self._send(200, service.health_payload())
+            elif parts == ["metrics"]:
+                self._send_text(200, service.metrics.render() + "\n")
+            elif parts == ["jobs"]:
+                self._send(
+                    200, {"jobs": [j.status_payload() for j in service.queue.jobs()]}
+                )
+            elif len(parts) == 2 and parts[0] == "jobs":
+                job = self._job(parts[1])
+                if job is not None:
+                    self._send(200, job.status_payload())
+            elif len(parts) == 3 and parts[:1] == ["jobs"] and parts[2] == "result":
+                job = self._job(parts[1])
+                if job is None:
+                    return
+                if not job.terminal:
+                    self._send(
+                        409,
+                        {"error": f"{job.id} is {job.state}, not terminal yet",
+                         "state": job.state},
+                    )
+                    return
+                self._send(200, service.result_payload(job))
+            else:
+                self._send(404, {"error": f"no such resource {self.path!r}"})
+
+        def do_POST(self) -> None:
+            parts = [p for p in self.path.split("?")[0].split("/") if p]
+            if parts == ["jobs"]:
+                try:
+                    spec = JobSpec.from_payload(self._body())
+                    registry.workload(spec.benchmark)
+                    for collector in spec.collectors:
+                        resolve_collector(collector)
+                except (ValueError, KeyError, UnknownCollectorError) as exc:
+                    message = exc.args[0] if exc.args else str(exc)
+                    self._send(400, {"error": str(message)})
+                    return
+                if service._stopped.is_set():
+                    self._send(503, {"error": "service is draining"})
+                    return
+                job = service.submit(spec)
+                self._send(202, {"id": job.id, "state": job.state})
+            elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "cancel":
+                self._cancel(parts[1])
+            else:
+                self._send(404, {"error": f"no such resource {self.path!r}"})
+
+        def do_DELETE(self) -> None:
+            parts = [p for p in self.path.split("?")[0].split("/") if p]
+            if len(parts) == 2 and parts[0] == "jobs":
+                self._cancel(parts[1])
+            else:
+                self._send(404, {"error": f"no such resource {self.path!r}"})
+
+        def _cancel(self, job_id: str) -> None:
+            job = self._job(job_id)
+            if job is None:
+                return
+            outcome = service.cancel(job_id)
+            self._send(
+                200,
+                {
+                    "id": job_id,
+                    "state": service.queue.get(job_id).state,
+                    "outcome": outcome or "already terminal",
+                },
+            )
+
+    return Handler
