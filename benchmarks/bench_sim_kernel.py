@@ -323,13 +323,18 @@ def main(argv=None) -> int:
         ),
     }
     # The perf trajectory lives at the repo root; benchmarks/results/
-    # keeps a copy next to the other rendered artefacts.
+    # keeps a copy next to the other rendered artefacts.  Smoke runs get
+    # their own artifact name so a CI-sized run never clobbers (or gets
+    # gated against) the committed full-scale trajectory — `chopin
+    # perfdiff` treats the `smoke` flag as an exact-match key for the
+    # same reason.
+    artifact = "BENCH_sim_smoke.json" if args.smoke else "BENCH_sim.json"
     payload = json.dumps(report, indent=2, sort_keys=True) + "\n"
     RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "BENCH_sim.json").write_text(payload)
-    path = pathlib.Path(args.out) if args.out else REPO_ROOT / "BENCH_sim.json"
+    (RESULTS_DIR / artifact).write_text(payload)
+    path = pathlib.Path(args.out) if args.out else REPO_ROOT / artifact
     path.write_text(payload)
-    print(f"wrote {path} (and {RESULTS_DIR / 'BENCH_sim.json'})")
+    print(f"wrote {path} (and {RESULTS_DIR / artifact})")
     print(
         f"min-heap search: {minheap_timings['full']:.2f}s full -> "
         f"{minheap_timings['aggregate']:.2f}s aggregate "

@@ -1,0 +1,148 @@
+"""An adaptive LBO sweep: spend cells where the answer is.
+
+A fixed Figure-1-style grid spends the same effort on every
+(collector, heap-multiple) cell, but the *answers* — where two
+collectors' overhead curves cross, where the min-heap knee sits, which
+collector wins the suite gmean — live in small regions of the grid.
+The adaptive planner scouts a few anchor cells per collector, brackets
+crossovers by sign change, bisects toward them, refines noisy bracket
+endpoints until their confidence intervals tighten, and skips flat
+regions entirely.
+
+Every cell it proposes is a cell *of the grid* (same workload,
+collector, heap size, invocation, config), so executed cells are
+bit-identical to the fixed-grid run and share its cache — the planner
+only decides which cells not to run.
+
+Run it plain to watch the propose → execute → refit rounds and the
+final gmean collector ranking::
+
+    PYTHONPATH=src python examples/adaptive_sweep.py
+
+Run it with ``--check`` (the CI planner smoke) to also run the full
+grid and assert that the adaptive subset reproduces the fixed grid's
+LBO crossovers within the documented tolerance at no more than half
+the cells::
+
+    PYTHONPATH=src python examples/adaptive_sweep.py --check
+"""
+
+import argparse
+import sys
+
+from repro import (
+    PLAN_CROSSOVER_TOLERANCE,
+    ExecutionEngine,
+    RunConfig,
+    grid_crossovers,
+    plan_adaptive,
+    registry,
+    render_ranking,
+    run_adaptive,
+)
+
+WORKLOAD = "lusearch"
+CONFIG = RunConfig(invocations=2, iterations=2, duration_scale=0.05)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="also run the fixed grid and assert the adaptive run "
+        "reproduces its crossovers within tolerance at <= 50%% of cells",
+    )
+    args = parser.parse_args()
+
+    spec = registry.workload(WORKLOAD)
+    plan = plan_adaptive(spec, config=CONFIG)
+    print(
+        f"{WORKLOAD}: fixed grid {plan.grid_cells} cells "
+        f"({len(plan.grid.collectors)} collectors x "
+        f"{len(plan.grid.multiples)} heap multiples x "
+        f"{CONFIG.invocations} invocations), budget {plan.cell_budget}"
+    )
+
+    result = run_adaptive(plan, engine=ExecutionEngine())
+
+    print("\nPropose -> execute -> refit rounds:")
+    for rnd in result.rounds:
+        print(
+            f"  round {rnd.index}: {rnd.reason_summary()} "
+            f"-> {rnd.executed} cells ({rnd.budget_left} budget left)"
+        )
+
+    print("\nLBO crossovers (heap factors where mean-cost curves cross):")
+    for (benchmark, a, b), points in sorted(result.crossovers.items()):
+        where = ", ".join(f"{p:.3f}x" for p in points)
+        pair = f"{a} / {b}"
+        print(f"  {pair:<24} @ {where}")
+
+    ok = sum(1 for grade in result.grades.values() if grade.ok)
+    print(f"\nCell grades: {ok}/{len(result.grades)} measured points EXCELLENT/GOOD")
+
+    print("\nSuite gmean collector ranking (lower is better):")
+    print(render_ranking(result.ranking))
+    if result.unranked:
+        print(f"  (unranked, incomplete coverage: {', '.join(result.unranked)})")
+
+    print(
+        f"\nadaptive: executed {result.cells_executed} of {result.grid_cells} "
+        f"grid cells ({result.savings:.0%} saved) in {len(result.rounds)} rounds"
+    )
+
+    if not args.check:
+        return 0
+
+    # --check: the CI planner smoke.  The ground truth runs the whole
+    # grid through a fresh engine; bit-identity of shared cells means a
+    # warm cache would serve both, but a cold engine keeps the check
+    # honest.
+    print("\ncheck: running the full fixed grid for ground truth ...")
+    truth = grid_crossovers(plan.grid, engine=ExecutionEngine())
+    failures = []
+    if result.cells_executed > plan.grid_cells // 2:
+        failures.append(
+            f"executed {result.cells_executed} cells, more than half the "
+            f"{plan.grid_cells}-cell grid"
+        )
+    if result.savings < 0.5:
+        failures.append(f"savings {result.savings:.0%} below the 50% bar")
+    shared = sorted(set(truth) & set(result.crossovers))
+    collectors = {c for key in shared for c in key[1:]}
+    if len(collectors) < 3:
+        failures.append(
+            f"crossovers shared with the grid cover only {sorted(collectors)}"
+        )
+    for key in shared:
+        got = result.crossovers[key][0]
+        want = truth[key][0]
+        status = "ok" if abs(got - want) <= PLAN_CROSSOVER_TOLERANCE else "FAIL"
+        pair = f"{key[1]} / {key[2]}"
+        print(
+            f"  {pair:<24} grid {want:.3f}x adaptive {got:.3f}x "
+            f"(|delta| {abs(got - want):.3f} <= {PLAN_CROSSOVER_TOLERANCE}) {status}"
+        )
+        if status == "FAIL":
+            failures.append(
+                f"{key}: adaptive {got:.3f}x vs grid {want:.3f}x "
+                f"exceeds tolerance {PLAN_CROSSOVER_TOLERANCE}"
+            )
+    for key in sorted(set(truth) - set(result.crossovers)):
+        failures.append(f"{key}: grid crossover at {truth[key]} not found adaptively")
+    if failures:
+        print("\nplanner smoke FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(
+        f"\nplanner smoke ok: {len(shared)} crossover pairs over "
+        f"{len(collectors)} collectors within {PLAN_CROSSOVER_TOLERANCE} "
+        f"heap factors at {result.savings:.0%} cells saved"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,6 +19,9 @@ simulated JVM:
   experiments behind every figure and table of the paper.
 - :mod:`repro.observability` - the JFR-style flight recorder: typed
   events, metrics, and Chrome-trace export.
+- :mod:`repro.planner` - the adaptive sweep planner: curve models fit
+  from completed cells, deterministic acquisition policies, CV-based
+  cell grading, and gmean collector ranking.
 - :mod:`repro.resilience` - retries, timeouts, checkpoint/resume, and
   deterministic fault injection for production-scale sweeps.
 - :mod:`repro.service` - the long-running sweep service behind ``chopin
@@ -94,13 +97,37 @@ from repro.observability import (
     write_chrome_trace,
     write_jsonl,
 )
+from repro.harness.perfdiff import (
+    DiffReport,
+    diff_artifacts,
+    load_artifact,
+    resolve_artifacts,
+)
 from repro.harness.plans import (
+    PLAN_CROSSOVER_TOLERANCE,
+    AdaptivePlan,
+    AdaptiveResult,
+    AdaptiveRound,
     ExperimentPlan,
     LatencyRun,
     SuiteLbo,
+    grid_crossovers,
+    plan_adaptive,
     plan_latency,
     plan_lbo,
+    run_adaptive,
     run_plan,
+)
+from repro.planner import (
+    CellGrade,
+    CollectorScore,
+    CurveModel,
+    Planner,
+    crossover_points,
+    grade_cell,
+    rank_collectors,
+    render_ranking,
+    score_collector,
 )
 from repro.harness.config import HarnessConfig, engine_from_config, harness_config
 from repro.harness.runner import RunConfig, measure
@@ -149,6 +176,9 @@ from repro.workloads.registry import all_workloads, available_sizes, latency_wor
 __version__ = "1.0.0"
 
 __all__ = [
+    "AdaptivePlan",
+    "AdaptiveResult",
+    "AdaptiveRound",
     "AggregateTelemetry",
     "BATCH_TOLERANCE",
     "BatchCell",
@@ -157,12 +187,16 @@ __all__ = [
     "COLLECTORS",
     "COLLECTOR_NAMES",
     "Cell",
+    "CellGrade",
     "CellOutcome",
     "CellExecutionError",
     "ChaosDrill",
     "CheckpointJournal",
     "CircuitBreaker",
+    "CollectorScore",
     "CostModel",
+    "CurveModel",
+    "DiffReport",
     "EXPERIMENTS",
     "EngineStats",
     "EnvironmentProfile",
@@ -188,7 +222,9 @@ __all__ = [
     "NullInjector",
     "NullRecorder",
     "OutOfMemoryError",
+    "PLAN_CROSSOVER_TOLERANCE",
     "PartialBatch",
+    "Planner",
     "ProgressSink",
     "Recorder",
     "RecorderLike",
@@ -218,13 +254,17 @@ __all__ = [
     "compare_collectors",
     "confidence_interval_95",
     "costs_from_iteration",
+    "crossover_points",
     "determinant_metrics",
+    "diff_artifacts",
     "engine_from_config",
     "find_min_heap",
     "format_insights",
     "format_report",
     "geomean_curves",
     "geometric_mean",
+    "grade_cell",
+    "grid_crossovers",
     "harness_config",
     "heap_timeseries",
     "insights_for",
@@ -233,15 +273,22 @@ __all__ = [
     "latency_workloads",
     "lbo_curves",
     "lbo_experiment",
+    "load_artifact",
     "measure",
     "metered_latencies",
+    "plan_adaptive",
     "plan_latency",
     "plan_lbo",
+    "rank_collectors",
     "registry",
+    "render_ranking",
+    "resolve_artifacts",
     "resolve_collector",
     "resolve_fidelity",
+    "run_adaptive",
     "run_experiment",
     "run_plan",
+    "score_collector",
     "scan_cache",
     "score_benchmark",
     "service_from_config",

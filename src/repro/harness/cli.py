@@ -31,8 +31,16 @@ from repro.harness.experiments import (
     supervised_sweep,
     trace_sweep,
 )
-from repro.harness.plans import DEFAULT_MULTIPLES, plan_lbo
+from repro.harness.perfdiff import (
+    DEFAULT_THRESHOLD,
+    diff_artifacts,
+    load_artifact,
+    resolve_artifacts,
+)
+from repro.harness.plans import DEFAULT_MULTIPLES, plan_adaptive, plan_lbo, run_adaptive
+from repro.planner import GRADES, render_ranking
 from repro.resilience import (
+    CostModel,
     Supervisor,
     compact_journal,
     scan_cache,
@@ -323,6 +331,91 @@ def cmd_lbo(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
     return 0
+
+
+def cmd_plan(args: argparse.Namespace) -> int:
+    spec = registry.workload(args.benchmark)
+    engine = _engine(args)
+    config = _config(args)
+    cost_model = None
+    if args.cost_model is not None:
+        try:
+            cost_model = CostModel.load(args.cost_model)
+        except ValueError as exc:
+            raise SystemExit(f"chopin: {exc}")
+    if args.target_ci < 0:
+        raise SystemExit(f"chopin: --target-ci must be non-negative, got {args.target_ci}")
+    plan = plan_adaptive(
+        spec,
+        config=config,
+        cell_budget=args.cell_budget,
+        target_ci=args.target_ci,
+        seed=args.seed,
+    )
+    print(
+        f"plan {spec.name}: grid {plan.grid_cells} cells "
+        f"({len(plan.grid.collectors)} collectors x {len(plan.grid.multiples)} "
+        f"multiples x {plan.grid.config.invocations} invocations), "
+        f"budget {plan.cell_budget}"
+    )
+    result = run_adaptive(plan, engine=engine, cost_model=cost_model)
+    for rnd in result.rounds:
+        cost = f", est {rnd.estimated_cost_s:.2f}s" if cost_model is not None else ""
+        print(
+            f"round {rnd.index}: {rnd.reason_summary()} -> {rnd.executed} cells "
+            f"({rnd.budget_left} budget left{cost})"
+        )
+    if result.crossovers:
+        print("crossovers (heap factors where mean-cost curves cross):")
+        for (benchmark, a, b), points in sorted(result.crossovers.items()):
+            where = ", ".join(f"{p:.3f}x" for p in points)
+            pair = f"{a} / {b}"
+            print(f"  {pair:<24} @ {where}")
+    else:
+        print("crossovers: none detected in the measured range")
+    counts = {grade: 0 for grade in GRADES}
+    for grade in result.grades.values():
+        counts[grade.grade] += 1
+    print("grades: " + ", ".join(f"{counts[g]} {g}" for g in GRADES))
+    for key in sorted(result.grades):
+        grade = result.grades[key]
+        if not grade.ok:
+            issues = "; ".join(grade.issues)
+            print(
+                f"  {grade.grade} {grade.benchmark}/{grade.collector}"
+                f"@{grade.heap_multiple:g}x (cv={grade.cv:.3f}, "
+                f"n={grade.samples}): {issues}"
+            )
+    if args.rank:
+        print("ranking (gmean of wall/cpu/space/instability, lower is better):")
+        print(render_ranking(result.ranking))
+        if result.unranked:
+            print(
+                "unranked (no feasible measurement on some workload): "
+                + ", ".join(result.unranked)
+            )
+    print(
+        f"adaptive: executed {result.cells_executed} of {result.grid_cells} "
+        f"grid cells ({result.savings:.1%} saved) in {len(result.rounds)} rounds"
+    )
+    return 0
+
+
+def cmd_perfdiff(args: argparse.Namespace) -> int:
+    try:
+        baseline_paths, current_path = resolve_artifacts(args.artifacts)
+        baselines = [load_artifact(p) for p in baseline_paths]
+        current = load_artifact(current_path)
+        report = diff_artifacts(
+            baselines,
+            current,
+            threshold=args.threshold,
+            strict_timings=args.strict_timings,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"chopin: {exc}")
+    print(report.render() if not args.quiet else report.verdict())
+    return 0 if report.ok else 1
 
 
 def cmd_latency(args: argparse.Namespace) -> int:
@@ -681,6 +774,76 @@ def build_parser() -> argparse.ArgumentParser:
     p_lbo.add_argument("benchmark", choices=nominal_data.BENCHMARK_NAMES)
     _add_run_options(p_lbo)
     p_lbo.set_defaults(func=cmd_lbo)
+
+    p_plan = sub.add_parser(
+        "plan",
+        help="adaptive LBO sweep: bisect toward crossovers, refine until "
+        "CI, skip flat regions — and report cells saved vs the fixed grid",
+    )
+    p_plan.add_argument("benchmark", choices=nominal_data.BENCHMARK_NAMES)
+    p_plan.add_argument(
+        "--cell-budget",
+        type=_positive_int,
+        default=None,
+        help="max cells to execute (default: half the fixed grid)",
+    )
+    p_plan.add_argument(
+        "--target-ci",
+        type=float,
+        default=0.05,
+        help="relative CI half-width at which point refinement stops "
+        "(0 refines crossover brackets to the full invocation count)",
+    )
+    p_plan.add_argument(
+        "--seed",
+        type=_non_negative_int,
+        default=0,
+        help="tie-break seed: same seed + same cache state replays a "
+        "byte-identical schedule",
+    )
+    p_plan.add_argument(
+        "--rank",
+        action="store_true",
+        help="print the gmean collector ranking with per-component breakdown",
+    )
+    p_plan.add_argument(
+        "--cost-model",
+        default=None,
+        metavar="PATH",
+        help="saved EWMA cost model (e.g. a serve state dir's "
+        "costmodel.json) used to estimate each round's wall-clock price",
+    )
+    _add_run_options(p_plan)
+    p_plan.set_defaults(func=cmd_plan)
+
+    p_diff = sub.add_parser(
+        "perfdiff",
+        help="diff BENCH_*.json artifacts with CV-aware thresholds; "
+        "non-zero exit on regression",
+    )
+    p_diff.add_argument(
+        "artifacts",
+        nargs="+",
+        metavar="ARTIFACT",
+        help="baseline artifact(s) — files or a benchmarks/results "
+        "series directory — followed by the fresh artifact last",
+    )
+    p_diff.add_argument(
+        "--threshold",
+        type=_positive_float,
+        default=DEFAULT_THRESHOLD,
+        help="allowed relative drop on higher-is-better keys before the "
+        "diff fails (widened per key by 3x its CV across a baseline series)",
+    )
+    p_diff.add_argument(
+        "--strict-timings",
+        action="store_true",
+        help="gate raw *_s timing keys too (same-machine comparisons)",
+    )
+    p_diff.add_argument(
+        "--quiet", action="store_true", help="print only the one-line verdict"
+    )
+    p_diff.set_defaults(func=cmd_perfdiff)
 
     p_lat = sub.add_parser("latency", help="user-experienced latency for a benchmark")
     p_lat.add_argument("benchmark", choices=nominal_data.BENCHMARK_NAMES)

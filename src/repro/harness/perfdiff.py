@@ -1,0 +1,308 @@
+"""Perf-regression diffing for the committed benchmark artifacts.
+
+``chopin perfdiff`` keeps this repo's own performance claims honest: the
+benchmarks emit ``BENCH_engine.json`` / ``BENCH_sim.json`` snapshots, and
+this module diffs a fresh artifact against one committed baseline (or a
+``benchmarks/results/`` series) and answers in one line whether the
+kernel or the engine regressed — non-zero exit on regression, so CI can
+gate on it.
+
+Keys are classified by name, which is the contract the benchmark
+scripts already follow:
+
+- **exact** — determinism pins and configuration echoes (``cells``,
+  ``*_compared``, ``*_tolerance``, ``smoke``, booleans): any change is a
+  regression — a kernel that silently compares fewer scalars is lying,
+  and a smoke artifact must never gate against a full-scale one;
+- **result** — simulated results (``*_mb``): deterministic output of the
+  simulator, compared at a tight relative tolerance;
+- **ratio** — higher-is-better throughput and speedup figures
+  (``*speedup*``, ``*_per_s``): the gate proper.  Ratios are measured on
+  one machine against itself, so they travel across hosts far better
+  than raw seconds; the default threshold still forgives half the
+  baseline before failing, which catches the order-of-magnitude
+  regressions that matter (a vector kernel silently falling back to
+  scalar) without flaking on load noise;
+- **timing** — raw wall seconds (``*_s``): machine-dependent, so
+  informational by default (``strict_timings`` turns them into gates).
+
+CV-aware thresholds are the FlakeBench derived-metrics idea: given a
+*series* of baselines, each key's threshold widens to three times its
+observed coefficient of variation across the series, so a historically
+noisy metric does not flake the gate while a historically stable one
+stays tight.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.planner.score import coefficient_of_variation
+
+#: Allowed relative drop on higher-is-better keys before the diff fails.
+DEFAULT_THRESHOLD = 0.5
+
+#: Relative tolerance for deterministic simulation results (``result``).
+RESULT_TOLERANCE = 1e-9
+
+#: Key kinds, in display order.
+KIND_EXACT = "exact"
+KIND_RESULT = "result"
+KIND_RATIO = "ratio"
+KIND_TIMING = "timing"
+KIND_OTHER = "other"
+
+#: Diff statuses.  ``regression`` and ``missing`` fail the gate.
+STATUS_OK = "ok"
+STATUS_IMPROVED = "improved"
+STATUS_REGRESSION = "regression"
+STATUS_MISSING = "missing"
+STATUS_NEW = "new"
+STATUS_INFO = "info"
+
+
+def classify_key(key: str, value: object) -> str:
+    """Which comparison discipline a benchmark key gets (see module doc)."""
+    if isinstance(value, bool) or isinstance(value, str):
+        return KIND_EXACT
+    if key == "cells" or key.endswith("_compared") or key.endswith("_tolerance"):
+        return KIND_EXACT
+    if "speedup" in key or key.endswith("_per_s"):
+        return KIND_RATIO
+    if key.endswith("_mb"):
+        return KIND_RESULT
+    if key.endswith("_s"):
+        return KIND_TIMING
+    return KIND_OTHER
+
+
+@dataclass(frozen=True)
+class KeyDiff:
+    """One key's comparison: values, change, and the gate's decision.
+
+    ``change`` is the relative change new/old − 1 (None where undefined);
+    ``threshold`` the effective allowance after CV widening; ``cv`` the
+    key's coefficient of variation across the baseline series (0.0 with
+    a single baseline).
+    """
+
+    key: str
+    kind: str
+    old: object
+    new: object
+    change: Optional[float]
+    threshold: float
+    cv: float
+    status: str
+
+    def describe(self) -> str:
+        """One aligned line for the detail table."""
+        if self.change is None:
+            delta = ""
+        else:
+            delta = f"{self.change:+8.1%}"
+        return (
+            f"{self.status:>10}  {self.kind:<7} {self.key:<28} "
+            f"{_fmt(self.old):>14} -> {_fmt(self.new):>14}  {delta}"
+        )
+
+
+def _fmt(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+@dataclass(frozen=True)
+class DiffReport:
+    """The whole comparison: per-key diffs plus the one-line verdict."""
+
+    diffs: Tuple[KeyDiff, ...]
+    threshold: float
+    baselines: int
+
+    @property
+    def regressions(self) -> Tuple[KeyDiff, ...]:
+        return tuple(
+            d for d in self.diffs if d.status in (STATUS_REGRESSION, STATUS_MISSING)
+        )
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def verdict(self) -> str:
+        """The one-line answer ``chopin perfdiff`` prints last."""
+        gated = [d for d in self.diffs if d.kind in (KIND_RATIO, KIND_RESULT, KIND_EXACT)]
+        if not self.ok:
+            worst = min(
+                self.regressions,
+                key=lambda d: d.change if d.change is not None else 0.0,
+            )
+            detail = (
+                f"{worst.key} {_fmt(worst.old)} -> {_fmt(worst.new)}"
+                + (
+                    f" ({worst.change:+.1%}, allowed -{worst.threshold:.1%})"
+                    if worst.change is not None and worst.kind == KIND_RATIO
+                    else ""
+                )
+            )
+            return (
+                f"perfdiff: FAIL - {len(self.regressions)} regression"
+                f"{'s' if len(self.regressions) != 1 else ''} "
+                f"in {len(self.diffs)} keys; worst: {detail}"
+            )
+        drops = [d for d in gated if d.kind == KIND_RATIO and d.change is not None]
+        worst_drop = min(drops, key=lambda d: d.change, default=None)
+        tail = ""
+        if worst_drop is not None and worst_drop.change < 0:
+            tail = (
+                f"; worst drop {worst_drop.key} {worst_drop.change:+.1%} "
+                f"(allowed -{worst_drop.threshold:.1%})"
+            )
+        series = f", {self.baselines}-artifact baseline" if self.baselines > 1 else ""
+        return (
+            f"perfdiff: PASS - {len(self.diffs)} keys compared, "
+            f"0 regressions{series}{tail}"
+        )
+
+    def render(self) -> str:
+        """Detail table, stable key order, verdict last."""
+        lines = [d.describe() for d in self.diffs]
+        lines.append(self.verdict())
+        return "\n".join(lines)
+
+
+def diff_artifacts(
+    baselines: Sequence[Mapping[str, object]],
+    current: Mapping[str, object],
+    threshold: float = DEFAULT_THRESHOLD,
+    strict_timings: bool = False,
+) -> DiffReport:
+    """Diff ``current`` against a baseline series (oldest first).
+
+    The newest baseline supplies the reference values; older baselines
+    only widen per-key thresholds through their CV.  ``strict_timings``
+    turns raw-seconds keys into gates (same threshold discipline) for
+    same-machine comparisons.
+    """
+    if not baselines:
+        raise ValueError("perfdiff needs at least one baseline artifact")
+    if threshold <= 0:
+        raise ValueError(f"threshold must be positive, got {threshold}")
+    reference = baselines[-1]
+    diffs: List[KeyDiff] = []
+    for key in sorted(set(reference) | set(current)):
+        old = reference.get(key)
+        new = current.get(key)
+        kind = classify_key(key, old if old is not None else new)
+        history = [
+            float(b[key])
+            for b in baselines
+            if isinstance(b.get(key), (int, float)) and not isinstance(b.get(key), bool)
+        ]
+        cv = coefficient_of_variation(history) if len(history) >= 2 else 0.0
+        effective = max(threshold, 3.0 * cv)
+        if old is None:
+            diffs.append(KeyDiff(key, kind, None, new, None, effective, cv, STATUS_NEW))
+            continue
+        if new is None:
+            diffs.append(
+                KeyDiff(key, kind, old, None, None, effective, cv, STATUS_MISSING)
+            )
+            continue
+        diffs.append(_diff_key(key, kind, old, new, effective, cv, strict_timings))
+    return DiffReport(diffs=tuple(diffs), threshold=threshold, baselines=len(baselines))
+
+
+def _diff_key(
+    key: str,
+    kind: str,
+    old: object,
+    new: object,
+    threshold: float,
+    cv: float,
+    strict_timings: bool,
+) -> KeyDiff:
+    change: Optional[float] = None
+    if (
+        isinstance(old, (int, float))
+        and isinstance(new, (int, float))
+        and not isinstance(old, bool)
+        and not isinstance(new, bool)
+        and float(old) != 0.0
+    ):
+        change = float(new) / float(old) - 1.0
+    if kind == KIND_EXACT:
+        status = STATUS_OK if old == new else STATUS_REGRESSION
+        return KeyDiff(key, kind, old, new, change, threshold, cv, status)
+    if change is None:
+        return KeyDiff(key, kind, old, new, change, threshold, cv, STATUS_INFO)
+    if kind == KIND_RESULT:
+        status = STATUS_OK if abs(change) <= RESULT_TOLERANCE else STATUS_REGRESSION
+    elif kind == KIND_RATIO:
+        if change < -threshold:
+            status = STATUS_REGRESSION
+        elif change > threshold:
+            status = STATUS_IMPROVED
+        else:
+            status = STATUS_OK
+    elif kind == KIND_TIMING and strict_timings:
+        status = STATUS_REGRESSION if change > threshold else STATUS_OK
+    else:
+        status = STATUS_INFO
+    return KeyDiff(key, kind, old, new, change, threshold, cv, status)
+
+
+def load_artifact(path: Union[str, Path]) -> Dict[str, object]:
+    """Read one benchmark artifact; errors name the file."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except OSError as exc:
+        raise ValueError(f"{path}: cannot read artifact ({exc})") from exc
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path}: artifact is not valid JSON ({exc})") from exc
+    if not isinstance(payload, dict):
+        raise ValueError(f"{path}: artifact must be a JSON object")
+    return payload
+
+
+def resolve_artifacts(
+    paths: Sequence[Union[str, Path]]
+) -> Tuple[List[Path], Path]:
+    """Expand CLI positionals into (baseline series, current artifact).
+
+    The last positional is the fresh artifact; everything before it is
+    baseline history, oldest first.  A directory positional expands to
+    its ``*.json`` files matching the fresh artifact's basename (so
+    ``chopin perfdiff benchmarks/results BENCH_sim.json`` diffs against
+    the committed series), sorted by name.
+    """
+    if len(paths) < 2:
+        raise ValueError("perfdiff needs at least a baseline and a fresh artifact")
+    current = Path(paths[-1])
+    if current.is_dir():
+        raise ValueError(f"{current}: the fresh artifact must be a file")
+    baselines: List[Path] = []
+    for raw in paths[:-1]:
+        p = Path(raw)
+        if p.is_dir():
+            matches = sorted(p.glob(f"*{current.stem}*.json"))
+            if not matches:
+                matches = sorted(p.glob("*.json"))
+            if not matches:
+                raise ValueError(f"{p}: no baseline artifacts found")
+            baselines.extend(m for m in matches if m.resolve() != current.resolve())
+        else:
+            baselines.append(p)
+    if not baselines:
+        raise ValueError("no baseline artifacts resolved")
+    return baselines, current

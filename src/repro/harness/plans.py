@@ -384,6 +384,388 @@ def _assemble_latency(
     return runs
 
 
+# ----------------------------------------------------------------------
+# Adaptive planning: spend cells where the answer is.
+
+
+@dataclass(frozen=True)
+class AdaptivePlan:
+    """An adaptive sweep: the fixed grid it prunes, plus planner knobs.
+
+    ``grid`` is the :class:`ExperimentPlan` the planner treats as its
+    candidate universe — the planner only ever proposes cells *of the
+    grid* (same spec, collector, ``heap_mb_for(multiple)``, invocation,
+    config), which is what makes every executed cell bit-identical to
+    the fixed-grid run and lets warm caches serve either.  ``cell_budget``
+    is the hard ceiling on executed cells (default: half the grid);
+    ``target_ci`` the relative CI half-width at which refinement stops
+    (0.0 never stops early: endpoints refine to the grid's invocation
+    count, which is how the CI smoke reproduces grid crossovers
+    exactly); ``seed`` feeds the policy tie-break.
+    """
+
+    grid: ExperimentPlan
+    cell_budget: int
+    target_ci: float = 0.05
+    seed: int = 0
+    flat_threshold: float = 0.05
+    max_rounds: int = 64
+
+    def __post_init__(self) -> None:
+        if self.grid.kind != "lbo":
+            raise ValueError("adaptive planning drives LBO sweeps only")
+        if self.cell_budget < 1:
+            raise ValueError(f"cell budget must be at least 1, got {self.cell_budget}")
+        if self.target_ci < 0:
+            raise ValueError(f"target_ci must be non-negative, got {self.target_ci}")
+        if self.max_rounds < 1:
+            raise ValueError(f"max_rounds must be at least 1, got {self.max_rounds}")
+
+    @property
+    def grid_cells(self) -> int:
+        """Size of the fixed grid the planner is pruning."""
+        return self.grid.cell_count
+
+
+@dataclass(frozen=True)
+class AdaptiveRound:
+    """One propose → execute → refit round of :func:`run_adaptive`."""
+
+    index: int
+    proposed: int
+    executed: int
+    budget_left: int
+    reasons: Tuple[Tuple[str, int], ...]
+    estimated_cost_s: float = 0.0
+
+    def reason_summary(self) -> str:
+        """Compact ``reason:count`` line (``"scout:15 bisect:4"``)."""
+        return " ".join(f"{reason}:{count}" for reason, count in self.reasons)
+
+
+@dataclass(frozen=True)
+class AdaptiveResult:
+    """What an adaptive sweep learned, and what it cost.
+
+    ``crossovers`` maps ``(benchmark, collector_a, collector_b)`` (pair
+    in plan order) to the heap multiples where the two mean-cost curves
+    cross — the baseline-independent quantity LBO crossovers reduce to.
+    ``grades`` carries the final :class:`~repro.planner.CellGrade` per
+    measured point; ``ranking`` the gmean
+    :class:`~repro.planner.CollectorScore` order (best first) over
+    collectors rankable in *every* workload, with the rest in
+    ``unranked``.  ``schedule`` is the executed cell keys in execution
+    order — the byte-identical artifact the determinism tests pin.
+    """
+
+    plan: AdaptivePlan
+    rounds: Tuple[AdaptiveRound, ...]
+    grades: Dict[Tuple[str, str, float], "CellGrade"]
+    crossovers: Dict[Tuple[str, str, str], Tuple[float, ...]]
+    ranking: Tuple["CollectorScore", ...]
+    unranked: Tuple[str, ...]
+    schedule: Tuple[str, ...]
+    cells_executed: int
+    grid_cells: int
+
+    @property
+    def savings(self) -> float:
+        """Fraction of the fixed grid the planner did not execute."""
+        return 1.0 - self.cells_executed / self.grid_cells
+
+
+def plan_adaptive(
+    specs: Union[WorkloadSpec, Sequence[WorkloadSpec]],
+    collectors: Sequence[str] = COLLECTOR_NAMES,
+    multiples: Sequence[float] = DEFAULT_MULTIPLES,
+    config: RunConfig = DEFAULT_CONFIG,
+    cell_budget: Optional[int] = None,
+    target_ci: float = 0.05,
+    seed: int = 0,
+    flat_threshold: float = 0.05,
+    max_rounds: int = 64,
+) -> AdaptivePlan:
+    """Plan an adaptive LBO sweep over the standard fixed grid.
+
+    The default budget is half the grid — the planner must earn its
+    keep — and :func:`run_adaptive` stops earlier the moment every
+    workload settles.  The candidate grid resolves fidelity exactly
+    like :func:`plan_lbo`, so adaptive and fixed cells share cache keys.
+    """
+    grid = plan_lbo(specs, collectors, multiples, config)
+    if cell_budget is None:
+        cell_budget = (grid.cell_count + 1) // 2
+    return AdaptivePlan(
+        grid=grid,
+        cell_budget=cell_budget,
+        target_ci=target_ci,
+        seed=seed,
+        flat_threshold=flat_threshold,
+        max_rounds=max_rounds,
+    )
+
+
+def _adaptive_rows(
+    take: Sequence["Proposal"], plan: AdaptivePlan
+) -> Tuple[List[Cell], List["Proposal"]]:
+    """Group one round's admitted proposals into (workload, collector)
+    rows — the same shared-model structure :meth:`ExperimentPlan.rows`
+    gives the batch kernel — and build their grid cells."""
+    by_spec = {spec.name: spec for spec in plan.grid.specs}
+    row_order: List[Tuple[str, str]] = []
+    rows: Dict[Tuple[str, str], List["Proposal"]] = {}
+    for proposal in take:
+        key = (proposal.benchmark, proposal.collector)
+        if key not in rows:
+            rows[key] = []
+            row_order.append(key)
+        rows[key].append(proposal)
+    cells: List[Cell] = []
+    ordered: List["Proposal"] = []
+    for key in row_order:
+        for proposal in rows[key]:
+            spec = by_spec[proposal.benchmark]
+            cells.append(
+                Cell(
+                    spec=spec,
+                    collector=proposal.collector,
+                    heap_mb=spec.heap_mb_for(proposal.multiple),
+                    invocation=proposal.invocation,
+                    config=plan.grid.config,
+                )
+            )
+            ordered.append(proposal)
+    return cells, ordered
+
+
+def run_adaptive(
+    plan: AdaptivePlan,
+    engine: Optional[ExecutionEngine] = None,
+    cost_model=None,
+) -> AdaptiveResult:
+    """Drive the adaptive loop: propose → execute → refit until settled.
+
+    Each round collects every workload's proposals, admits the best
+    ``budget_left`` of them (priority order, seeded tie-break), runs
+    them through the engine — cache, batch kernel, supervisor, and
+    recorder all compose exactly as for :func:`run_plan` — and feeds the
+    results back into the planners.  The loop ends when every planner
+    is settled, the budget is spent, or ``max_rounds`` passes.
+
+    ``cost_model`` is an optional (typically
+    :meth:`~repro.resilience.CostModel.load`-ed) EWMA model used to
+    annotate rounds with an estimated wall-clock price; it never
+    influences which cells run, so schedules are machine-independent.
+
+    If the engine carries an enabled flight recorder the sweep is
+    upgraded to full fidelity (mirroring :func:`run_plan`) and every
+    round emits a :class:`~repro.observability.PlannerRound` instant
+    plus one :class:`~repro.observability.CellGraded` per point whose
+    grade changed, all on round-counted timestamps.
+    """
+    from repro.observability import CellGraded, PlannerRound
+    from repro.planner import (
+        Planner,
+        baseline_for,
+        crossover_points,
+        family_components,
+        grade_cell,
+        predict_cost,
+        score_collector,
+    )
+    from repro.core.stats import geometric_mean
+
+    engine = engine if engine is not None else ExecutionEngine()
+    grid = plan.grid
+    if engine.recorder.enabled and grid.config.fidelity != FIDELITY_FULL:
+        grid = replace(grid, config=replace(grid.config, fidelity=FIDELITY_FULL))
+        plan = replace(plan, grid=grid)
+    planners = {
+        spec.name: Planner(
+            spec,
+            grid.collectors,
+            grid.multiples,
+            grid.config,
+            target_ci=plan.target_ci,
+            seed=plan.seed,
+            flat_threshold=plan.flat_threshold,
+        )
+        for spec in grid.specs
+    }
+    budget_left = plan.cell_budget
+    schedule: List[str] = []
+    rounds: List[AdaptiveRound] = []
+    grades: Dict[Tuple[str, str, float], "CellGrade"] = {}
+    for round_index in range(plan.max_rounds):
+        if budget_left <= 0:
+            break
+        proposals: List["Proposal"] = []
+        for spec in grid.specs:
+            proposals.extend(planners[spec.name].propose())
+        if not proposals:
+            break
+        take = sorted(proposals, key=lambda p: p.sort_key)[:budget_left]
+        cells, ordered = _adaptive_rows(take, plan)
+        results = engine.run_cells(cells)
+        for proposal, result in zip(ordered, results):
+            planners[proposal.benchmark].observe(
+                proposal.collector, proposal.multiple, result
+            )
+            schedule.append(result.key)
+        budget_left -= len(ordered)
+        reason_counts: Dict[str, int] = {}
+        for proposal in ordered:
+            reason_counts[proposal.reason] = reason_counts.get(proposal.reason, 0) + 1
+        estimated = sum(
+            predict_cost(cost_model, p.benchmark, p.collector) for p in ordered
+        )
+        round_record = AdaptiveRound(
+            index=round_index,
+            proposed=len(proposals),
+            executed=len(ordered),
+            budget_left=budget_left,
+            reasons=tuple(sorted(reason_counts.items())),
+            estimated_cost_s=estimated,
+        )
+        rounds.append(round_record)
+        touched = sorted({(p.benchmark, p.collector, p.multiple) for p in ordered})
+        for benchmark, collector, multiple in touched:
+            planner = planners[benchmark]
+            grade = grade_cell(
+                benchmark,
+                collector,
+                multiple,
+                planner.wall_samples(collector, multiple),
+                oom=multiple in planner.ooms.get(collector, ()),
+            )
+            grades[(benchmark, collector, multiple)] = grade
+            if engine.recorder.enabled:
+                engine.recorder.emit(
+                    CellGraded(
+                        ts=float(round_index),
+                        benchmark=benchmark,
+                        collector=collector,
+                        heap_multiple=multiple,
+                        score=grade.score,
+                        grade=grade.grade,
+                        cv=grade.cv,
+                        samples=grade.samples,
+                    )
+                )
+        if engine.recorder.enabled:
+            engine.recorder.emit(
+                PlannerRound(
+                    ts=float(round_index),
+                    index=round_index,
+                    proposed=round_record.proposed,
+                    executed=round_record.executed,
+                    budget_left=round_record.budget_left,
+                    reasons=round_record.reason_summary(),
+                )
+            )
+    # Refit once more and assemble crossovers plus the gmean ranking.
+    crossovers: Dict[Tuple[str, str, str], Tuple[float, ...]] = {}
+    per_spec_components: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for spec in grid.specs:
+        models = planners[spec.name].models()
+        for i, a in enumerate(grid.collectors):
+            for b in grid.collectors[i + 1 :]:
+                points = crossover_points(models[a].series(), models[b].series())
+                if points:
+                    crossovers[(spec.name, a, b)] = points
+        baseline = baseline_for(list(models.values()))
+        if baseline is None:
+            continue
+        for collector in grid.collectors:
+            components = family_components(models[collector], baseline)
+            if components is not None:
+                per_spec_components.setdefault(collector, {})[spec.name] = components
+    ranking = []
+    unranked = []
+    names = [spec.name for spec in grid.specs]
+    for collector in grid.collectors:
+        per_spec = per_spec_components.get(collector, {})
+        if len(per_spec) != len(names):
+            # Like the paper's geomean rule: a collector that could not
+            # run some workload at any measured heap size has no honest
+            # suite-wide score.
+            unranked.append(collector)
+            continue
+        folded = {
+            key: geometric_mean([per_spec[name][key] for name in names])
+            for key in ("wall_overhead", "cpu_overhead", "space_cost", "instability")
+        }
+        ranking.append(
+            score_collector(
+                collector,
+                wall_overhead=folded["wall_overhead"],
+                cpu_overhead=folded["cpu_overhead"],
+                space_cost=folded["space_cost"],
+                instability=folded["instability"],
+            )
+        )
+    ranking.sort(key=lambda s: (s.single_value(), s.collector))
+    return AdaptiveResult(
+        plan=plan,
+        rounds=tuple(rounds),
+        grades=grades,
+        crossovers=crossovers,
+        ranking=tuple(ranking),
+        unranked=tuple(unranked),
+        schedule=tuple(schedule),
+        cells_executed=len(schedule),
+        grid_cells=plan.grid_cells,
+    )
+
+
+#: Heap-factor tolerance within which adaptive crossovers must agree
+#: with the fixed grid's (asserted by the CI planner smoke).  Crossovers
+#: are interpolated between adjacent grid multiples, so an adaptive run
+#: that leaves a bracket endpoint at fewer invocations than the grid can
+#: shift the interpolation by a fraction of one grid step; a quarter of
+#: a heap factor bounds that comfortably at the default grids.
+PLAN_CROSSOVER_TOLERANCE = 0.25
+
+
+def grid_crossovers(
+    grid: ExperimentPlan, engine: Optional[ExecutionEngine] = None
+) -> Dict[Tuple[str, str, str], Tuple[float, ...]]:
+    """Fixed-grid crossover ground truth for an LBO plan.
+
+    Runs the *whole* grid and interpolates where each collector pair's
+    mean wall-cost curves cross — the same baseline-independent
+    computation :func:`run_adaptive` applies to its subset, so the two
+    are directly comparable (CI smoke, determinism tests).  OOM groups
+    drop exactly as LBO assembly drops them.
+    """
+    from repro.planner import crossover_points
+
+    if grid.kind != "lbo":
+        raise ValueError("crossovers are defined for LBO plans only")
+    engine = engine if engine is not None else ExecutionEngine()
+    results = engine.run_cells(grid.cells())
+    crossovers: Dict[Tuple[str, str, str], Tuple[float, ...]] = {}
+    per_group = grid.config.invocations
+    cursor = 0
+    for spec in grid.specs:
+        series: Dict[str, List[Tuple[float, float]]] = {}
+        for collector in grid.collectors:
+            for multiple in grid.multiples:
+                group = results[cursor : cursor + per_group]
+                cursor += per_group
+                if _first_oom(group) is None:
+                    walls = [costs_from_iteration(r.timed).wall_s for r in group]
+                    series.setdefault(collector, []).append(
+                        (multiple, sum(walls) / len(walls))
+                    )
+        for i, a in enumerate(grid.collectors):
+            for b in grid.collectors[i + 1 :]:
+                points = crossover_points(series.get(a, ()), series.get(b, ()))
+                if points:
+                    crossovers[(spec.name, a, b)] = points
+    return crossovers
+
+
 def _scaled_for_replay(spec: WorkloadSpec, duration_scale: float) -> WorkloadSpec:
     """Shrink the request stream and execution time together so that the
     per-request mean service time matches the full-size run.

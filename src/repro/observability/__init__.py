@@ -28,6 +28,7 @@ from repro.observability.events import (
     BreakerOpened,
     BudgetExceeded,
     CacheMiss,
+    CellGraded,
     CellSpan,
     CompileWarmup,
     ConcurrentSpan,
@@ -37,6 +38,7 @@ from repro.observability.events import (
     IterationSpan,
     JobSpan,
     NullRecorder,
+    PlannerRound,
     QueueDepth,
     Recorder,
     RecorderLike,
@@ -67,6 +69,7 @@ __all__ = [
     "BreakerOpened",
     "BudgetExceeded",
     "CacheMiss",
+    "CellGraded",
     "CellSpan",
     "CompileWarmup",
     "ConcurrentSpan",
@@ -80,6 +83,7 @@ __all__ = [
     "LogLinearHistogram",
     "MetricsRegistry",
     "NullRecorder",
+    "PlannerRound",
     "QueueDepth",
     "Recorder",
     "RecorderLike",

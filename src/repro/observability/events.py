@@ -20,6 +20,9 @@ every layer of the system:
   :class:`DrainStarted`) describe why the supervisor refused work — a
   cell the deadline budget could not afford, a workload×collector family
   whose circuit breaker tripped, or a signal-initiated graceful drain;
+- planner events (:class:`PlannerRound`, :class:`CellGraded`) describe
+  the adaptive planner's propose→execute→refit rounds and the CV-based
+  validity grade attached to every measured sweep point;
 - service events (:class:`JobSpan`, :class:`QueueDepth`) describe the
   sweep service's job pipeline: one span per job from claim to terminal
   state, and queue-depth samples at every queue transition.
@@ -260,6 +263,42 @@ class DrainStarted(TraceEvent):
     SIGTERM, or a programmatic drain request)."""
 
     signal: str = ""
+
+
+@dataclass(frozen=True)
+class PlannerRound(TraceEvent):
+    """One propose → execute → refit round of the adaptive planner.
+
+    Planner time is round-counted, not wall-clock: ``ts`` is the 0-based
+    round index (so recordings stay deterministic), ``proposed`` how many
+    cells the policies asked for, ``executed`` how many the budget
+    admitted, ``budget_left`` what remains afterwards, and ``reasons`` a
+    compact ``reason:count`` summary (``"scout:15 bisect:4"``) of why.
+    """
+
+    index: int = 0
+    proposed: int = 0
+    executed: int = 0
+    budget_left: int = 0
+    reasons: str = ""
+
+
+@dataclass(frozen=True)
+class CellGraded(TraceEvent):
+    """A measured sweep point received its CV-based validity grade.
+
+    Emitted by :func:`repro.harness.plans.run_adaptive` after each
+    round's refit, on the round's timestamp; ``cv`` and ``samples`` are
+    the dispersion evidence behind the grade.
+    """
+
+    benchmark: str = ""
+    collector: str = ""
+    heap_multiple: float = 0.0
+    score: float = 0.0
+    grade: str = ""
+    cv: float = 0.0
+    samples: int = 0
 
 
 @dataclass(frozen=True)

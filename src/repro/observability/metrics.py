@@ -27,12 +27,14 @@ from repro.observability.events import (
     BudgetExceeded,
     CacheHit,
     CacheMiss,
+    CellGraded,
     CellSpan,
     CompileWarmup,
     DrainStarted,
     FaultInjected,
     GcPause,
     JobSpan,
+    PlannerRound,
     QueueDepth,
     RetryAttempt,
     TraceEvent,
@@ -213,6 +215,16 @@ class MetricsRegistry:
                 self.counter("supervision.breaker_opened").inc()
             elif isinstance(event, DrainStarted):
                 self.counter("supervision.drains").inc()
+            elif isinstance(event, PlannerRound):
+                self.counter("planner.rounds").inc()
+                self.counter("planner.cells_proposed").inc(event.proposed)
+                self.counter("planner.cells_executed").inc(event.executed)
+            elif isinstance(event, CellGraded):
+                self.counter("planner.cells_graded").inc()
+                self.counter(f"planner.grade.{event.grade.lower()}").inc()
+                self.histogram("planner.grade_score", min_value=1e-3).record(
+                    event.score
+                )
             elif isinstance(event, JobSpan):
                 self.counter("service.jobs.served").inc()
                 self.counter(f"service.jobs.{event.state.lower()}").inc()

@@ -38,6 +38,7 @@ from repro.observability.events import (
     BudgetExceeded,
     CacheHit,
     CacheMiss,
+    CellGraded,
     CellSpan,
     CompileWarmup,
     ConcurrentSpan,
@@ -46,6 +47,7 @@ from repro.observability.events import (
     GcPause,
     IterationSpan,
     JobSpan,
+    PlannerRound,
     QueueDepth,
     RetryAttempt,
     SpanEvent,
@@ -230,6 +232,48 @@ def chrome_trace_events(events: Iterable[TraceEvent]) -> List[dict]:
                     "cat": "supervision",
                     "ph": "I",
                     "s": "p",
+                    "ts": _micros(event.ts),
+                    "pid": TRACE_PID,
+                    "tid": event.track,
+                    "args": args,
+                }
+            )
+            continue
+        if isinstance(event, (PlannerRound, CellGraded)):
+            # Planner events are instants on round-counted time: the
+            # round marks are process-scoped (one planning decision per
+            # round), grades are thread-scoped (one per sweep point).
+            if isinstance(event, PlannerRound):
+                name = f"planner-round {event.index}"
+                scope = "p"
+                args = {
+                    "index": event.index,
+                    "proposed": event.proposed,
+                    "executed": event.executed,
+                    "budget_left": event.budget_left,
+                    "reasons": event.reasons,
+                }
+            else:
+                name = (
+                    f"grade {event.benchmark}/{event.collector}"
+                    f"@{event.heap_multiple:g}x: {event.grade}"
+                )
+                scope = "t"
+                args = {
+                    "benchmark": event.benchmark,
+                    "collector": event.collector,
+                    "heap_multiple": event.heap_multiple,
+                    "score": event.score,
+                    "grade": event.grade,
+                    "cv": event.cv,
+                    "samples": event.samples,
+                }
+            out.append(
+                {
+                    "name": name,
+                    "cat": "planner",
+                    "ph": "I",
+                    "s": scope,
                     "ts": _micros(event.ts),
                     "pid": TRACE_PID,
                     "tid": event.track,

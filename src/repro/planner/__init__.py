@@ -1,0 +1,90 @@
+"""repro.planner — adaptive sweep planning: spend cells where the answer is.
+
+The fixed-grid harness measures every (workload, collector, heap-factor)
+cell; at production scale most of that grid is flat curve carrying no
+information.  This subsystem replaces enumeration with an active loop:
+
+- :mod:`.model` — per-(workload, collector) :class:`CurveModel` fit from
+  completed cells, crossover and knee prediction, and cost estimation
+  through the supervisor's EWMA :class:`~repro.resilience.CostModel`;
+- :mod:`.policy` — the deterministic acquisition :class:`Planner`:
+  scout, bisect-toward-crossover, refine-until-CI, skip-flat-regions,
+  OOM-frontier search, all tie-broken by a seeded hash so schedules are
+  byte-identical across runs;
+- :mod:`.score` — CV-based :class:`CellGrade` validity scores per
+  measured point and the gmean :class:`CollectorScore` ranking.
+
+The driving loop lives in :func:`repro.harness.plans.run_adaptive`
+(CLI: ``chopin plan``); the planner itself never executes anything —
+it only decides, which is what keeps it pure and testable.
+"""
+
+from repro.planner.model import (
+    FLAT_THRESHOLD,
+    CurveModel,
+    CurvePoint,
+    baseline_for,
+    crossover_points,
+    family_components,
+    predict_cost,
+)
+from repro.planner.policy import (
+    PRIORITIES,
+    REASON_BISECT,
+    REASON_FRONTIER,
+    REASON_KNEE,
+    REASON_REFINE,
+    REASON_SCOUT,
+    Planner,
+    Proposal,
+)
+from repro.planner.score import (
+    CV_HIGH,
+    CV_VERY_HIGH,
+    GRADE_EXCELLENT,
+    GRADE_FAIR,
+    GRADE_GOOD,
+    GRADE_POOR,
+    GRADES,
+    SCORE_COMPONENTS,
+    CellGrade,
+    CollectorScore,
+    coefficient_of_variation,
+    grade_cell,
+    rank_collectors,
+    render_ranking,
+    score_collector,
+)
+
+__all__ = [
+    "CV_HIGH",
+    "CV_VERY_HIGH",
+    "CellGrade",
+    "CollectorScore",
+    "CurveModel",
+    "CurvePoint",
+    "FLAT_THRESHOLD",
+    "GRADES",
+    "GRADE_EXCELLENT",
+    "GRADE_FAIR",
+    "GRADE_GOOD",
+    "GRADE_POOR",
+    "PRIORITIES",
+    "Planner",
+    "Proposal",
+    "REASON_BISECT",
+    "REASON_FRONTIER",
+    "REASON_KNEE",
+    "REASON_REFINE",
+    "REASON_SCOUT",
+    "SCORE_COMPONENTS",
+    "baseline_for",
+    "coefficient_of_variation",
+    "crossover_points",
+    "family_components",
+    "grade_cell",
+    "predict_cost",
+    "rank_collectors",
+    "render_ranking",
+    "score_collector",
+]

@@ -1,0 +1,298 @@
+"""Curve models fit from completed cells: where is the signal?
+
+The planner's world model.  Each (workload, collector) family gets a
+:class:`CurveModel` fit from whatever cells have completed so far: mean
+wall/task cost per measured heap multiple, confidence intervals across
+invocations, and the OOM frontier.  From two models the planner asks the
+questions that drive acquisition:
+
+- :func:`crossover_points` — where do two collectors' cost curves cross?
+  LBO overhead is ``total / distilled_baseline`` with a *shared* baseline
+  per benchmark (Cai et al.), so the heap factor where two overhead
+  curves cross is exactly the heap factor where the raw mean wall curves
+  cross — crossovers are baseline-independent, which is what lets an
+  adaptive subset reproduce the fixed grid's crossovers without
+  measuring the whole grid.
+- :meth:`CurveModel.is_flat` — is a segment carrying information?  Flat
+  segments (relative cost change below a threshold) are skipped.
+- :meth:`CurveModel.knee` — where does the curve bend hardest?  The
+  discrete-curvature knee approximates the min-heap cliff the paper's
+  Section 4.2 puts extra grid resolution on.
+
+Cost prediction delegates to the supervisor's EWMA
+:class:`~repro.resilience.CostModel` (:func:`predict_cost`), so a warm
+``costmodel.json`` lets ``chopin plan`` estimate the price of a schedule
+before running it.  Everything here is a pure function of simulated
+measurements — live wall-clock never feeds back into planning decisions,
+which is what keeps planned schedules byte-identical across machines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.lbo import RunCosts
+from repro.core.stats import ConfidenceInterval, confidence_interval_95
+from repro.resilience import CostModel
+
+#: Relative wall-cost change below which a segment between two measured
+#: multiples is considered flat (no crossover or knee worth chasing).
+FLAT_THRESHOLD = 0.05
+
+
+@dataclass(frozen=True)
+class CurvePoint:
+    """One measured point of a family's cost curve."""
+
+    multiple: float
+    mean_wall_s: float
+    mean_task_s: float
+    mean_distilled_wall_s: float
+    mean_distilled_task_s: float
+    wall_ci: ConfidenceInterval
+    samples: int
+
+    @property
+    def relative_half_width(self) -> float:
+        """CI half-width as a fraction of the mean (inf for one sample)."""
+        if self.wall_ci.mean == 0.0:
+            return 0.0
+        return abs(self.wall_ci.half_width / self.wall_ci.mean)
+
+
+class CurveModel:
+    """One (workload, collector) family's fitted cost curve.
+
+    Built by :meth:`fit` from per-multiple invocation samples plus the
+    set of multiples known to be infeasible (OOM).  Points are kept in
+    ascending multiple order; predictions between measured points are
+    linear interpolations, the same rule :func:`crossover_points` uses.
+    """
+
+    def __init__(
+        self,
+        benchmark: str,
+        collector: str,
+        points: Sequence[CurvePoint],
+        ooms: Sequence[float] = (),
+    ) -> None:
+        self.benchmark = benchmark
+        self.collector = collector
+        self.points: Tuple[CurvePoint, ...] = tuple(
+            sorted(points, key=lambda p: p.multiple)
+        )
+        self.ooms: Tuple[float, ...] = tuple(sorted(ooms))
+
+    @classmethod
+    def fit(
+        cls,
+        benchmark: str,
+        collector: str,
+        samples: Mapping[float, Sequence[RunCosts]],
+        ooms: Sequence[float] = (),
+    ) -> "CurveModel":
+        """Fit the curve from per-multiple :class:`RunCosts` samples."""
+        points = []
+        for multiple, runs in samples.items():
+            if not runs:
+                continue
+            walls = [c.wall_s for c in runs]
+            points.append(
+                CurvePoint(
+                    multiple=multiple,
+                    mean_wall_s=sum(walls) / len(walls),
+                    mean_task_s=sum(c.task_s for c in runs) / len(runs),
+                    mean_distilled_wall_s=sum(c.distilled_wall_s for c in runs)
+                    / len(runs),
+                    mean_distilled_task_s=sum(c.distilled_task_s for c in runs)
+                    / len(runs),
+                    wall_ci=confidence_interval_95(walls),
+                    samples=len(runs),
+                )
+            )
+        return cls(benchmark, collector, points, ooms)
+
+    def multiples(self) -> Tuple[float, ...]:
+        """The measured (feasible) multiples, ascending."""
+        return tuple(p.multiple for p in self.points)
+
+    def point(self, multiple: float) -> Optional[CurvePoint]:
+        for p in self.points:
+            if abs(p.multiple - multiple) < 1e-9:
+                return p
+        return None
+
+    def series(self) -> Tuple[Tuple[float, float], ...]:
+        """The (multiple, mean wall seconds) polyline crossovers use."""
+        return tuple((p.multiple, p.mean_wall_s) for p in self.points)
+
+    def predict_wall(self, multiple: float) -> Optional[float]:
+        """Interpolated mean wall cost at ``multiple`` (None outside the
+        measured range or with fewer than one point)."""
+        if not self.points:
+            return None
+        pts = self.points
+        if multiple <= pts[0].multiple:
+            return pts[0].mean_wall_s if abs(multiple - pts[0].multiple) < 1e-9 else None
+        for left, right in zip(pts, pts[1:]):
+            if multiple <= right.multiple + 1e-9:
+                span = right.multiple - left.multiple
+                if span <= 0:
+                    return left.mean_wall_s
+                frac = (multiple - left.multiple) / span
+                return left.mean_wall_s + frac * (right.mean_wall_s - left.mean_wall_s)
+        return None
+
+    def min_feasible_multiple(self) -> Optional[float]:
+        """Smallest multiple the family is known to run at."""
+        return self.points[0].multiple if self.points else None
+
+    def oom_frontier(self) -> Optional[Tuple[float, float]]:
+        """The (largest known-OOM, smallest known-feasible) bracket the
+        collector's true minimum heap lies in, when both sides exist."""
+        if not self.points or not self.ooms:
+            return None
+        feasible = self.points[0].multiple
+        below = [m for m in self.ooms if m < feasible]
+        if not below:
+            return None
+        return (max(below), feasible)
+
+    def is_flat(
+        self, lo: float, hi: float, threshold: float = FLAT_THRESHOLD
+    ) -> bool:
+        """Whether the measured segment [lo, hi] is flat: the relative
+        wall-cost change between its endpoints is below ``threshold``."""
+        a, b = self.point(lo), self.point(hi)
+        if a is None or b is None:
+            return False
+        base = min(a.mean_wall_s, b.mean_wall_s)
+        if base <= 0:
+            return False
+        return abs(a.mean_wall_s - b.mean_wall_s) / base <= threshold
+
+    def knee(self) -> Optional[float]:
+        """The measured multiple of maximum discrete curvature — the
+        min-heap cliff where the time-space tradeoff bends hardest.
+        Needs at least three points; ties break toward smaller heaps."""
+        if len(self.points) < 3:
+            return None
+        best: Optional[Tuple[float, float]] = None
+        for left, mid, right in zip(self.points, self.points[1:], self.points[2:]):
+            dx1 = mid.multiple - left.multiple
+            dx2 = right.multiple - mid.multiple
+            if dx1 <= 0 or dx2 <= 0:
+                continue
+            slope1 = (mid.mean_wall_s - left.mean_wall_s) / dx1
+            slope2 = (right.mean_wall_s - mid.mean_wall_s) / dx2
+            curvature = abs(slope2 - slope1)
+            if best is None or curvature > best[0] + 1e-12:
+                best = (curvature, mid.multiple)
+        return None if best is None else best[1]
+
+    def best_distilled(self) -> Optional[Tuple[float, float]]:
+        """The family's own best (distilled wall, distilled task) means —
+        the family's contribution to the shared per-benchmark baseline."""
+        if not self.points:
+            return None
+        return (
+            min(p.mean_distilled_wall_s for p in self.points),
+            min(p.mean_distilled_task_s for p in self.points),
+        )
+
+
+Series = Sequence[Tuple[float, float]]
+
+
+def crossover_points(series_a: Series, series_b: Series) -> Tuple[float, ...]:
+    """Heap multiples where two cost polylines cross.
+
+    Both series are (multiple, value) pairs; only multiples measured in
+    *both* participate.  A sign change of the difference between
+    adjacent common multiples yields one crossover, located by linear
+    interpolation of the difference; an exact tie at a grid point counts
+    as a crossover at that point.  Returned ascending.
+    """
+    a = {m: v for m, v in series_a}
+    b = {m: v for m, v in series_b}
+    common = sorted(set(a) & set(b))
+    if len(common) < 2:
+        return ()
+    crossings: List[float] = []
+    diffs = [(m, a[m] - b[m]) for m in common]
+    for (m0, d0), (m1, d1) in zip(diffs, diffs[1:]):
+        if d0 == 0.0:
+            if not crossings or abs(crossings[-1] - m0) > 1e-9:
+                crossings.append(m0)
+            continue
+        if d0 * d1 < 0.0:
+            frac = d0 / (d0 - d1)
+            crossings.append(m0 + frac * (m1 - m0))
+    if diffs[-1][1] == 0.0:
+        m_last = diffs[-1][0]
+        if not crossings or abs(crossings[-1] - m_last) > 1e-9:
+            crossings.append(m_last)
+    return tuple(crossings)
+
+
+def predict_cost(
+    cost_model: Optional[CostModel],
+    benchmark: str,
+    collector: str,
+    default: float = 0.0,
+) -> float:
+    """Expected wall-clock price of one more cell of this family.
+
+    Delegates to the supervisor's EWMA model when one is supplied (warm
+    from :meth:`~repro.resilience.CostModel.load`); informational only —
+    planning decisions never depend on it, so schedules stay
+    deterministic whatever the machine's speed.
+    """
+    if cost_model is None:
+        return default
+    estimate = cost_model.estimate((benchmark, collector))
+    return default if estimate is None else estimate
+
+
+def baseline_for(models: Sequence[CurveModel]) -> Optional[Tuple[float, float]]:
+    """The benchmark's shared distilled (wall, task) baseline over every
+    fitted family — the adaptive analogue of
+    :func:`repro.core.lbo.distill_baseline`, over measured cells only."""
+    bests = [m.best_distilled() for m in models]
+    bests = [b for b in bests if b is not None]
+    if not bests:
+        return None
+    return (min(b[0] for b in bests), min(b[1] for b in bests))
+
+
+def family_components(
+    model: CurveModel, baseline: Tuple[float, float]
+) -> Optional[Dict[str, float]]:
+    """One family's lower-is-better score components (None: no data).
+
+    ``wall_overhead``/``cpu_overhead`` are the family's best achievable
+    overheads against the benchmark's shared distilled baseline;
+    ``space_cost`` is the smallest feasible multiple; ``instability`` is
+    1 + the mean relative CI half-width across multi-sample points, so
+    run-to-run spread costs score (single-sample points contribute
+    nothing here — the :class:`~repro.planner.score.CellGrade` already
+    flags them).
+    """
+    if not model.points:
+        return None
+    base_wall, base_task = baseline
+    if base_wall <= 0 or base_task <= 0:
+        return None
+    spreads = [
+        p.relative_half_width
+        for p in model.points
+        if p.samples >= 2 and p.wall_ci.mean
+    ]
+    instability = 1.0 + (sum(spreads) / len(spreads) if spreads else 0.0)
+    return {
+        "wall_overhead": min(p.mean_wall_s for p in model.points) / base_wall,
+        "cpu_overhead": min(p.mean_task_s for p in model.points) / base_task,
+        "space_cost": model.points[0].multiple,
+        "instability": instability,
+    }

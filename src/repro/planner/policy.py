@@ -1,0 +1,335 @@
+"""Acquisition policies: which cell is worth measuring next?
+
+One :class:`Planner` per workload drives the propose → execute → refit
+loop.  Each round it looks at the fitted :class:`~repro.planner.model.CurveModel`
+per collector and emits :class:`Proposal` objects, one per cell, from
+four deterministic policies in priority order:
+
+- **scout** — a collector with no measurements gets three anchors (the
+  smallest, a middle, and the largest grid multiple) at one invocation
+  each, enough to see the curve's coarse shape and feasibility;
+- **bisect-toward-crossover** — wherever two collectors' mean-cost
+  curves change sign between adjacent measured multiples, the unmeasured
+  *grid* multiple nearest the bracket midpoint is proposed for both
+  curves, shrinking the bracket until it is grid-adjacent (the planner
+  only ever proposes grid cells, which is what keeps every executed cell
+  bit-identical to the fixed grid);
+- **frontier** — a collector that OOMs at small heaps gets its
+  feasibility frontier bisected the same way, locating the min-heap
+  multiple the space-cost score needs;
+- **refine-until-CI** — grid-adjacent bracket endpoints gain one
+  invocation per round until their confidence interval's relative
+  half-width reaches ``target_ci`` (or the grid's invocation count is
+  exhausted), so crossover positions are interpolated from means as
+  trustworthy as the fixed grid's;
+- **knee** — one proposal per collector per round sharpening the curve's
+  maximum-curvature point, skipped while crossover work remains and
+  wherever the curve is flat.
+
+Flat segments (``skip-flat-regions``) generate no candidates at all:
+both curves moving less than ``flat_threshold`` between adjacent
+measured points is the planner's definition of "no information here".
+
+Every decision is a pure function of simulated results and the seed.
+Ties break on a seeded sha256 of the cell coordinates — never on dict
+order, never on live wall-clock — so the same seed and cache state
+replays a byte-identical schedule (pinned by test).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.lbo import RunCosts, costs_from_iteration
+from repro.core.stats import confidence_interval_95
+from repro.harness.engine import CellResult
+from repro.harness.runner import RunConfig
+from repro.planner.model import FLAT_THRESHOLD, CurveModel
+from repro.workloads.spec import WorkloadSpec
+
+#: Proposal reasons, also the priority ladder (higher runs first when a
+#: budget forces a cut).
+REASON_SCOUT = "scout"
+REASON_BISECT = "bisect"
+REASON_FRONTIER = "frontier"
+REASON_REFINE = "refine"
+REASON_KNEE = "knee"
+
+PRIORITIES: Dict[str, float] = {
+    REASON_SCOUT: 100.0,
+    REASON_BISECT: 80.0,
+    REASON_FRONTIER: 70.0,
+    REASON_REFINE: 60.0,
+    REASON_KNEE: 40.0,
+}
+
+
+@dataclass(frozen=True)
+class Proposal:
+    """One cell the policy wants measured, with its why and its rank."""
+
+    benchmark: str
+    collector: str
+    multiple: float
+    invocation: int
+    reason: str
+    priority: float
+    tiebreak: str
+
+    @property
+    def sort_key(self) -> Tuple[float, str]:
+        """Global ordering: priority descending, then the seeded hash."""
+        return (-self.priority, self.tiebreak)
+
+
+def _tiebreak(seed: int, benchmark: str, collector: str, multiple: float, invocation: int) -> str:
+    """Seeded, coordinate-determined tie-break token.
+
+    ``float.hex`` keeps the hash locale- and precision-independent — the
+    same trick the engine's cache key uses.
+    """
+    blob = f"{seed}:{benchmark}:{collector}:{float(multiple).hex()}:{invocation}"
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class Planner:
+    """Per-workload acquisition policy over one collector set.
+
+    Feed executed cells back with :meth:`observe`; ask :meth:`propose`
+    for the next round's cells.  An empty proposal list means the
+    workload is *settled*: every detected crossover bracket is
+    grid-adjacent with endpoints refined to the CI target, every OOM
+    frontier is located, and no knee work remains.
+    """
+
+    def __init__(
+        self,
+        spec: WorkloadSpec,
+        collectors: Sequence[str],
+        multiples: Sequence[float],
+        config: RunConfig,
+        target_ci: float = 0.05,
+        seed: int = 0,
+        flat_threshold: float = FLAT_THRESHOLD,
+    ) -> None:
+        if target_ci < 0:
+            raise ValueError(f"target_ci must be non-negative, got {target_ci}")
+        self.spec = spec
+        self.collectors = tuple(collectors)
+        self.multiples = tuple(sorted(multiples))
+        self.config = config
+        self.target_ci = target_ci
+        self.seed = seed
+        self.flat_threshold = flat_threshold
+        #: (collector, multiple) -> per-invocation costs, in invocation order.
+        self.samples: Dict[Tuple[str, float], List[RunCosts]] = {}
+        #: Multiples proven infeasible, per collector.
+        self.ooms: Dict[str, Set[float]] = {}
+
+    # ------------------------------------------------------------------
+    # State
+
+    def observe(self, collector: str, multiple: float, result: CellResult) -> None:
+        """Fold one executed cell back into the planner's state."""
+        if result.oom is not None:
+            self.ooms.setdefault(collector, set()).add(multiple)
+            return
+        self.samples.setdefault((collector, multiple), []).append(
+            costs_from_iteration(result.timed)
+        )
+
+    def wall_samples(self, collector: str, multiple: float) -> List[float]:
+        """Per-invocation wall times at one point (for grading)."""
+        return [c.wall_s for c in self.samples.get((collector, multiple), [])]
+
+    def models(self) -> Dict[str, CurveModel]:
+        """Fit one curve model per collector from the state so far."""
+        out: Dict[str, CurveModel] = {}
+        for collector in self.collectors:
+            table = {
+                multiple: runs
+                for (c, multiple), runs in self.samples.items()
+                if c == collector
+            }
+            out[collector] = CurveModel.fit(
+                self.spec.name, collector, table, sorted(self.ooms.get(collector, ()))
+            )
+        return out
+
+    def _count(self, collector: str, multiple: float) -> int:
+        return len(self.samples.get((collector, multiple), ()))
+
+    def _infeasible(self, collector: str, multiple: float) -> bool:
+        return multiple in self.ooms.get(collector, ())
+
+    def _touched(self, collector: str, multiple: float) -> bool:
+        return self._count(collector, multiple) > 0 or self._infeasible(collector, multiple)
+
+    # ------------------------------------------------------------------
+    # Policies
+
+    def _anchors(self) -> Tuple[float, ...]:
+        """Scout anchors: ends of the grid plus the multiple nearest 2x
+        (where the paper's figures put the eye first)."""
+        if len(self.multiples) <= 3:
+            return self.multiples
+        middle = min(self.multiples, key=lambda m: (abs(m - 2.0), m))
+        return tuple(sorted({self.multiples[0], middle, self.multiples[-1]}))
+
+    def _propose_point(
+        self, out: Dict[Tuple[str, float, int], Proposal], collector: str,
+        multiple: float, reason: str,
+    ) -> None:
+        """Queue the point's next invocation under ``reason`` (dedup by
+        cell coordinates, higher priority wins)."""
+        if self._infeasible(collector, multiple):
+            return
+        invocation = self._count(collector, multiple)
+        if invocation >= self.config.invocations:
+            return
+        key = (collector, multiple, invocation)
+        priority = PRIORITIES[reason]
+        existing = out.get(key)
+        if existing is not None and existing.priority >= priority:
+            return
+        out[key] = Proposal(
+            benchmark=self.spec.name,
+            collector=collector,
+            multiple=multiple,
+            invocation=invocation,
+            reason=reason,
+            priority=priority,
+            tiebreak=_tiebreak(self.seed, self.spec.name, collector, multiple, invocation),
+        )
+
+    def _interior(self, lo: float, hi: float) -> Tuple[float, ...]:
+        """Grid multiples strictly inside (lo, hi)."""
+        return tuple(m for m in self.multiples if lo + 1e-9 < m < hi - 1e-9)
+
+    def _midpoint_candidate(self, lo: float, hi: float) -> Optional[float]:
+        """The unproposable-nowhere interior grid multiple nearest the
+        bracket midpoint (None when the bracket is grid-adjacent)."""
+        interior = self._interior(lo, hi)
+        if not interior:
+            return None
+        mid = (lo + hi) / 2.0
+        return min(interior, key=lambda m: (abs(m - mid), m))
+
+    def _needs_refinement(self, collector: str, multiple: float) -> bool:
+        """Refine-until-CI: does this point's mean deserve more samples?"""
+        runs = self.samples.get((collector, multiple))
+        if not runs:
+            return False
+        if len(runs) >= self.config.invocations:
+            return False
+        if len(runs) < 2:
+            return True  # one sample: CI half-width is infinite by definition
+        walls = [c.wall_s for c in runs]
+        mean = sum(walls) / len(walls)
+        if mean == 0.0:
+            return False
+        ci = confidence_interval_95(walls)
+        return abs(ci.half_width / mean) > self.target_ci
+
+    def _crossover_work(
+        self, out: Dict[Tuple[str, float, int], Proposal], models: Dict[str, CurveModel]
+    ) -> bool:
+        """Bisect sign-change brackets; refine grid-adjacent endpoints.
+        Returns True when any crossover work (even refinement) remains."""
+        busy = False
+        for i, a in enumerate(self.collectors):
+            for b in self.collectors[i + 1 :]:
+                series_a = dict(models[a].series())
+                series_b = dict(models[b].series())
+                common = sorted(set(series_a) & set(series_b))
+                for lo, hi in zip(common, common[1:]):
+                    d0 = series_a[lo] - series_b[lo]
+                    d1 = series_a[hi] - series_b[hi]
+                    if d0 * d1 > 0.0:
+                        continue  # same sign: no crossover in this segment
+                    if models[a].is_flat(lo, hi, self.flat_threshold) and models[
+                        b
+                    ].is_flat(lo, hi, self.flat_threshold):
+                        # Both curves flat across the bracket: the "cross"
+                        # is two near-identical lines touching — not a
+                        # knee-shaped tradeoff worth cells.
+                        continue
+                    candidate = self._midpoint_candidate(lo, hi)
+                    if candidate is not None:
+                        self._propose_point(out, a, candidate, REASON_BISECT)
+                        self._propose_point(out, b, candidate, REASON_BISECT)
+                        busy = True
+                        continue
+                    for endpoint in (lo, hi):
+                        for collector in (a, b):
+                            if self._needs_refinement(collector, endpoint):
+                                self._propose_point(out, collector, endpoint, REASON_REFINE)
+                                busy = True
+        return busy
+
+    def _frontier_work(
+        self, out: Dict[Tuple[str, float, int], Proposal], models: Dict[str, CurveModel]
+    ) -> None:
+        """Locate each collector's min-heap frontier at grid resolution."""
+        for collector in self.collectors:
+            model = models[collector]
+            bracket = model.oom_frontier()
+            if bracket is not None:
+                candidate = self._midpoint_candidate(*bracket)
+                if candidate is not None:
+                    self._propose_point(out, collector, candidate, REASON_FRONTIER)
+                continue
+            # Everything measured so far OOMed: walk up the grid.
+            known_oom = self.ooms.get(collector, set())
+            if known_oom and not model.points:
+                above = [m for m in self.multiples if m > max(known_oom)]
+                if above:
+                    self._propose_point(out, collector, min(above), REASON_FRONTIER)
+
+    def _knee_work(
+        self, out: Dict[Tuple[str, float, int], Proposal], models: Dict[str, CurveModel]
+    ) -> None:
+        """Sharpen each curve's knee: at most one proposal per collector."""
+        for collector in self.collectors:
+            model = models[collector]
+            knee = model.knee()
+            if knee is None:
+                continue
+            measured = model.multiples()
+            idx = measured.index(knee)
+            neighbours = []
+            if idx > 0:
+                neighbours.append((measured[idx - 1], knee))
+            if idx + 1 < len(measured):
+                neighbours.append((knee, measured[idx + 1]))
+            for lo, hi in neighbours:
+                if model.is_flat(lo, hi, self.flat_threshold):
+                    continue
+                candidate = self._midpoint_candidate(lo, hi)
+                if candidate is not None and not self._touched(collector, candidate):
+                    self._propose_point(out, collector, candidate, REASON_KNEE)
+                    break
+
+    # ------------------------------------------------------------------
+    # The round
+
+    def propose(self) -> List[Proposal]:
+        """The next round's cells, best first (empty when settled)."""
+        out: Dict[Tuple[str, float, int], Proposal] = {}
+        for collector in self.collectors:
+            if not any(self._touched(collector, m) for m in self.multiples):
+                for anchor in self._anchors():
+                    self._propose_point(out, collector, anchor, REASON_SCOUT)
+        models = self.models()
+        busy = self._crossover_work(out, models)
+        self._frontier_work(out, models)
+        if not busy:
+            # Knees are luxury cells: only once crossovers are resolved.
+            self._knee_work(out, models)
+        return sorted(out.values(), key=lambda p: p.sort_key)
+
+    def settled(self) -> bool:
+        """True when the policy has nothing left to ask for."""
+        return not self.propose()

@@ -1,0 +1,236 @@
+"""Cell grades and collector scores: quality-aware result folding.
+
+Two scoring primitives turn raw sweep results into decisions:
+
+- :class:`CellGrade` attaches a *validity score* to every metered
+  (workload, collector, heap multiple) point, graded from the coefficient
+  of variation across invocations — the FlakeBench derived-metrics idea
+  that a latency or overhead number without a dispersion check is not a
+  result.  The planner uses grades to decide which points still need
+  invocations (refine-until-CI), and ``chopin plan`` prints them so a
+  POOR point is never silently averaged into a ranking.
+- :class:`CollectorScore` folds a collector's multi-objective results —
+  wall overhead, CPU overhead, space cost, run-to-run instability — into
+  a single geometric-mean figure of merit with a per-component
+  breakdown, the BRAD ``Score.single_value()`` pattern.  Lower is
+  better for every component, so the gmean is a cost and collectors
+  rank ascending.
+
+Both are pure functions of simulated measurements: same sweep in, same
+grades and ranking out.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+#: Grade ladder, best first.  Thresholds on the [0, 1] validity score.
+GRADE_EXCELLENT = "EXCELLENT"
+GRADE_GOOD = "GOOD"
+GRADE_FAIR = "FAIR"
+GRADE_POOR = "POOR"
+
+GRADES: Tuple[str, ...] = (GRADE_EXCELLENT, GRADE_GOOD, GRADE_FAIR, GRADE_POOR)
+
+#: CV levels above which a point's validity score is deducted: a cell
+#: whose invocations disagree by more than 15 % (30 %) of the mean is a
+#: noisy (very noisy) measurement whatever its mean says.
+CV_HIGH = 0.15
+CV_VERY_HIGH = 0.30
+
+
+def coefficient_of_variation(samples: Sequence[float]) -> float:
+    """Sample CV (std/mean, ddof=1); 0.0 when fewer than two samples."""
+    arr = np.asarray(samples, dtype=float)
+    if arr.size < 2:
+        return 0.0
+    mean = float(np.mean(arr))
+    if mean == 0.0:
+        return 0.0
+    return abs(float(np.std(arr, ddof=1)) / mean)
+
+
+@dataclass(frozen=True)
+class CellGrade:
+    """Validity grade for one measured sweep point.
+
+    ``score`` is in [0, 1] (1.0: trustworthy steady-state measurement);
+    ``grade`` is the ladder bucket; ``issues`` lists every deduction in
+    the order applied, so a FAIR point explains itself.
+    """
+
+    benchmark: str
+    collector: str
+    heap_multiple: float
+    cv: float
+    samples: int
+    score: float
+    grade: str
+    issues: Tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        """True for measurements a ranking may trust (GOOD or better)."""
+        return self.grade in (GRADE_EXCELLENT, GRADE_GOOD)
+
+
+def _grade_for(score: float) -> str:
+    if score >= 0.9:
+        return GRADE_EXCELLENT
+    if score >= 0.7:
+        return GRADE_GOOD
+    if score >= 0.5:
+        return GRADE_FAIR
+    return GRADE_POOR
+
+
+def grade_cell(
+    benchmark: str,
+    collector: str,
+    heap_multiple: float,
+    wall_samples: Sequence[float],
+    oom: bool = False,
+) -> CellGrade:
+    """Grade one sweep point from its per-invocation wall times.
+
+    An infeasible (OOM) point scores 0.0/POOR — it carries no timing at
+    all.  Otherwise the score starts at 1.0 and loses points for a
+    single-invocation measurement (no dispersion estimate) and for high
+    CV across invocations, mirroring the FlakeBench deductions.
+    """
+    if oom:
+        return CellGrade(
+            benchmark=benchmark,
+            collector=collector,
+            heap_multiple=heap_multiple,
+            cv=0.0,
+            samples=len(wall_samples),
+            score=0.0,
+            grade=GRADE_POOR,
+            issues=("infeasible: workload cannot run in this heap",),
+        )
+    if not wall_samples:
+        raise ValueError("cannot grade a feasible point with no samples")
+    cv = coefficient_of_variation(wall_samples)
+    score = 1.0
+    issues: List[str] = []
+    if len(wall_samples) < 2:
+        score -= 0.25
+        issues.append("single invocation: no dispersion estimate")
+    if cv > CV_VERY_HIGH:
+        score -= 0.35
+        issues.append(f"very high variance across invocations (cv={cv:.3f})")
+    elif cv > CV_HIGH:
+        score -= 0.15
+        issues.append(f"high variance across invocations (cv={cv:.3f})")
+    score = max(0.0, min(1.0, score))
+    return CellGrade(
+        benchmark=benchmark,
+        collector=collector,
+        heap_multiple=heap_multiple,
+        cv=cv,
+        samples=len(wall_samples),
+        score=score,
+        grade=_grade_for(score),
+        issues=tuple(issues),
+    )
+
+
+#: The component order every :class:`CollectorScore` reports, so
+#: breakdowns line up across collectors.
+SCORE_COMPONENTS: Tuple[str, ...] = (
+    "wall_overhead",
+    "cpu_overhead",
+    "space_cost",
+    "instability",
+)
+
+
+@dataclass(frozen=True)
+class CollectorScore:
+    """One collector's multi-objective score, gmean-folded.
+
+    Components are all lower-is-better and strictly positive:
+
+    - ``wall_overhead``: best achievable wall-clock LBO-style overhead
+      (total / distilled baseline) over the measured heap range;
+    - ``cpu_overhead``: the same for task clock (CPU);
+    - ``space_cost``: the smallest heap multiple the collector ran at —
+      a collector that needs 2x the minimum heap pays for it here;
+    - ``instability``: 1 + mean CV across the collector's measured
+      points, so run-to-run noise costs score instead of hiding.
+    """
+
+    collector: str
+    components: Tuple[Tuple[str, float], ...]
+
+    def __post_init__(self) -> None:
+        for name, value in self.components:
+            if value <= 0 or not math.isfinite(value):
+                raise ValueError(
+                    f"{self.collector}: component {name} must be finite and "
+                    f"positive, got {value}"
+                )
+
+    def component(self, name: str) -> float:
+        for key, value in self.components:
+            if key == name:
+                return value
+        raise KeyError(f"{self.collector} has no component {name!r}")
+
+    def single_value(self) -> float:
+        """The one-number ranking: geometric mean over components."""
+        values = np.asarray([value for _, value in self.components], dtype=float)
+        return float(np.exp(np.mean(np.log(values))))
+
+    def breakdown(self) -> str:
+        """One line per component plus the folded score."""
+        lines = [f"{name:>14}: {value:.4f}" for name, value in self.components]
+        lines.append(f"{'gmean':>14}: {self.single_value():.4f}")
+        return "\n".join(lines)
+
+
+def score_collector(
+    collector: str,
+    wall_overhead: float,
+    cpu_overhead: float,
+    space_cost: float,
+    instability: float,
+) -> CollectorScore:
+    """Assemble a :class:`CollectorScore` in the canonical component order."""
+    return CollectorScore(
+        collector=collector,
+        components=(
+            ("wall_overhead", wall_overhead),
+            ("cpu_overhead", cpu_overhead),
+            ("space_cost", space_cost),
+            ("instability", instability),
+        ),
+    )
+
+
+def rank_collectors(scores: Sequence[CollectorScore]) -> List[CollectorScore]:
+    """Sort ascending by the folded score (best first), name-stable."""
+    return sorted(scores, key=lambda s: (s.single_value(), s.collector))
+
+
+def render_ranking(scores: Sequence[CollectorScore]) -> str:
+    """The ``chopin plan`` ranking table: rank, score, components."""
+    ranked = rank_collectors(scores)
+    header = (
+        f"{'rank':>4}  {'collector':<12} {'score':>8}  "
+        + "  ".join(f"{name:>14}" for name in SCORE_COMPONENTS)
+    )
+    lines = [header, "-" * len(header)]
+    for position, score in enumerate(ranked, start=1):
+        cells = "  ".join(
+            f"{score.component(name):>14.4f}" for name in SCORE_COMPONENTS
+        )
+        lines.append(
+            f"{position:>4}  {score.collector:<12} {score.single_value():>8.4f}  {cells}"
+        )
+    return "\n".join(lines)

@@ -37,11 +37,13 @@ signal) changes nothing at all.
 
 from __future__ import annotations
 
+import json
 import signal
 import sys
 import threading
 import time
-from typing import Callable, Dict, List, Optional, TextIO, Tuple
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, TextIO, Tuple, Union
 
 #: Hole reasons the supervisor can assign (the engine adds ``gave_up``
 #: and ``timeout`` for cells that ran and failed).
@@ -92,6 +94,65 @@ class CostModel:
 
     def __len__(self) -> int:
         return len(self._ewma)
+
+    # ------------------------------------------------------------------
+    # Persistence: warm starts for repeated sweeps and the planner.
+
+    def to_json(self) -> Dict[str, object]:
+        """A JSON-stable snapshot: alpha plus sorted family triples.
+
+        Families are ``[workload, collector, seconds]`` triples rather
+        than joined strings, so workload names containing any separator
+        round-trip unharmed.
+        """
+        return {
+            "alpha": self.alpha,
+            "families": [
+                [workload, collector, seconds]
+                for (workload, collector), seconds in sorted(self._ewma.items())
+            ],
+        }
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, object]) -> "CostModel":
+        """Rebuild a model :meth:`to_json` snapshotted."""
+        if not isinstance(payload, dict):
+            raise ValueError(f"cost model snapshot must be an object, got {type(payload).__name__}")
+        model = cls(alpha=float(payload.get("alpha", 0.3)))
+        families = payload.get("families", [])
+        if not isinstance(families, list):
+            raise ValueError("cost model families must be a list of [workload, collector, seconds]")
+        for entry in families:
+            if not (isinstance(entry, (list, tuple)) and len(entry) == 3):
+                raise ValueError(f"malformed cost model family entry: {entry!r}")
+            workload, collector, seconds = entry
+            seconds = float(seconds)
+            if seconds < 0:
+                raise ValueError(f"cost model family {workload}/{collector} has negative cost")
+            model._ewma[(str(workload), str(collector))] = seconds
+        return model
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Persist the model so the next run starts warm (atomic write)."""
+        path = Path(path)
+        tmp = path.with_suffix(path.suffix + ".tmp")
+        tmp.write_text(json.dumps(self.to_json(), indent=2, sort_keys=True) + "\n")
+        tmp.replace(path)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "CostModel":
+        """Load a saved model; errors name the offending file."""
+        path = Path(path)
+        try:
+            payload = json.loads(path.read_text())
+        except OSError as exc:
+            raise ValueError(f"{path}: cannot read cost model ({exc})") from exc
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}: cost model is not valid JSON ({exc})") from exc
+        try:
+            return cls.from_json(payload)
+        except ValueError as exc:
+            raise ValueError(f"{path}: {exc}") from exc
 
 
 class CircuitBreaker:
@@ -188,6 +249,7 @@ class Supervisor:
         resume_hint: Optional[str] = None,
         stream: Optional[TextIO] = None,
         clock: Callable[[], float] = time.monotonic,
+        cost_model: Optional[CostModel] = None,
     ) -> None:
         if budget_s is not None and budget_s <= 0:
             raise ValueError(f"budget must be a positive number of seconds, got {budget_s}")
@@ -200,7 +262,10 @@ class Supervisor:
         self.budget_s = budget_s
         self.breaker_threshold = breaker_threshold
         self.probe_after = probe_after
-        self.model = CostModel(alpha=ewma_alpha)
+        # A shared (typically CostModel.load-ed) model lets repeated
+        # sweeps and the adaptive planner start warm; the default is the
+        # classic per-sweep blank slate.
+        self.model = cost_model if cost_model is not None else CostModel(alpha=ewma_alpha)
         self.breakers: Dict[Tuple[str, str], CircuitBreaker] = {}
         self.resume_hint = resume_hint
         self.stream = stream if stream is not None else sys.stderr

@@ -75,7 +75,7 @@ from repro.harness.runner import RunConfig
 from repro.jvm.collectors import COLLECTOR_NAMES, UnknownCollectorError, resolve_collector
 from repro.observability import MetricsRegistry, RecorderLike
 from repro.observability.events import JobSpan, NullRecorder, QueueDepth
-from repro.resilience import Supervisor
+from repro.resilience import CostModel, Supervisor
 from repro.service.jobqueue import Job, JobQueue, JobSpec, JobStateError
 from repro.service.shards import ShardedResultCache
 from repro.workloads import registry
@@ -173,6 +173,7 @@ class ServiceWorker:
         supervisor = Supervisor(
             budget_s=budget_s,
             breaker_threshold=service.config.breaker_threshold,
+            cost_model=service.cost_model,
         )
         service.job_started(job, supervisor)
         try:
@@ -275,6 +276,17 @@ class SweepService:
             )
         )
         self.queue = JobQueue(self.state_dir / "jobs.jsonl")
+        # Warm-start cost model: every job's supervisor shares it, it is
+        # persisted on drain, and a restarted service (or `chopin plan
+        # --cost-model`) begins with per-family cell costs already
+        # learned instead of re-deriving them from scratch.
+        self.cost_model_path = self.state_dir / "costmodel.json"
+        self.cost_model = CostModel()
+        if self.cost_model_path.exists():
+            try:
+                self.cost_model = CostModel.load(self.cost_model_path)
+            except ValueError as exc:
+                print(f"chopin serve: ignoring saved cost model ({exc})", file=stream or sys.stderr)
         self.recorder = recorder if recorder is not None else NullRecorder()
         self.metrics = MetricsRegistry()
         self.stream = stream if stream is not None else sys.stderr
@@ -447,6 +459,8 @@ class SweepService:
             if thread is not threading.current_thread():
                 thread.join(timeout=30.0)
         self.cache.flush()
+        if len(self.cost_model):
+            self.cost_model.save(self.cost_model_path)
         print(
             f"chopin serve: drained cleanly ({self.jobs_served} job"
             f"{'s' if self.jobs_served != 1 else ''} served) on {reason}",

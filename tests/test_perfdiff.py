@@ -1,0 +1,270 @@
+"""``chopin perfdiff``: artifact diffing, key classification, CV-widened
+thresholds, and the non-zero-exit regression gate."""
+
+import json
+
+import pytest
+
+from repro.harness.cli import main
+from repro.harness.perfdiff import (
+    DEFAULT_THRESHOLD,
+    KIND_EXACT,
+    KIND_OTHER,
+    KIND_RATIO,
+    KIND_RESULT,
+    KIND_TIMING,
+    STATUS_IMPROVED,
+    STATUS_INFO,
+    STATUS_MISSING,
+    STATUS_NEW,
+    STATUS_OK,
+    STATUS_REGRESSION,
+    classify_key,
+    diff_artifacts,
+    load_artifact,
+    resolve_artifacts,
+)
+
+BASE = {
+    "smoke": True,
+    "cells": 130,
+    "scalars_compared": 130,
+    "batch_tolerance": 1e-9,
+    "min_heap_mb": 16.573,
+    "minheap_speedup": 2.38,
+    "items_per_s": 1000.0,
+    "sweep_full_s": 0.086,
+}
+
+
+def by_key(report):
+    return {d.key: d for d in report.diffs}
+
+
+class TestClassifyKey:
+    def test_booleans_and_strings_are_exact(self):
+        assert classify_key("smoke", True) == KIND_EXACT
+        assert classify_key("host", "ci-runner") == KIND_EXACT
+
+    def test_counts_and_tolerances_are_exact(self):
+        assert classify_key("cells", 130) == KIND_EXACT
+        assert classify_key("scalars_compared", 130) == KIND_EXACT
+        assert classify_key("batch_tolerance", 1e-9) == KIND_EXACT
+
+    def test_speedups_and_rates_are_ratios(self):
+        assert classify_key("minheap_speedup", 2.38) == KIND_RATIO
+        assert classify_key("batch_vs_scalar_speedup", 0.25) == KIND_RATIO
+        assert classify_key("items_per_s", 1000.0) == KIND_RATIO
+
+    def test_results_and_timings(self):
+        assert classify_key("min_heap_mb", 16.5) == KIND_RESULT
+        assert classify_key("sweep_full_s", 0.08) == KIND_TIMING
+
+    def test_unrecognized_keys_are_other(self):
+        assert classify_key("iterations", 3) == KIND_OTHER
+
+
+class TestDiffArtifacts:
+    def test_identical_artifacts_pass(self):
+        report = diff_artifacts([BASE], dict(BASE))
+        assert report.ok
+        assert not report.regressions
+        assert "PASS" in report.verdict()
+
+    def test_ratio_drop_past_threshold_fails(self):
+        current = dict(BASE, minheap_speedup=0.5)  # -79%
+        report = diff_artifacts([BASE], current)
+        assert not report.ok
+        diff = by_key(report)["minheap_speedup"]
+        assert diff.status == STATUS_REGRESSION
+        assert "FAIL" in report.verdict()
+        assert "minheap_speedup" in report.verdict()
+
+    def test_ratio_drop_within_threshold_passes(self):
+        current = dict(BASE, minheap_speedup=1.9)  # -20%
+        report = diff_artifacts([BASE], current)
+        assert report.ok
+        assert by_key(report)["minheap_speedup"].status == STATUS_OK
+        assert "worst drop" in report.verdict()
+
+    def test_large_improvement_is_flagged_not_failed(self):
+        current = dict(BASE, minheap_speedup=10.0)
+        report = diff_artifacts([BASE], current)
+        assert report.ok
+        assert by_key(report)["minheap_speedup"].status == STATUS_IMPROVED
+
+    def test_exact_key_change_fails(self):
+        current = dict(BASE, scalars_compared=100)
+        report = diff_artifacts([BASE], current)
+        assert not report.ok
+        assert by_key(report)["scalars_compared"].status == STATUS_REGRESSION
+
+    def test_smoke_marker_change_fails(self):
+        # a smoke artifact must never gate against a full-scale one
+        current = dict(BASE, smoke=False)
+        report = diff_artifacts([BASE], current)
+        assert not report.ok
+
+    def test_result_drift_fails_at_tight_tolerance(self):
+        current = dict(BASE, min_heap_mb=16.574)
+        report = diff_artifacts([BASE], current)
+        assert by_key(report)["min_heap_mb"].status == STATUS_REGRESSION
+
+    def test_timing_changes_are_informational_by_default(self):
+        current = dict(BASE, sweep_full_s=10.0)
+        report = diff_artifacts([BASE], current)
+        assert report.ok
+        assert by_key(report)["sweep_full_s"].status == STATUS_INFO
+
+    def test_strict_timings_gate(self):
+        current = dict(BASE, sweep_full_s=10.0)
+        report = diff_artifacts([BASE], current, strict_timings=True)
+        assert not report.ok
+        assert by_key(report)["sweep_full_s"].status == STATUS_REGRESSION
+
+    def test_missing_key_is_a_regression(self):
+        current = dict(BASE)
+        del current["minheap_speedup"]
+        report = diff_artifacts([BASE], current)
+        assert not report.ok
+        assert by_key(report)["minheap_speedup"].status == STATUS_MISSING
+
+    def test_new_key_is_not_a_regression(self):
+        current = dict(BASE, brand_new_speedup=3.0)
+        report = diff_artifacts([BASE], current)
+        assert report.ok
+        assert by_key(report)["brand_new_speedup"].status == STATUS_NEW
+
+    def test_cv_widens_threshold_over_series(self):
+        # the key flaps across history: cv is large, threshold widens
+        noisy = [
+            dict(BASE, minheap_speedup=1.0),
+            dict(BASE, minheap_speedup=4.0),
+            dict(BASE, minheap_speedup=2.38),
+        ]
+        current = dict(BASE, minheap_speedup=0.8)  # -66% vs newest baseline
+        single = diff_artifacts([noisy[-1]], current)
+        assert not single.ok
+        series = diff_artifacts(noisy, current)
+        assert series.ok
+        diff = by_key(series)["minheap_speedup"]
+        assert diff.cv > 0
+        assert diff.threshold > DEFAULT_THRESHOLD
+        assert f"{len(noisy)}-artifact baseline" in series.verdict()
+
+    def test_newest_baseline_supplies_reference(self):
+        series = [dict(BASE, minheap_speedup=100.0), BASE]
+        report = diff_artifacts(series, dict(BASE))
+        assert by_key(report)["minheap_speedup"].old == BASE["minheap_speedup"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            diff_artifacts([], BASE)
+        with pytest.raises(ValueError):
+            diff_artifacts([BASE], BASE, threshold=0.0)
+
+    def test_render_has_one_line_per_key_plus_verdict(self):
+        report = diff_artifacts([BASE], dict(BASE))
+        lines = report.render().splitlines()
+        assert len(lines) == len(BASE) + 1
+        assert lines[-1].startswith("perfdiff: PASS")
+
+
+class TestArtifactIO:
+    def write(self, path, payload):
+        path.write_text(json.dumps(payload))
+        return path
+
+    def test_load_round_trip(self, tmp_path):
+        path = self.write(tmp_path / "BENCH.json", BASE)
+        assert load_artifact(path) == BASE
+
+    def test_load_errors_name_the_file(self, tmp_path):
+        missing = tmp_path / "absent.json"
+        with pytest.raises(ValueError, match="absent.json"):
+            load_artifact(missing)
+        broken = tmp_path / "broken.json"
+        broken.write_text("{nope")
+        with pytest.raises(ValueError, match="broken.json"):
+            load_artifact(broken)
+        listy = self.write(tmp_path / "list.json", [1, 2])
+        with pytest.raises(ValueError, match="must be a JSON object"):
+            load_artifact(listy)
+
+    def test_resolve_last_positional_is_current(self, tmp_path):
+        old = self.write(tmp_path / "old.json", BASE)
+        new = self.write(tmp_path / "new.json", BASE)
+        baselines, current = resolve_artifacts([old, new])
+        assert baselines == [old]
+        assert current == new
+
+    def test_resolve_directory_expands_to_matching_series(self, tmp_path):
+        results = tmp_path / "results"
+        results.mkdir()
+        self.write(results / "2024_BENCH_sim.json", BASE)
+        self.write(results / "2025_BENCH_sim.json", BASE)
+        self.write(results / "BENCH_engine.json", BASE)
+        fresh = self.write(tmp_path / "BENCH_sim.json", BASE)
+        baselines, current = resolve_artifacts([results, fresh])
+        assert [b.name for b in baselines] == [
+            "2024_BENCH_sim.json",
+            "2025_BENCH_sim.json",
+        ]
+        assert current == fresh
+
+    def test_resolve_directory_excludes_the_current_artifact(self, tmp_path):
+        self.write(tmp_path / "BENCH_sim.json", BASE)
+        fresh = tmp_path / "BENCH_sim.json"
+        with pytest.raises(ValueError, match="no baseline artifacts"):
+            resolve_artifacts([tmp_path, fresh])
+
+    def test_resolve_rejects_directory_current(self, tmp_path):
+        with pytest.raises(ValueError, match="must be a file"):
+            resolve_artifacts([tmp_path / "a.json", tmp_path])
+
+    def test_resolve_needs_two_positionals(self, tmp_path):
+        with pytest.raises(ValueError):
+            resolve_artifacts([tmp_path / "only.json"])
+
+
+class TestPerfdiffCli:
+    def write(self, path, payload):
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_pass_exits_zero(self, capsys, tmp_path):
+        base = self.write(tmp_path / "base.json", BASE)
+        cur = self.write(tmp_path / "cur.json", BASE)
+        assert main(["perfdiff", base, cur]) == 0
+        out = capsys.readouterr().out
+        assert "perfdiff: PASS" in out
+
+    def test_regression_exits_nonzero(self, capsys, tmp_path):
+        base = self.write(tmp_path / "base.json", BASE)
+        cur = self.write(tmp_path / "cur.json", dict(BASE, minheap_speedup=0.1))
+        assert main(["perfdiff", base, cur]) == 1
+        out = capsys.readouterr().out
+        assert "perfdiff: FAIL" in out
+
+    def test_quiet_prints_verdict_only(self, capsys, tmp_path):
+        base = self.write(tmp_path / "base.json", BASE)
+        cur = self.write(tmp_path / "cur.json", BASE)
+        assert main(["perfdiff", base, cur, "--quiet"]) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert len(out) == 1
+
+    def test_threshold_flag(self, tmp_path):
+        base = self.write(tmp_path / "base.json", BASE)
+        cur = self.write(tmp_path / "cur.json", dict(BASE, minheap_speedup=1.9))
+        assert main(["perfdiff", base, cur]) == 0
+        assert main(["perfdiff", base, cur, "--threshold", "0.1"]) == 1
+
+    def test_unreadable_artifact_is_systemexit(self, tmp_path):
+        base = self.write(tmp_path / "base.json", BASE)
+        with pytest.raises(SystemExit):
+            main(["perfdiff", base, str(tmp_path / "missing.json")])
+
+    def test_gates_the_committed_smoke_baseline(self, capsys):
+        # the exact invocation CI runs, against the committed artifact
+        baseline = "benchmarks/results/BENCH_sim_smoke.json"
+        assert main(["perfdiff", baseline, baseline]) == 0

@@ -351,6 +351,37 @@ class TestJobQueue:
         assert resumed.get(replacement.id).state == "QUEUED"
 
 
+class TestCostModelWarmStart:
+    def test_fresh_service_starts_cold(self, tmp_path):
+        svc = SweepService(tmp_path / "state", port=0)
+        assert len(svc.cost_model) == 0
+
+    def test_drain_persists_and_restart_loads(self, tmp_path):
+        state = tmp_path / "state"
+        svc = SweepService(state, port=0)
+        svc.cost_model.observe(("lusearch", "G1"), 1.5)
+        svc.stop("test")
+        assert (state / "costmodel.json").exists()
+        reborn = SweepService(state, port=0)
+        assert reborn.cost_model.estimate(("lusearch", "G1")) == 1.5
+
+    def test_empty_model_writes_nothing_on_drain(self, tmp_path):
+        state = tmp_path / "state"
+        SweepService(state, port=0).stop("test")
+        assert not (state / "costmodel.json").exists()
+
+    def test_corrupt_saved_model_is_ignored_with_warning(self, tmp_path):
+        import io
+
+        state = tmp_path / "state"
+        state.mkdir()
+        (state / "costmodel.json").write_text("{nope")
+        stream = io.StringIO()
+        svc = SweepService(state, port=0, stream=stream)
+        assert len(svc.cost_model) == 0
+        assert "ignoring saved cost model" in stream.getvalue()
+
+
 class TestServiceHTTP:
     def test_health_and_metrics(self, client):
         health = client.health()

@@ -118,6 +118,70 @@ class TestCostModel:
             CostModel().observe(("a", "G1"), -1.0)
 
 
+class TestCostModelPersistence:
+    def warm(self):
+        model = CostModel(alpha=0.5)
+        model.observe(("lusearch", "G1"), 2.0)
+        model.observe(("h2", "ZGC"), 7.5)
+        return model
+
+    def test_save_load_round_trip(self, tmp_path):
+        path = tmp_path / "costmodel.json"
+        self.warm().save(path)
+        loaded = CostModel.load(path)
+        assert loaded.alpha == 0.5
+        assert len(loaded) == 2
+        assert loaded.estimate(("lusearch", "G1")) == 2.0
+        assert loaded.estimate(("h2", "ZGC")) == 7.5
+
+    def test_save_is_stable_json(self, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        self.warm().save(a)
+        self.warm().save(b)
+        assert a.read_bytes() == b.read_bytes()
+        assert not list(tmp_path.glob("*.tmp"))  # atomic write cleaned up
+
+    def test_loaded_model_keeps_learning(self, tmp_path):
+        path = tmp_path / "costmodel.json"
+        self.warm().save(path)
+        loaded = CostModel.load(path)
+        loaded.observe(("lusearch", "G1"), 4.0)
+        assert loaded.estimate(("lusearch", "G1")) == pytest.approx(3.0)
+
+    def test_load_errors_name_the_file(self, tmp_path):
+        missing = tmp_path / "absent.json"
+        with pytest.raises(ValueError, match="absent.json"):
+            CostModel.load(missing)
+        broken = tmp_path / "broken.json"
+        broken.write_text("{nope")
+        with pytest.raises(ValueError, match="broken.json"):
+            CostModel.load(broken)
+
+    def test_malformed_snapshots_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel.from_json([])
+        with pytest.raises(ValueError):
+            CostModel.from_json({"alpha": 0.3, "families": "nope"})
+        with pytest.raises(ValueError):
+            CostModel.from_json({"alpha": 0.3, "families": [["a", "G1"]]})
+        with pytest.raises(ValueError):
+            CostModel.from_json({"alpha": 0.3, "families": [["a", "G1", -1.0]]})
+
+    def test_separator_hostile_workload_names_round_trip(self, tmp_path):
+        model = CostModel()
+        model.observe(("week:end/run", "G1"), 1.25)
+        path = tmp_path / "costmodel.json"
+        model.save(path)
+        assert CostModel.load(path).estimate(("week:end/run", "G1")) == 1.25
+
+    def test_supervisor_accepts_warm_model(self):
+        warm = self.warm()
+        supervisor = Supervisor(cost_model=warm)
+        assert supervisor.model is warm
+        # without one, the supervisor builds its own from ewma_alpha
+        assert Supervisor(ewma_alpha=0.7).model.alpha == 0.7
+
+
 class TestCircuitBreaker:
     def test_threshold_validated(self):
         with pytest.raises(ValueError):
