@@ -275,6 +275,26 @@ def load_artifact(path: Union[str, Path]) -> Dict[str, object]:
     return payload
 
 
+#: Sentinel for "could not read this artifact's ``smoke`` marker".
+_UNREADABLE = object()
+
+
+def _smoke_flag(path: Path) -> object:
+    """The artifact's ``smoke`` marker, for directory-expansion filtering.
+
+    Returns :data:`_UNREADABLE` when the file cannot be parsed — the
+    filter then keeps the candidate, so real load errors still surface
+    later through :func:`load_artifact` with the file named.
+    """
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return _UNREADABLE
+    if not isinstance(payload, dict):
+        return _UNREADABLE
+    return payload.get("smoke")
+
+
 def resolve_artifacts(
     paths: Sequence[Union[str, Path]]
 ) -> Tuple[List[Path], Path]:
@@ -284,13 +304,22 @@ def resolve_artifacts(
     baseline history, oldest first.  A directory positional expands to
     its ``*.json`` files matching the fresh artifact's basename (so
     ``chopin perfdiff benchmarks/results BENCH_sim.json`` diffs against
-    the committed series), sorted by name.
+    the committed series), sorted by name.  Because the basename match
+    is a substring match (dated series like ``2025_BENCH_sim.json``
+    must qualify), it can also catch relatives of the fresh artifact —
+    ``BENCH_sim_smoke.json`` for a fresh ``BENCH_sim.json`` — so
+    directory-expanded candidates whose ``smoke`` marker differs from
+    the fresh artifact's are dropped: a smoke artifact must never gate
+    against a full-scale one, or vice versa.  Explicitly listed files
+    are never filtered; the exact-key gate flags those mismatches
+    instead.
     """
     if len(paths) < 2:
         raise ValueError("perfdiff needs at least a baseline and a fresh artifact")
     current = Path(paths[-1])
     if current.is_dir():
         raise ValueError(f"{current}: the fresh artifact must be a file")
+    current_smoke = _smoke_flag(current)
     baselines: List[Path] = []
     for raw in paths[:-1]:
         p = Path(raw)
@@ -300,7 +329,22 @@ def resolve_artifacts(
                 matches = sorted(p.glob("*.json"))
             if not matches:
                 raise ValueError(f"{p}: no baseline artifacts found")
-            baselines.extend(m for m in matches if m.resolve() != current.resolve())
+            matches = [m for m in matches if m.resolve() != current.resolve()]
+            if current_smoke is _UNREADABLE:
+                kept = matches
+            else:
+                kept = []
+                for m in matches:
+                    flag = _smoke_flag(m)
+                    if flag is _UNREADABLE or flag == current_smoke:
+                        kept.append(m)
+            if matches and not kept:
+                raise ValueError(
+                    f"{p}: no baseline artifacts match {current.name}'s "
+                    f"smoke marker (smoke and full-scale artifacts never "
+                    f"gate each other)"
+                )
+            baselines.extend(kept)
         else:
             baselines.append(p)
     if not baselines:

@@ -65,6 +65,10 @@ class CostModel:
     early cells inform its late ones), and a model with no history at
     all answers ``None`` — the budget then admits the cell, because
     refusing work on zero evidence would deadlock a fresh sweep.
+
+    Thread-safe: ``chopin serve`` shares one model across every worker
+    thread's supervisor, so ``observe``'s read-modify-write of the EWMA
+    dict (and every read of it) takes an internal lock.
     """
 
     def __init__(self, alpha: float = 0.3) -> None:
@@ -72,28 +76,34 @@ class CostModel:
             raise ValueError(f"EWMA alpha must be in (0, 1], got {alpha}")
         self.alpha = alpha
         self._ewma: Dict[Tuple[str, str], float] = {}
+        self._lock = threading.Lock()
 
     def observe(self, family: Tuple[str, str], seconds: float) -> None:
         """Fold one completed cell's cost into the family's average."""
         if seconds < 0:
             raise ValueError("cell costs cannot be negative")
-        previous = self._ewma.get(family)
-        if previous is None:
-            self._ewma[family] = seconds
-        else:
-            self._ewma[family] = self.alpha * seconds + (1.0 - self.alpha) * previous
+        with self._lock:
+            previous = self._ewma.get(family)
+            if previous is None:
+                self._ewma[family] = seconds
+            else:
+                self._ewma[family] = (
+                    self.alpha * seconds + (1.0 - self.alpha) * previous
+                )
 
     def estimate(self, family: Tuple[str, str]) -> Optional[float]:
         """Expected cost of the family's next cell (None: no data yet)."""
-        known = self._ewma.get(family)
-        if known is not None:
-            return known
-        if not self._ewma:
-            return None
-        return sum(self._ewma.values()) / len(self._ewma)
+        with self._lock:
+            known = self._ewma.get(family)
+            if known is not None:
+                return known
+            if not self._ewma:
+                return None
+            return sum(self._ewma.values()) / len(self._ewma)
 
     def __len__(self) -> int:
-        return len(self._ewma)
+        with self._lock:
+            return len(self._ewma)
 
     # ------------------------------------------------------------------
     # Persistence: warm starts for repeated sweeps and the planner.
@@ -105,11 +115,13 @@ class CostModel:
         than joined strings, so workload names containing any separator
         round-trip unharmed.
         """
+        with self._lock:
+            families = sorted(self._ewma.items())
         return {
             "alpha": self.alpha,
             "families": [
                 [workload, collector, seconds]
-                for (workload, collector), seconds in sorted(self._ewma.items())
+                for (workload, collector), seconds in families
             ],
         }
 

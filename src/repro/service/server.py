@@ -143,9 +143,10 @@ class ServiceWorker:
     """One worker thread's execution half: claim → compile → run → record.
 
     Split out of :class:`SweepService` (and given its own engine — the
-    shared state between workers is the sharded cache, nothing else) so
-    tests can drive :meth:`execute` synchronously, e.g. cancelling a job
-    from a progress callback halfway through its sweep.
+    shared state between workers is the sharded cache plus the
+    service's thread-safe :class:`CostModel`, nothing else) so tests
+    can drive :meth:`execute` synchronously, e.g. cancelling a job from
+    a progress callback halfway through its sweep.
     """
 
     def __init__(self, service: "SweepService", engine: ExecutionEngine) -> None:

@@ -212,6 +212,36 @@ class TestArtifactIO:
         ]
         assert current == fresh
 
+    def test_resolve_directory_drops_smoke_mismatched_baselines(self, tmp_path):
+        # `chopin perfdiff benchmarks/results BENCH_sim.json`: the
+        # substring basename match also catches BENCH_sim_smoke.json,
+        # and name-sorting would make the smoke file the newest
+        # baseline — it must be dropped from the full-scale series.
+        results = tmp_path / "results"
+        results.mkdir()
+        self.write(results / "BENCH_sim.json", dict(BASE, smoke=False))
+        self.write(results / "BENCH_sim_smoke.json", dict(BASE, smoke=True))
+        fresh = self.write(tmp_path / "BENCH_sim.json", dict(BASE, smoke=False))
+        baselines, current = resolve_artifacts([results, fresh])
+        assert [b.name for b in baselines] == ["BENCH_sim.json"]
+        assert current == fresh
+
+    def test_resolve_directory_all_smoke_mismatched_raises(self, tmp_path):
+        results = tmp_path / "results"
+        results.mkdir()
+        self.write(results / "BENCH_sim_smoke.json", dict(BASE, smoke=True))
+        fresh = self.write(tmp_path / "BENCH_sim.json", dict(BASE, smoke=False))
+        with pytest.raises(ValueError, match="smoke marker"):
+            resolve_artifacts([results, fresh])
+
+    def test_resolve_explicit_files_are_not_smoke_filtered(self, tmp_path):
+        # explicitly listed baselines go through verbatim — the
+        # exact-key gate is what flags the smoke mismatch for those
+        base = self.write(tmp_path / "BENCH_sim_smoke.json", dict(BASE, smoke=True))
+        fresh = self.write(tmp_path / "BENCH_sim.json", dict(BASE, smoke=False))
+        baselines, _ = resolve_artifacts([base, fresh])
+        assert baselines == [base]
+
     def test_resolve_directory_excludes_the_current_artifact(self, tmp_path):
         self.write(tmp_path / "BENCH_sim.json", BASE)
         fresh = tmp_path / "BENCH_sim.json"

@@ -117,6 +117,25 @@ class TestCostModel:
         with pytest.raises(ValueError):
             CostModel().observe(("a", "G1"), -1.0)
 
+    def test_shared_model_is_thread_safe(self):
+        # `chopin serve` shares one model across every worker thread's
+        # supervisor: concurrent observes must not lose updates.
+        model = CostModel(alpha=0.5)
+        families = [(f"w{i}", "G1") for i in range(8)]
+
+        def hammer(family):
+            for _ in range(200):
+                model.observe(family, 1.0)
+
+        threads = [threading.Thread(target=hammer, args=(f,)) for f in families]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(model) == len(families)
+        for family in families:
+            assert model.estimate(family) == pytest.approx(1.0)
+
 
 class TestCostModelPersistence:
     def warm(self):
