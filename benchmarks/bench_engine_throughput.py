@@ -10,9 +10,24 @@ batch kernel (``batch_speedup`` is the batch-vs-scalar factor at
 aggregate fidelity), cache hits/sec on a fully warm rerun, and the
 service round trip — jobs/sec submitted-to-terminal through the HTTP
 API cold, and warm-cache hits/sec per cell through the same path.
+
+Run standalone for the perf artifact without the pytest harness::
+
+    python benchmarks/bench_engine_throughput.py --smoke   # CI-sized
+    python benchmarks/bench_engine_throughput.py           # full scale
+
+``--smoke`` writes ``BENCH_engine_smoke.json`` to the repo root only;
+the committed ``benchmarks/results/BENCH_engine_smoke.json`` is the
+baseline CI's ``chopin perfdiff`` gates fresh smoke runs against, so a
+smoke run never overwrites it in place (see bench_sim_kernel for the
+full rationale — the ``smoke`` flag is an exact-match key, keeping
+smoke and full-scale trajectories out of each other's baselines).
 """
 
+import argparse
 import json
+import pathlib
+import tempfile
 import time
 
 from _common import REPO_ROOT, RESULTS_DIR
@@ -33,10 +48,13 @@ AGGREGATE_CONFIG = RunConfig(
 )
 BATCH_MULTIPLES = (1.25, 1.5, 2.0, 2.5, 3.0, 4.0)
 
+FULL_WORKLOADS = ("lusearch", "fop", "avrora", "biojava")
+SMOKE_WORKLOADS = ("lusearch", "fop")
 
-def build_grid(config=GRID_CONFIG, multiples=(2.0, 3.0)):
+
+def build_grid(config=GRID_CONFIG, multiples=(2.0, 3.0), names=FULL_WORKLOADS):
     cells = []
-    for name in ("lusearch", "fop", "avrora", "biojava"):
+    for name in names:
         spec = registry.workload(name)
         for collector in ("Serial", "G1"):
             for multiple in multiples:
@@ -59,22 +77,28 @@ def rate(cells, fn):
     return len(cells) / (time.perf_counter() - start)
 
 
-def test_engine_throughput(benchmark, tmp_path):
-    cells = build_grid()
+def collect(workdir, smoke=False, cold_fn=None):
+    """Measure every engine-throughput number and return the report dict.
+
+    ``cold_fn`` lets the pytest path route the cold ``jobs=1`` run
+    through ``benchmark.pedantic``; standalone runs time it directly.
+    """
+    workdir = pathlib.Path(workdir)
+    names = SMOKE_WORKLOADS if smoke else FULL_WORKLOADS
+    cells = build_grid(names=names)
 
     # The benchmarked path: a cold serial batch through a fresh engine.
-    cold_1 = benchmark.pedantic(
-        lambda: rate(cells, ExecutionEngine(jobs=1).run_cells), rounds=1, iterations=1
-    )
+    cold_once = lambda: rate(cells, ExecutionEngine(jobs=1).run_cells)
+    cold_1 = cold_fn(cold_once) if cold_fn is not None else cold_once()
     cold_4 = rate(cells, ExecutionEngine(jobs=4).run_cells)
 
     # Batch-vs-scalar at aggregate fidelity: the vectorized kernel
     # simulates each (collector, config) group's cells in one pass.
-    agg_cells = build_grid(AGGREGATE_CONFIG, BATCH_MULTIPLES)
+    agg_cells = build_grid(AGGREGATE_CONFIG, BATCH_MULTIPLES, names)
     scalar_agg = rate(agg_cells, ExecutionEngine().run_cells)
     batch_agg = rate(agg_cells, ExecutionEngine(batch=True).run_cells)
 
-    cache_dir = tmp_path / "cache"
+    cache_dir = workdir / "cache"
     ExecutionEngine(cache_dir=cache_dir).run_cells(cells)  # populate
     warm_engine = ExecutionEngine(cache_dir=cache_dir)
     warm = rate(cells, warm_engine.run_cells)
@@ -92,30 +116,37 @@ def test_engine_throughput(benchmark, tmp_path):
             invocations=2,
             scale=0.05,
         )
-        for name in ("lusearch", "fop", "avrora", "biojava")
+        for name in names
     ]
 
     def round_trip(client):
+        # Tight polling: warm jobs complete in milliseconds, so the
+        # default 50 ms poll would dominate (and jitter) the rate.
         ids = [client.submit(spec)["id"] for spec in specs]
-        finals = [client.wait(job_id, timeout_s=300.0) for job_id in ids]
+        finals = [client.wait(job_id, timeout_s=300.0, poll_s=0.002) for job_id in ids]
         assert all(f["state"] == "DONE" for f in finals)
         return sum(f["cells"] for f in finals)
 
-    service = SweepService(tmp_path / "service", port=0).start()
+    service = SweepService(workdir / "service", port=0).start()
     try:
         client = ServiceClient(f"http://127.0.0.1:{service.port}")
         start = time.perf_counter()
         service_cells = round_trip(client)
         cold_s = time.perf_counter() - start
-        start = time.perf_counter()
-        round_trip(client)  # every cell warm-hits the sharded cache
-        warm_s = time.perf_counter() - start
+        # Every cell warm-hits the sharded cache; best of three round
+        # trips so a single scheduler hiccup can't gate a smoke run.
+        warm_s = float("inf")
+        for _ in range(3):
+            start = time.perf_counter()
+            round_trip(client)
+            warm_s = min(warm_s, time.perf_counter() - start)
     finally:
         service.stop("benchmark")
     service_jobs_per_s = len(specs) / cold_s
     service_warm_hits_per_s = service_cells / warm_s
 
     report = {
+        "smoke": smoke,
         "cells": len(cells),
         "cold_jobs1_cells_per_s": round(cold_1, 2),
         "cold_jobs4_cells_per_s": round(cold_4, 2),
@@ -127,6 +158,18 @@ def test_engine_throughput(benchmark, tmp_path):
         "batch_speedup": round(batch_agg / scalar_agg, 3),
         "warm_speedup": round(warm / cold_1, 3),
     }
+
+    # Warm lookups must beat cold simulation by a wide margin — the whole
+    # point of the content-addressed cache.
+    assert warm > 2.0 * cold_1
+    return report
+
+
+def test_engine_throughput(benchmark, tmp_path):
+    report = collect(
+        tmp_path,
+        cold_fn=lambda fn: benchmark.pedantic(fn, rounds=1, iterations=1),
+    )
     payload = json.dumps(report, indent=2, sort_keys=True) + "\n"
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / "BENCH_engine.json").write_text(payload)
@@ -134,6 +177,45 @@ def test_engine_throughput(benchmark, tmp_path):
     path.write_text(payload)
     print(f"\nwrote {path} (and {RESULTS_DIR / 'BENCH_engine.json'}): {report}")
 
-    # Warm lookups must beat cold simulation by a wide margin — the whole
-    # point of the content-addressed cache.
-    assert warm > 2.0 * cold_1
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI-sized run: two workloads, writes BENCH_engine_smoke.json "
+        "to the repo root only",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="primary report path (default: BENCH_engine.json at the repo "
+        "root; full-scale runs also copy into benchmarks/results/)",
+    )
+    args = parser.parse_args(argv)
+
+    with tempfile.TemporaryDirectory(prefix="chopin-bench-engine-") as workdir:
+        report = collect(workdir, smoke=args.smoke)
+
+    artifact = "BENCH_engine_smoke.json" if args.smoke else "BENCH_engine.json"
+    payload = json.dumps(report, indent=2, sort_keys=True) + "\n"
+    path = pathlib.Path(args.out) if args.out else REPO_ROOT / artifact
+    path.write_text(payload)
+    if args.smoke:
+        print(f"wrote {path}")
+    else:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / artifact).write_text(payload)
+        print(f"wrote {path} (and {RESULTS_DIR / artifact})")
+    print(
+        f"engine: {report['cold_jobs1_cells_per_s']} cells/s cold -> "
+        f"{report['warm_hits_per_s']} hits/s warm "
+        f"({report['warm_speedup']}x); batch {report['batch_speedup']}x; "
+        f"service {report['service_jobs_per_s']} jobs/s cold, "
+        f"{report['service_warm_hits_per_s']} hits/s warm"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

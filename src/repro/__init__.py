@@ -47,7 +47,7 @@ from repro.core.latency import (
     synthetic_starts,
 )
 from repro.core.lbo import RunCosts, costs_from_iteration, geomean_curves, lbo_curves
-from repro.core.minheap import find_min_heap
+from repro.core.minheap import MinHeapResult, find_min_heap
 from repro.core.nominal import METRICS, format_report, score_benchmark
 from repro.core.pca import determinant_metrics, suite_pca
 from repro.core.stats import confidence_interval_95, geometric_mean
@@ -63,6 +63,7 @@ from repro.harness.engine import (
     cell_key,
 )
 from repro.harness.experiments import (
+    Campaign,
     ChaosDrill,
     SupervisedSweep,
     TracedSweep,
@@ -70,6 +71,8 @@ from repro.harness.experiments import (
     heap_timeseries,
     latency_experiment,
     lbo_experiment,
+    minheap_experiment,
+    run_campaign,
     suite_lbo,
     supervised_sweep,
     trace_sweep,
@@ -105,6 +108,7 @@ from repro.harness.perfdiff import (
 )
 from repro.harness.plans import (
     PLAN_CROSSOVER_TOLERANCE,
+    PLAN_KINDS,
     AdaptivePlan,
     AdaptiveResult,
     AdaptiveRound,
@@ -115,6 +119,7 @@ from repro.harness.plans import (
     plan_adaptive,
     plan_latency,
     plan_lbo,
+    plan_minheap,
     run_adaptive,
     run_plan,
 )
@@ -122,6 +127,8 @@ from repro.planner import (
     CellGrade,
     CollectorScore,
     CurveModel,
+    LatencyPlanner,
+    MinHeapPlanner,
     Planner,
     crossover_points,
     grade_cell,
@@ -186,6 +193,7 @@ __all__ = [
     "BatchSpec",
     "COLLECTORS",
     "COLLECTOR_NAMES",
+    "Campaign",
     "Cell",
     "CellGrade",
     "CellOutcome",
@@ -215,14 +223,18 @@ __all__ = [
     "Hole",
     "JobQueue",
     "JobSpec",
+    "LatencyPlanner",
     "LatencyRun",
     "LogSink",
     "METRICS",
     "MetricsRegistry",
+    "MinHeapPlanner",
+    "MinHeapResult",
     "NullInjector",
     "NullRecorder",
     "OutOfMemoryError",
     "PLAN_CROSSOVER_TOLERANCE",
+    "PLAN_KINDS",
     "PartialBatch",
     "Planner",
     "ProgressSink",
@@ -276,9 +288,11 @@ __all__ = [
     "load_artifact",
     "measure",
     "metered_latencies",
+    "minheap_experiment",
     "plan_adaptive",
     "plan_latency",
     "plan_lbo",
+    "plan_minheap",
     "rank_collectors",
     "registry",
     "render_ranking",
@@ -286,6 +300,7 @@ __all__ = [
     "resolve_collector",
     "resolve_fidelity",
     "run_adaptive",
+    "run_campaign",
     "run_experiment",
     "run_plan",
     "score_collector",

@@ -23,14 +23,17 @@ qualitative queueing behaviour.  The deviation is recorded in DESIGN.md.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.stats import LATENCY_PERCENTILES
 from repro.jvm.timeline import Pause, minimum_mutator_utilization
 from repro.workloads.requests import EventRecord
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.planner.score import CellGrade
 
 #: Sentinel window meaning "smooth over the full execution".
 FULL_SMOOTHING = None
@@ -106,11 +109,19 @@ def metered_latencies(record: EventRecord, window_s: Optional[float] = FULL_SMOO
 
 @dataclass(frozen=True)
 class LatencyReport:
-    """Percentile summaries of one run's event latencies."""
+    """Percentile summaries of one run's event latencies.
+
+    ``grade`` is an optional validity score: adaptive latency campaigns
+    fold the per-invocation tail CV grade
+    (:func:`~repro.planner.score.grade_cell`) into the report so its
+    numbers carry how trustworthy they are.  One-shot reports leave it
+    ``None``; the percentile payload is identical either way.
+    """
 
     simple: Dict[float, float]
     metered: Dict[Optional[float], Dict[float, float]]
     event_count: int
+    grade: Optional["CellGrade"] = None
 
     def metered_at(self, window_s: Optional[float]) -> Dict[float, float]:
         try:
@@ -119,6 +130,10 @@ class LatencyReport:
             raise KeyError(
                 f"window {window_s!r} not in report; available: {sorted(self.metered, key=str)}"
             ) from None
+
+    def with_grade(self, grade: "CellGrade") -> "LatencyReport":
+        """This report with a validity grade attached."""
+        return replace(self, grade=grade)
 
 
 def latency_report(

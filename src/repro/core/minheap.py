@@ -10,7 +10,7 @@ i.e. does not raise :class:`~repro.jvm.heap.OutOfMemoryError`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Generator, List, Optional, Sequence
 
 from repro.jvm.cpu import DEFAULT_MACHINE, Machine
 from repro.jvm.heap import OutOfMemoryError
@@ -93,6 +93,72 @@ def runs_in_batch(
     return [outcome.ok for outcome in batch]
 
 
+def _min_heap_search(
+    spec,
+    collector: str,
+    tolerance: float = 0.02,
+    upper_bound_mb: Optional[float] = None,
+    probes: int = 1,
+) -> Generator[List[float], List[bool], float]:
+    """The minimum-heap probe schedule as a driver-agnostic generator.
+
+    Yields lists of candidate heap sizes (MB) and expects the driver to
+    ``send`` back one fit-or-not boolean per candidate; returns the final
+    minimum via ``StopIteration.value``.  Both :func:`find_min_heap`
+    (inline ``runs_in`` probes) and the engine-backed
+    ``kind="minheap"`` experiment plan drive this same generator, so the
+    two paths probe *identical* heap sizes in *identical* order and land
+    on bit-identical minima — the schedule is the single source of truth.
+
+    Raises :class:`OutOfMemoryError` when the upper bound itself fails,
+    and ``ValueError`` (on first advance) for invalid knobs.
+    """
+    if tolerance <= 0:
+        raise ValueError("tolerance must be positive")
+    if probes < 1:
+        raise ValueError("probes must be at least 1")
+    high = upper_bound_mb if upper_bound_mb is not None else 16.0 * spec.minheap_mb
+    fits = yield [high]
+    if not fits[0]:
+        raise OutOfMemoryError(
+            f"{spec.name} cannot run with {collector} even at {high:.0f} MB"
+        )
+    # Half the declared live set is normally an infeasible heap, but the
+    # binary search is only correct if ``low`` actually fails — verify the
+    # bracket instead of assuming it, walking it down when a misdeclared
+    # ``live_mb`` would otherwise silently inflate the reported minimum.
+    low = spec.live_mb * 0.5
+    while low > 0.0:
+        fits = yield [low]
+        if not fits[0]:
+            break
+        high = low
+        low /= 2.0
+        if high < 0.01:  # degenerate: effectively any heap runs it
+            break
+    while high - low > tolerance * high:
+        if probes > 1:
+            # K-section: all interior points decided in one batch.  The
+            # minimum lies between the highest failing probe and the
+            # lowest succeeding one (outcomes are monotone in heap size).
+            width = (high - low) / (probes + 1)
+            grid = [low + width * (k + 1) for k in range(probes)]
+            fits = yield grid
+            for heap_mb, ok in zip(grid, fits):
+                if ok:
+                    high = heap_mb
+                    break
+                low = heap_mb
+        else:
+            mid = (low + high) / 2.0
+            fits = yield [mid]
+            if fits[0]:
+                high = mid
+            else:
+                low = mid
+    return high
+
+
 def find_min_heap(
     spec,
     collector: str,
@@ -124,53 +190,39 @@ def find_min_heap(
     identical), so the result honours the same ``tolerance`` contract;
     the reported minimum may differ from bisection's within that bracket
     because the two searches probe different midpoints.
+
+    The probe *schedule* lives in :func:`_min_heap_search`; this function
+    merely answers each probe with an inline :func:`runs_in` call (or one
+    :func:`runs_in_batch` call for multi-point K-section rounds).  The
+    engine-backed ``kind="minheap"`` plan drives the identical schedule
+    through cached, supervised cells and is pinned bit-identical to this
+    search.
     """
-    if tolerance <= 0:
-        raise ValueError("tolerance must be positive")
-    if probes < 1:
-        raise ValueError("probes must be at least 1")
-    high = upper_bound_mb if upper_bound_mb is not None else 16.0 * spec.minheap_mb
-    if not runs_in(spec, collector, high, iterations, machine, duration_scale, fidelity):
-        raise OutOfMemoryError(
-            f"{spec.name} cannot run with {collector} even at {high:.0f} MB"
-        )
-    # Half the declared live set is normally an infeasible heap, but the
-    # binary search is only correct if ``low`` actually fails — verify the
-    # bracket instead of assuming it, walking it down when a misdeclared
-    # ``live_mb`` would otherwise silently inflate the reported minimum.
-    low = spec.live_mb * 0.5
-    while low > 0.0 and runs_in(
-        spec, collector, low, iterations, machine, duration_scale, fidelity
-    ):
-        high = low
-        low /= 2.0
-        if high < 0.01:  # degenerate: effectively any heap runs it
-            break
-    while high - low > tolerance * high:
-        if probes > 1:
-            # K-section: all interior points decided in one batch.  The
-            # minimum lies between the highest failing probe and the
-            # lowest succeeding one (outcomes are monotone in heap size).
-            width = (high - low) / (probes + 1)
-            grid = [low + width * (k + 1) for k in range(probes)]
-            fits = runs_in_batch(
-                spec, collector, grid, iterations, machine, duration_scale
+    search = _min_heap_search(spec, collector, tolerance, upper_bound_mb, probes)
+    fits: Optional[List[bool]] = None
+    while True:
+        try:
+            heap_mbs = next(search) if fits is None else search.send(fits)
+        except StopIteration as stop:
+            return MinHeapResult(
+                benchmark=spec.name,
+                collector=collector,
+                min_heap_mb=stop.value,
+                iterations=iterations,
             )
-            for heap_mb, ok in zip(grid, fits):
-                if ok:
-                    high = heap_mb
-                    break
-                low = heap_mb
-        elif runs_in(
-            spec, collector, mid := (low + high) / 2.0,
-            iterations, machine, duration_scale, fidelity,
-        ):
-            high = mid
+        if len(heap_mbs) > 1:
+            fits = runs_in_batch(
+                spec, collector, heap_mbs, iterations, machine, duration_scale
+            )
         else:
-            low = mid
-    return MinHeapResult(
-        benchmark=spec.name,
-        collector=collector,
-        min_heap_mb=high,
-        iterations=iterations,
-    )
+            fits = [
+                runs_in(
+                    spec,
+                    collector,
+                    heap_mbs[0],
+                    iterations,
+                    machine,
+                    duration_scale,
+                    fidelity,
+                )
+            ]

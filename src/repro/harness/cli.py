@@ -2,11 +2,12 @@
 
 Mirrors the DaCapo harness's ergonomics where they matter to the paper:
 ``chopin stats <benchmark>`` is the ``-p`` nominal-statistics report;
-``chopin lbo`` and ``chopin latency`` run the Section 6 analyses; ``chopin
+``chopin lbo``, ``chopin latency``, and ``chopin minheap`` run the
+Section 6 analyses as campaigns over one execution stack; ``chopin
 pca`` prints the Figure 4 diversity analysis.  ``chopin serve`` runs the
 long-running sweep service, and the four client verbs (``submit`` /
 ``status`` / ``result`` / ``cancel``) script it over HTTP — ``chopin
-result`` prints byte-identical output to the one-shot ``chopin lbo``.
+result`` prints byte-identical output to the matching one-shot command.
 """
 
 from __future__ import annotations
@@ -26,8 +27,8 @@ from repro.harness.config import HarnessConfig, engine_from_config, harness_conf
 from repro.harness.engine import ExecutionEngine
 from repro.harness.experiments import (
     chaos_drill,
-    latency_experiment,
     lbo_experiment,
+    run_campaign,
     supervised_sweep,
     trace_sweep,
 )
@@ -37,7 +38,13 @@ from repro.harness.perfdiff import (
     load_artifact,
     resolve_artifacts,
 )
-from repro.harness.plans import DEFAULT_MULTIPLES, plan_adaptive, plan_lbo, run_adaptive
+from repro.harness.plans import (
+    DEFAULT_MULTIPLES,
+    PLAN_KINDS,
+    plan_adaptive,
+    plan_lbo,
+    run_adaptive,
+)
 from repro.planner import GRADES, render_ranking
 from repro.resilience import (
     CostModel,
@@ -345,15 +352,20 @@ def cmd_plan(args: argparse.Namespace) -> int:
             raise SystemExit(f"chopin: {exc}")
     if args.target_ci < 0:
         raise SystemExit(f"chopin: --target-ci must be non-negative, got {args.target_ci}")
-    plan = plan_adaptive(
-        spec,
-        config=config,
-        cell_budget=args.cell_budget,
-        target_ci=args.target_ci,
-        seed=args.seed,
-    )
+    try:
+        plan = plan_adaptive(
+            spec,
+            config=config,
+            cell_budget=args.cell_budget,
+            target_ci=args.target_ci,
+            seed=args.seed,
+            kind=args.kind,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"chopin: {exc}")
+    tag = "" if args.kind == "lbo" else f" [{args.kind}]"
     print(
-        f"plan {spec.name}: grid {plan.grid_cells} cells "
+        f"plan {spec.name}{tag}: grid {plan.grid_cells} cells "
         f"({len(plan.grid.collectors)} collectors x {len(plan.grid.multiples)} "
         f"multiples x {plan.grid.config.invocations} invocations), "
         f"budget {plan.cell_budget}"
@@ -365,14 +377,35 @@ def cmd_plan(args: argparse.Namespace) -> int:
             f"round {rnd.index}: {rnd.reason_summary()} -> {rnd.executed} cells "
             f"({rnd.budget_left} budget left{cost})"
         )
-    if result.crossovers:
-        print("crossovers (heap factors where mean-cost curves cross):")
-        for (benchmark, a, b), points in sorted(result.crossovers.items()):
-            where = ", ".join(f"{p:.3f}x" for p in points)
-            pair = f"{a} / {b}"
-            print(f"  {pair:<24} @ {where}")
+    if args.kind == "lbo":
+        if result.crossovers:
+            print("crossovers (heap factors where mean-cost curves cross):")
+            for (benchmark, a, b), points in sorted(result.crossovers.items()):
+                where = ", ".join(f"{p:.3f}x" for p in points)
+                pair = f"{a} / {b}"
+                print(f"  {pair:<24} @ {where}")
+        else:
+            print("crossovers: none detected in the measured range")
+    elif args.kind == "latency":
+        if result.reports:
+            print("latency tails (metered p99 / p99.9 ms, full smoothing):")
+            for (benchmark, collector, multiple) in sorted(result.reports):
+                ladder = result.reports[(benchmark, collector, multiple)].metered_at(None)
+                print(
+                    f"  {collector:<12} @ {multiple:g}x: "
+                    f"{ladder[99.0] * 1e3:.3f} / {ladder[99.9] * 1e3:.3f}"
+                )
+        else:
+            print("latency tails: no feasible point in the measured range")
     else:
-        print("crossovers: none detected in the measured range")
+        if result.min_multiples:
+            print("minimum feasible grid multiples (OOM-frontier bisection):")
+            for (benchmark, collector) in sorted(result.min_multiples):
+                print(
+                    f"  {collector:<12} {result.min_multiples[(benchmark, collector)]:g}x"
+                )
+        else:
+            print("minimum feasible grid multiples: none — every candidate OOMs")
     counts = {grade: 0 for grade in GRADES}
     for grade in result.grades.values():
         counts[grade.grade] += 1
@@ -387,13 +420,16 @@ def cmd_plan(args: argparse.Namespace) -> int:
                 f"n={grade.samples}): {issues}"
             )
     if args.rank:
-        print("ranking (gmean of wall/cpu/space/instability, lower is better):")
-        print(render_ranking(result.ranking))
-        if result.unranked:
-            print(
-                "unranked (no feasible measurement on some workload): "
-                + ", ".join(result.unranked)
-            )
+        if args.kind != "lbo":
+            print("ranking: only lbo campaigns rank collectors", file=sys.stderr)
+        else:
+            print("ranking (gmean of wall/cpu/space/instability, lower is better):")
+            print(render_ranking(result.ranking))
+            if result.unranked:
+                print(
+                    "unranked (no feasible measurement on some workload): "
+                    + ", ".join(result.unranked)
+                )
     print(
         f"adaptive: executed {result.cells_executed} of {result.grid_cells} "
         f"grid cells ({result.savings:.1%} saved) in {len(result.rounds)} rounds"
@@ -432,15 +468,52 @@ def cmd_latency(args: argparse.Namespace) -> int:
         )
         return 2
     engine = _engine(args)
-    reports = {
-        collector: latency_experiment(spec, collector, args.heap, config, engine=engine).report
-        for collector in COLLECTOR_NAMES
-    }
-    print(format_latency_comparison(reports, "simple"))
-    print()
-    print(format_latency_comparison(reports, 0.1))
-    print()
-    print(format_latency_comparison(reports, None))
+    # The shared campaign path: same plan, engine, and rendering the
+    # sweep service uses, so `chopin result` is byte-identical to this.
+    campaign = run_campaign(
+        "latency",
+        spec,
+        collectors=COLLECTOR_NAMES,
+        multiples=(args.heap,),
+        config=config,
+        engine=engine,
+        strict=True,
+    )
+    sys.stdout.write(campaign.rendered())
+    return 0
+
+
+def cmd_minheap(args: argparse.Namespace) -> int:
+    spec = registry.workload(args.benchmark)
+    collectors = tuple(args.collector or COLLECTOR_NAMES)
+    for name in collectors:
+        try:
+            resolve_collector(name)
+        except UnknownCollectorError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+    engine = _engine(args)
+    campaign = run_campaign(
+        "minheap",
+        spec,
+        collectors=collectors,
+        config=_config(args),
+        engine=engine,
+        supervisor=engine.supervisor if engine.supervised else None,
+        tolerance=args.tolerance,
+    )
+    if campaign.empty:
+        print("no feasible (benchmark, collector) pair — every search failed or was refused")
+    else:
+        sys.stdout.write(campaign.rendered())
+    if campaign.holes:
+        stats = campaign.stats
+        print(
+            f"supervision: {len(campaign.holes)}/{campaign.cells} cells incomplete "
+            f"({stats.budget_skipped} over budget, {stats.breaker_skipped} "
+            f"breaker-open, {stats.drained} drained, {stats.gave_up} gave up)",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -676,6 +749,7 @@ def cmd_submit(args: argparse.Namespace) -> int:
         fidelity=None if args.fidelity == "auto" else args.fidelity,
         priority=args.priority,
         budget_s=args.budget,
+        kind=args.kind,
     )
     client = _service_client(args)
     try:
@@ -777,10 +851,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_plan = sub.add_parser(
         "plan",
-        help="adaptive LBO sweep: bisect toward crossovers, refine until "
-        "CI, skip flat regions — and report cells saved vs the fixed grid",
+        help="adaptive campaign: bisect toward crossovers (lbo), refine "
+        "moving latency tails, or bisect the OOM frontier (minheap) — "
+        "and report cells saved vs the fixed grid",
     )
     p_plan.add_argument("benchmark", choices=nominal_data.BENCHMARK_NAMES)
+    p_plan.add_argument(
+        "--kind",
+        choices=PLAN_KINDS,
+        default="lbo",
+        help="campaign family to plan adaptively (default: lbo)",
+    )
     p_plan.add_argument(
         "--cell-budget",
         type=_positive_int,
@@ -850,6 +931,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_lat.add_argument("--heap", type=float, default=2.0, help="heap multiple of min heap")
     _add_run_options(p_lat)
     p_lat.set_defaults(func=cmd_latency)
+
+    p_mh = sub.add_parser(
+        "minheap",
+        help="minimum-heap search per collector (engine-backed: cached, "
+        "batched, supervised, resumable)",
+    )
+    p_mh.add_argument("benchmark", choices=nominal_data.BENCHMARK_NAMES)
+    p_mh.add_argument(
+        "--collector",
+        action="append",
+        default=None,
+        help="collector to search (repeatable; default: all five)",
+    )
+    p_mh.add_argument(
+        "--tolerance",
+        type=_positive_float,
+        default=0.02,
+        help="relative bracket width at which the search stops (default: 0.02)",
+    )
+    _add_run_options(p_mh)
+    p_mh.set_defaults(func=cmd_minheap)
 
     p_trace = sub.add_parser(
         "trace", help="record a sweep with the flight recorder (Perfetto trace)"
@@ -1079,9 +1181,15 @@ def build_parser() -> argparse.ArgumentParser:
         )
 
     p_sub = sub.add_parser(
-        "submit", help="submit an lbo sweep job to a running service"
+        "submit", help="submit a campaign job (lbo/latency/minheap) to a running service"
     )
     p_sub.add_argument("benchmark", choices=nominal_data.BENCHMARK_NAMES)
+    p_sub.add_argument(
+        "--kind",
+        choices=PLAN_KINDS,
+        default="lbo",
+        help="campaign kind to run (default: lbo)",
+    )
     p_sub.add_argument(
         "--collector",
         action="append",
@@ -1133,7 +1241,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_st.set_defaults(func=cmd_status)
 
     p_res = sub.add_parser(
-        "result", help="fetch a terminal job's result (byte-identical to chopin lbo)"
+        "result",
+        help="fetch a terminal job's result (byte-identical to the "
+        "one-shot chopin lbo/latency/minheap)",
     )
     p_res.add_argument("job_id")
     p_res.add_argument(

@@ -90,7 +90,11 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runner imports us)
 #: every cached entry is invalidated because the hash changes.
 #: 2: IterationResult grew fidelity-tier fields (avg_footprint_mb,
 #: fidelity, optional timeline/telemetry) — old pickles lack them.
-ENGINE_SCHEMA_VERSION = 2
+#: 3: latency replay seeds switched from 3-decimal heap multiples to
+#: full-precision ``repr(float)`` — refined multiples differing past
+#: 3 decimals no longer share a replay stream, so replay-adjacent
+#: caches from the 3-decimal era must be quarantined, not reused.
+ENGINE_SCHEMA_VERSION = 3
 
 #: Cells executed (not served from cache) by *this process* — test hook
 #: for the "warm cache runs zero simulations" guarantee.

@@ -18,29 +18,39 @@ from __future__ import annotations
 import pickle
 import tempfile
 from dataclasses import dataclass, replace
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.harness.engine import Cell, EngineStats, ExecutionEngine, Hole
 from repro.observability import Recorder
 from repro.resilience import FaultInjector, FaultSpec, RetryPolicy, Supervisor
 from repro.harness.plans import (
     DEFAULT_MULTIPLES,
+    PLAN_KINDS,
     LatencyRun,
     SuiteLbo,
     _assemble_lbo,
     _scaled_for_replay,
     plan_latency,
     plan_lbo,
+    plan_minheap,
     run_plan,
+)
+from repro.harness.report import (
+    format_latency_comparison,
+    format_lbo_curves,
+    format_minheap,
 )
 from repro.harness.runner import DEFAULT_CONFIG, RunConfig
 from repro.core.lbo import LboCurves
+from repro.core.latency import LatencyReport
+from repro.core.minheap import MinHeapResult
 from repro.jvm.collectors import COLLECTOR_NAMES, resolve_collector
 from repro.jvm.heap import OutOfMemoryError
 from repro.jvm.telemetry import FIDELITY_FULL
 from repro.workloads.spec import WorkloadSpec
 
 __all__ = [
+    "Campaign",
     "ChaosDrill",
     "DEFAULT_MULTIPLES",
     "LatencyRun",
@@ -51,6 +61,8 @@ __all__ = [
     "heap_timeseries",
     "latency_experiment",
     "lbo_experiment",
+    "minheap_experiment",
+    "run_campaign",
     "suite_lbo",
     "supervised_sweep",
     "trace_sweep",
@@ -106,6 +118,170 @@ def latency_experiment(
         spec, (collector,), (heap_multiple,), config, replay_invocation=invocation
     )
     return run_plan(plan, engine, strict=True)[0]
+
+
+def minheap_experiment(
+    specs: Union[WorkloadSpec, Sequence[WorkloadSpec]],
+    collectors: Sequence[str] = COLLECTOR_NAMES,
+    config: RunConfig = DEFAULT_CONFIG,
+    tolerance: float = 0.02,
+    probes: int = 1,
+    engine: Optional[ExecutionEngine] = None,
+) -> List[MinHeapResult]:
+    """Minimum-heap search (Recommendation H2) through the engine.
+
+    The probe schedule is the same generator
+    :func:`~repro.core.minheap.find_min_heap` drives inline, so the
+    reported minima are bit-identical to the legacy search — but probes
+    flow through the engine, so they cache, batch, supervise, and
+    resume like any other cells.  Infeasible (benchmark, collector)
+    pairs are dropped from the result list.
+    """
+    plan = plan_minheap(specs, collectors, config, tolerance=tolerance, probes=probes)
+    return run_plan(plan, engine)
+
+
+@dataclass(frozen=True)
+class Campaign:
+    """One campaign's outcome, whatever its kind — the common shape the
+    service worker and the one-shot CLI both consume.
+
+    ``result`` is kind-shaped: a :class:`SuiteLbo` (or ``None`` when
+    every group was refused) for ``kind="lbo"``, a list of
+    :class:`LatencyRun` for ``kind="latency"``, a list of
+    :class:`~repro.core.minheap.MinHeapResult` for ``kind="minheap"``.
+    ``cells`` counts the cells the campaign touched (for dynamic
+    min-heap schedules: served by the engine plus holed), ``holes`` the
+    incomplete ones with their typed reasons, ``stats`` the engine
+    delta, and ``drained`` whether a graceful shutdown was in progress.
+    """
+
+    kind: str
+    cells: int
+    result: Union[Optional[SuiteLbo], List[LatencyRun], List[MinHeapResult]]
+    holes: List[Hole]
+    stats: EngineStats
+    drained: bool = False
+
+    @property
+    def empty(self) -> bool:
+        """True when the campaign produced no usable result at all."""
+        return self.result is None if self.kind == "lbo" else not self.result
+
+    def rendered(self) -> str:
+        """The campaign's result tables, byte-identical to the one-shot
+        CLI's stdout for the same request (``chopin lbo`` / ``latency``
+        / ``minheap``) — the text the service journals and ``chopin
+        result`` replays."""
+        if self.empty:
+            return ""
+        if self.kind == "lbo":
+            curves = self.result.per_benchmark[0]
+            return (
+                format_lbo_curves(curves, "wall")
+                + "\n\n"
+                + format_lbo_curves(curves, "task")
+                + "\n"
+            )
+        if self.kind == "latency":
+            # One three-table block (simple / 0.1 ms-smoothed / full
+            # smoothing) per (benchmark, heap multiple) group, in run
+            # order: a single-benchmark single-heap campaign renders
+            # exactly `chopin latency`'s stdout.
+            groups: Dict[Tuple[str, float], Dict[str, LatencyReport]] = {}
+            for run in self.result:
+                key = (run.benchmark, run.heap_multiple)
+                groups.setdefault(key, {})[run.collector] = run.report
+            blocks = [
+                "\n\n".join(
+                    format_latency_comparison(reports, window)
+                    for window in ("simple", 0.1, None)
+                )
+                for reports in groups.values()
+            ]
+            return "\n\n".join(blocks) + "\n"
+        return format_minheap(self.result) + "\n"
+
+
+def run_campaign(
+    kind: str,
+    specs: Union[WorkloadSpec, Sequence[WorkloadSpec]],
+    collectors: Sequence[str] = COLLECTOR_NAMES,
+    multiples: Optional[Sequence[float]] = None,
+    config: RunConfig = DEFAULT_CONFIG,
+    engine: Optional[ExecutionEngine] = None,
+    supervisor: Optional[Supervisor] = None,
+    strict: bool = False,
+    tolerance: float = 0.02,
+    replay_invocation: int = 0,
+) -> Campaign:
+    """Run one campaign of any kind through the shared execution stack.
+
+    The single dispatch point behind ``chopin lbo`` / ``latency`` /
+    ``minheap`` and the sweep service's worker: every kind compiles to
+    an :class:`~repro.harness.plans.ExperimentPlan`, executes through
+    the same engine (cache, batch kernel, supervisor, recorder), and
+    comes back as a :class:`Campaign` whose :meth:`~Campaign.rendered`
+    text is byte-identical between the one-shot and served paths.
+
+    ``multiples=None`` picks the kind's default grid — the LBO grid,
+    ``(2.0,)`` for latency, and the dynamic probe schedule for min-heap
+    (which ignores ``multiples`` entirely).  Campaigns always run in
+    partial mode: refused or failed cells surface as typed holes, and
+    ``strict`` upgrades the first hole (or OOM group) to an exception
+    instead.
+    """
+    if kind not in PLAN_KINDS:
+        raise ValueError(f"unknown campaign kind {kind!r}; choose from {PLAN_KINDS}")
+    engine = engine if engine is not None else ExecutionEngine()
+    if kind == "lbo":
+        sweep = supervised_sweep(
+            specs,
+            collectors=collectors,
+            multiples=tuple(multiples) if multiples else DEFAULT_MULTIPLES,
+            config=config,
+            engine=engine,
+            supervisor=supervisor,
+        )
+        return Campaign(
+            kind="lbo",
+            cells=sweep.cells,
+            result=sweep.result,
+            holes=sweep.holes,
+            stats=sweep.stats,
+            drained=sweep.drained,
+        )
+    if kind == "latency":
+        plan = plan_latency(
+            specs,
+            collectors,
+            tuple(multiples) if multiples else (2.0,),
+            config,
+            replay_invocation=replay_invocation,
+        )
+    else:
+        plan = plan_minheap(specs, collectors, config, tolerance=tolerance)
+    result, holes, stats = run_plan(
+        plan,
+        engine,
+        strict=strict,
+        partial=True,
+        return_stats=True,
+        supervisor=supervisor,
+    )
+    cells = (
+        plan.cell_count
+        if plan.cell_count
+        else stats.executed + stats.cached + stats.negative_hits + len(holes)
+    )
+    return Campaign(
+        kind=kind,
+        cells=cells,
+        result=result,
+        holes=list(holes),
+        stats=stats,
+        drained=supervisor.draining if supervisor is not None else False,
+    )
 
 
 @dataclass(frozen=True)

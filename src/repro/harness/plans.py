@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.latency import LatencyReport, latency_report
 from repro.core.lbo import LboCurves, RunCosts, costs_from_iteration, geomean_curves, lbo_curves
+from repro.core.minheap import MinHeapResult, _min_heap_search
 from repro.core.rng import generator_for
 from repro.harness.engine import (
     Cell,
@@ -45,8 +46,10 @@ from repro.workloads.spec import WorkloadSpec
 #: (the paper's advice in Section 4.2).
 DEFAULT_MULTIPLES: Tuple[float, ...] = (1.0, 1.25, 1.5, 2.0, 3.0, 4.0, 5.0, 6.0)
 
-#: Plan kinds :func:`run_plan` knows how to assemble.
-PLAN_KINDS = ("lbo", "latency")
+#: Plan kinds :func:`run_plan` knows how to assemble — the campaign
+#: families of the paper's analysis: LBO cost curves, metered-latency
+#: tails, and minimum-heap determination.
+PLAN_KINDS = ("lbo", "latency", "minheap")
 
 
 @dataclass(frozen=True)
@@ -77,6 +80,14 @@ class ExperimentPlan:
     invocation's timeline the request stream is replayed over (and seeds
     the replay RNG), mirroring ``latency_experiment``'s ``invocation``
     argument.
+
+    ``tolerance`` and ``probes`` matter only to min-heap plans: they are
+    the relative bracket width at which the search stops and the
+    K-section width, exactly as in
+    :func:`~repro.core.minheap.find_min_heap`.  Min-heap plans size their
+    probe schedule dynamically, so they are the one kind allowed an empty
+    ``multiples`` tuple (a non-empty one declares the candidate grid an
+    adaptive min-heap campaign bisects over).
     """
 
     kind: str
@@ -85,6 +96,8 @@ class ExperimentPlan:
     multiples: Tuple[float, ...]
     config: RunConfig = DEFAULT_CONFIG
     replay_invocation: int = 0
+    tolerance: float = 0.02
+    probes: int = 1
 
     def __post_init__(self) -> None:
         if self.kind not in PLAN_KINDS:
@@ -93,8 +106,12 @@ class ExperimentPlan:
             raise ValueError("a plan needs at least one workload")
         if not self.collectors:
             raise ValueError("a plan needs at least one collector")
-        if not self.multiples:
+        if not self.multiples and self.kind != "minheap":
             raise ValueError("a plan needs at least one heap multiple")
+        if self.tolerance <= 0:
+            raise ValueError("tolerance must be positive")
+        if self.probes < 1:
+            raise ValueError("probes must be at least 1")
         for collector in self.collectors:
             resolve_collector(collector)
         for multiple in self.multiples:
@@ -113,7 +130,11 @@ class ExperimentPlan:
 
     @property
     def cell_count(self) -> int:
-        """Number of independent jobs the plan enumerates into."""
+        """Number of independent jobs the plan enumerates into.
+
+        A dynamic min-heap plan (empty ``multiples``) sizes its probe
+        schedule while running, so its static count is 0.
+        """
         return (
             len(self.specs)
             * len(self.collectors)
@@ -223,6 +244,40 @@ def plan_latency(
     )
 
 
+def plan_minheap(
+    specs: Union[WorkloadSpec, Sequence[WorkloadSpec]],
+    collectors: Sequence[str] = COLLECTOR_NAMES,
+    config: RunConfig = DEFAULT_CONFIG,
+    tolerance: float = 0.02,
+    probes: int = 1,
+    multiples: Sequence[float] = (),
+) -> ExperimentPlan:
+    """Plan a minimum-heap search campaign (Recommendation H2).
+
+    Probe cells carry only the OOM-or-not outcome, so auto fidelity
+    resolves to the aggregate tier, and auto iterations resolve to 1 —
+    the exact parameters of :func:`~repro.core.minheap.find_min_heap`'s
+    inline probes, which is what pins the engine-backed search
+    bit-identical to the legacy one.  ``multiples`` defaults to empty
+    (the schedule is dynamic); a non-empty tuple declares the candidate
+    grid an adaptive campaign (``plan_adaptive(kind="minheap")``)
+    bisects over.
+    """
+    if config.fidelity is None:
+        config = replace(config, fidelity=FIDELITY_AGGREGATE)
+    if config.iterations is None:
+        config = replace(config, iterations=1)
+    return ExperimentPlan(
+        kind="minheap",
+        specs=_specs_tuple(specs),
+        collectors=tuple(collectors),
+        multiples=tuple(multiples),
+        config=config,
+        tolerance=tolerance,
+        probes=probes,
+    )
+
+
 def run_plan(
     plan: ExperimentPlan,
     engine: Optional[ExecutionEngine] = None,
@@ -233,8 +288,11 @@ def run_plan(
 ):
     """Execute a plan through an engine and assemble the results.
 
-    Returns :class:`SuiteLbo` for ``kind="lbo"`` and a list of
-    :class:`LatencyRun` for ``kind="latency"``.  Without an engine, a
+    Returns :class:`SuiteLbo` for ``kind="lbo"``, a list of
+    :class:`LatencyRun` for ``kind="latency"``, and a list of
+    :class:`~repro.core.minheap.MinHeapResult` (spec-major, collector
+    order; infeasible pairs dropped unless ``strict``) for
+    ``kind="minheap"``.  Without an engine, a
     fresh in-process serial engine (no cache) is used — the legacy
     behaviour.  (collector, multiple) groups where *any* invocation hits
     ``OutOfMemoryError`` are dropped, matching the paper's plotting rule;
@@ -275,6 +333,14 @@ def run_plan(
         plan = replace(plan, config=replace(plan.config, fidelity=FIDELITY_FULL))
     before = dataclasses.replace(engine.stats)
     holes: List[Hole] = []
+    if plan.kind == "minheap":
+        assembled, holes = _run_minheap(plan, engine, strict=strict, partial=partial)
+        out = [assembled]
+        if partial:
+            out.append(holes)
+        if return_stats:
+            out.append(engine.stats.minus(before))
+        return out[0] if len(out) == 1 else tuple(out)
     if partial:
         batch = engine.run_cells(plan.cells(), partial=True)
         results: Sequence[Optional[CellResult]] = batch.results
@@ -363,15 +429,9 @@ def _assemble_latency(
         if _has_hole(group):
             continue  # partial mode drops gapped groups (strict raised earlier)
         timed = group[plan.replay_invocation % len(group)].timed
-        rng = generator_for(
-            "latency", spec.name, collector, f"{multiple:.3f}", plan.replay_invocation
+        events = _replayed_events(
+            spec, collector, multiple, plan.replay_invocation, timed, plan.config
         )
-        scaled = spec
-        if plan.config.duration_scale != 1.0:
-            # Shrink the request stream with the iteration so workers stay
-            # busy for the whole (scaled) run.
-            scaled = _scaled_for_replay(spec, plan.config.duration_scale)
-        events = replay(scaled, timed.require_timeline(), rng)
         runs.append(
             LatencyRun(
                 benchmark=spec.name,
@@ -382,6 +442,110 @@ def _assemble_latency(
             )
         )
     return runs
+
+
+def _replayed_events(
+    spec: WorkloadSpec,
+    collector: str,
+    multiple: float,
+    invocation: int,
+    timed,
+    config: RunConfig,
+) -> EventRecord:
+    """Replay the request stream over one invocation's timeline.
+
+    The single replay code path for grid assembly and adaptive latency
+    campaigns — same seed derivation, same scaled-spec rule — which is
+    what makes adaptive reports bit-identical to the fixed grid's at
+    every measured point.  The seed carries the *full-precision*
+    multiple (``repr(float)``): the old 3-decimal format made
+    planner-refined multiples differing past 3 decimals share a replay
+    stream (and collide in the content-addressed cache).
+    """
+    rng = generator_for(
+        "latency", spec.name, collector, repr(float(multiple)), invocation
+    )
+    scaled = spec
+    if config.duration_scale != 1.0:
+        # Shrink the request stream with the iteration so workers stay
+        # busy for the whole (scaled) run.
+        scaled = _scaled_for_replay(spec, config.duration_scale)
+    return replay(scaled, timed.require_timeline(), rng)
+
+
+def _run_minheap(
+    plan: ExperimentPlan,
+    engine: ExecutionEngine,
+    strict: bool,
+    partial: bool,
+) -> Tuple[List[MinHeapResult], List[Hole]]:
+    """Drive the min-heap probe schedule through the engine.
+
+    Each (workload, collector) pair advances the *same*
+    :func:`~repro.core.minheap._min_heap_search` generator that
+    :func:`~repro.core.minheap.find_min_heap` drives inline, but answers
+    every probe with an engine cell at invocation 0 — cached, batched,
+    supervised, resumable.  Identical schedule in, identical OOM frontier
+    out: the reported minima are bit-identical to the legacy search, and
+    a warm cache answers a repeat search with zero new simulations.
+
+    Pairs whose upper bound fails are dropped (``strict`` re-raises the
+    search's :class:`OutOfMemoryError` instead); in ``partial`` mode a
+    holed probe aborts that pair's search — a search cannot continue past
+    an unanswered probe — and the pair is dropped with its holes
+    reported.
+    """
+    results: List[MinHeapResult] = []
+    holes: List[Hole] = []
+    iterations = plan.config.iterations if plan.config.iterations is not None else 1
+    for spec in plan.specs:
+        for collector in plan.collectors:
+            search = _min_heap_search(
+                spec, collector, plan.tolerance, None, plan.probes
+            )
+            fits: Optional[List[bool]] = None
+            while True:
+                try:
+                    heap_mbs = next(search) if fits is None else search.send(fits)
+                except StopIteration as stop:
+                    results.append(
+                        MinHeapResult(
+                            benchmark=spec.name,
+                            collector=collector,
+                            min_heap_mb=stop.value,
+                            iterations=iterations,
+                        )
+                    )
+                    break
+                except OutOfMemoryError:
+                    if strict:
+                        raise
+                    break  # infeasible even at the upper bound: drop the pair
+                cells = [
+                    Cell(
+                        spec=spec,
+                        collector=collector,
+                        heap_mb=heap_mb,
+                        invocation=0,
+                        config=plan.config,
+                    )
+                    for heap_mb in heap_mbs
+                ]
+                if partial:
+                    batch = engine.run_cells(cells, partial=True)
+                    if batch.holes:
+                        holes.extend(batch.holes)
+                        if strict:
+                            raise CellExecutionError(
+                                batch.holes[0].key,
+                                batch.holes[0].attempts,
+                                batch.holes[0].error,
+                            )
+                        break  # the search cannot continue past a hole
+                    fits = [r.oom is None for r in batch.results]
+                else:
+                    fits = [r.oom is None for r in engine.run_cells(cells)]
+    return results, holes
 
 
 # ----------------------------------------------------------------------
@@ -410,10 +574,14 @@ class AdaptivePlan:
     seed: int = 0
     flat_threshold: float = 0.05
     max_rounds: int = 64
+    tail_threshold: float = 0.05
 
     def __post_init__(self) -> None:
-        if self.grid.kind != "lbo":
-            raise ValueError("adaptive planning drives LBO sweeps only")
+        if not self.grid.multiples:
+            raise ValueError(
+                "adaptive planning needs a candidate multiple grid; "
+                "dynamic min-heap plans have none"
+            )
         if self.cell_budget < 1:
             raise ValueError(f"cell budget must be at least 1, got {self.cell_budget}")
         if self.target_ci < 0:
@@ -456,6 +624,14 @@ class AdaptiveResult:
     collectors rankable in *every* workload, with the rest in
     ``unranked``.  ``schedule`` is the executed cell keys in execution
     order — the byte-identical artifact the determinism tests pin.
+
+    Non-LBO campaigns fill their own answer fields instead of
+    ``crossovers``/``ranking``: ``reports`` maps ``(benchmark,
+    collector, multiple)`` to a graded :class:`LatencyReport` whose
+    percentile numbers are bit-identical to the fixed grid's at every
+    measured point (``kind="latency"``); ``min_multiples`` maps
+    ``(benchmark, collector)`` to the smallest feasible grid multiple —
+    exactly the full grid's answer (``kind="minheap"``).
     """
 
     plan: AdaptivePlan
@@ -467,6 +643,12 @@ class AdaptiveResult:
     schedule: Tuple[str, ...]
     cells_executed: int
     grid_cells: int
+    reports: Dict[Tuple[str, str, float], LatencyReport] = dataclasses.field(
+        default_factory=dict
+    )
+    min_multiples: Dict[Tuple[str, str], float] = dataclasses.field(
+        default_factory=dict
+    )
 
     @property
     def savings(self) -> float:
@@ -484,15 +666,29 @@ def plan_adaptive(
     seed: int = 0,
     flat_threshold: float = 0.05,
     max_rounds: int = 64,
+    kind: str = "lbo",
+    tail_threshold: float = 0.05,
 ) -> AdaptivePlan:
-    """Plan an adaptive LBO sweep over the standard fixed grid.
+    """Plan an adaptive campaign over the standard fixed grid.
 
-    The default budget is half the grid — the planner must earn its
-    keep — and :func:`run_adaptive` stops earlier the moment every
-    workload settles.  The candidate grid resolves fidelity exactly
-    like :func:`plan_lbo`, so adaptive and fixed cells share cache keys.
+    ``kind`` selects the campaign family — ``"lbo"`` bisects toward
+    crossovers, ``"latency"`` refines points whose metered tail is still
+    moving (``tail_threshold``), ``"minheap"`` bisects each collector's
+    OOM frontier to the smallest feasible grid multiple.  The default
+    budget is half the grid — the planner must earn its keep — and
+    :func:`run_adaptive` stops earlier the moment every workload
+    settles.  The candidate grid resolves fidelity exactly like the
+    corresponding fixed plan (:func:`plan_lbo`, :func:`plan_latency`,
+    :func:`plan_minheap`), so adaptive and fixed cells share cache keys.
     """
-    grid = plan_lbo(specs, collectors, multiples, config)
+    if kind == "lbo":
+        grid = plan_lbo(specs, collectors, multiples, config)
+    elif kind == "latency":
+        grid = plan_latency(specs, collectors, multiples, config)
+    elif kind == "minheap":
+        grid = plan_minheap(specs, collectors, config, multiples=multiples)
+    else:
+        raise ValueError(f"unknown plan kind {kind!r}; choose from {PLAN_KINDS}")
     if cell_budget is None:
         cell_budget = (grid.cell_count + 1) // 2
     return AdaptivePlan(
@@ -502,6 +698,7 @@ def plan_adaptive(
         seed=seed,
         flat_threshold=flat_threshold,
         max_rounds=max_rounds,
+        tail_threshold=tail_threshold,
     )
 
 
@@ -545,6 +742,13 @@ def run_adaptive(
 ) -> AdaptiveResult:
     """Drive the adaptive loop: propose → execute → refit until settled.
 
+    Dispatches on the grid's campaign kind: LBO grids run the
+    crossover-hunting policy below, latency grids the tail-refinement
+    policy (:class:`~repro.planner.LatencyPlanner`), min-heap grids the
+    frontier bisection (:class:`~repro.planner.MinHeapPlanner`) — all
+    three share the same round loop, budget, grading, and recorder
+    contract.
+
     Each round collects every workload's proposals, admits the best
     ``budget_left`` of them (priority order, seeded tie-break), runs
     them through the engine — cache, batch kernel, supervisor, and
@@ -580,6 +784,10 @@ def run_adaptive(
     if engine.recorder.enabled and grid.config.fidelity != FIDELITY_FULL:
         grid = replace(grid, config=replace(grid.config, fidelity=FIDELITY_FULL))
         plan = replace(plan, grid=grid)
+    if grid.kind == "latency":
+        return _run_adaptive_latency(plan, engine, cost_model)
+    if grid.kind == "minheap":
+        return _run_adaptive_minheap(plan, engine, cost_model)
     planners = {
         spec.name: Planner(
             spec,
@@ -715,6 +923,233 @@ def run_adaptive(
         schedule=tuple(schedule),
         cells_executed=len(schedule),
         grid_cells=plan.grid_cells,
+    )
+
+
+def _campaign_rounds(plan, engine, cost_model, planners, observe, samples_for):
+    """The shared propose → execute → observe loop for non-LBO campaigns.
+
+    Mirrors :func:`run_adaptive`'s LBO loop operation for operation —
+    budget admission by ``sort_key``, row grouping, schedule capture,
+    reason counts, cost annotation, CV grading of touched points, and
+    recorder emits — with the campaign-specific pieces injected:
+    ``observe(planner, proposal, result)`` folds a cell into its
+    planner, ``samples_for(planner, collector, multiple)`` yields the
+    samples a grade is computed over.
+    """
+    from repro.observability import CellGraded, PlannerRound
+    from repro.planner import grade_cell, predict_cost
+
+    grid = plan.grid
+    budget_left = plan.cell_budget
+    schedule: List[str] = []
+    rounds: List[AdaptiveRound] = []
+    grades: Dict[Tuple[str, str, float], "CellGrade"] = {}
+    for round_index in range(plan.max_rounds):
+        if budget_left <= 0:
+            break
+        proposals: List["Proposal"] = []
+        for spec in grid.specs:
+            proposals.extend(planners[spec.name].propose())
+        if not proposals:
+            break
+        take = sorted(proposals, key=lambda p: p.sort_key)[:budget_left]
+        cells, ordered = _adaptive_rows(take, plan)
+        results = engine.run_cells(cells)
+        for proposal, result in zip(ordered, results):
+            observe(planners[proposal.benchmark], proposal, result)
+            schedule.append(result.key)
+        budget_left -= len(ordered)
+        reason_counts: Dict[str, int] = {}
+        for proposal in ordered:
+            reason_counts[proposal.reason] = reason_counts.get(proposal.reason, 0) + 1
+        estimated = sum(
+            predict_cost(cost_model, p.benchmark, p.collector) for p in ordered
+        )
+        round_record = AdaptiveRound(
+            index=round_index,
+            proposed=len(proposals),
+            executed=len(ordered),
+            budget_left=budget_left,
+            reasons=tuple(sorted(reason_counts.items())),
+            estimated_cost_s=estimated,
+        )
+        rounds.append(round_record)
+        touched = sorted({(p.benchmark, p.collector, p.multiple) for p in ordered})
+        for benchmark, collector, multiple in touched:
+            planner = planners[benchmark]
+            grade = grade_cell(
+                benchmark,
+                collector,
+                multiple,
+                samples_for(planner, collector, multiple),
+                oom=multiple in planner.ooms.get(collector, ()),
+            )
+            grades[(benchmark, collector, multiple)] = grade
+            if engine.recorder.enabled:
+                engine.recorder.emit(
+                    CellGraded(
+                        ts=float(round_index),
+                        benchmark=benchmark,
+                        collector=collector,
+                        heap_multiple=multiple,
+                        score=grade.score,
+                        grade=grade.grade,
+                        cv=grade.cv,
+                        samples=grade.samples,
+                    )
+                )
+        if engine.recorder.enabled:
+            engine.recorder.emit(
+                PlannerRound(
+                    ts=float(round_index),
+                    index=round_index,
+                    proposed=round_record.proposed,
+                    executed=round_record.executed,
+                    budget_left=round_record.budget_left,
+                    reasons=round_record.reason_summary(),
+                )
+            )
+    return rounds, schedule, grades
+
+
+def _tail_summary(
+    spec: WorkloadSpec,
+    collector: str,
+    multiple: float,
+    invocation: int,
+    timed,
+    config: RunConfig,
+) -> float:
+    """One invocation's tail scalar: the worst of metered p99/p99.9
+    across every smoothing window — the quantity whose round-to-round
+    movement the latency policy watches."""
+    report = latency_report(
+        _replayed_events(spec, collector, multiple, invocation, timed, config)
+    )
+    return max(
+        max(ladder[99.0], ladder[99.9]) for ladder in report.metered.values()
+    )
+
+
+def _run_adaptive_latency(
+    plan: AdaptivePlan, engine: ExecutionEngine, cost_model
+) -> AdaptiveResult:
+    """Adaptive metered-latency campaign: refine while the tail moves.
+
+    Every proposed cell is a grid cell, so executed cells are
+    bit-identical to the fixed grid run; final reports replay the grid's
+    ``replay_invocation`` through the same :func:`_replayed_events` path
+    as :func:`_assemble_latency`, so every measured point's percentile
+    numbers are bit-identical to the grid's — the campaign merely
+    *skips* points (and invocations) whose tails settled early, and
+    folds the per-invocation tail CV grade into each report.
+    """
+    from repro.planner import LatencyPlanner
+
+    grid = plan.grid
+    by_spec = {spec.name: spec for spec in grid.specs}
+    planners = {
+        spec.name: LatencyPlanner(
+            spec,
+            grid.collectors,
+            grid.multiples,
+            grid.config,
+            tail_threshold=plan.tail_threshold,
+            seed=plan.seed,
+        )
+        for spec in grid.specs
+    }
+    replayable: Dict[Tuple[str, str, float], CellResult] = {}
+
+    def observe(planner, proposal, result):
+        if result.oom is not None:
+            planner.observe(proposal.collector, proposal.multiple, result)
+            return
+        tail = _tail_summary(
+            by_spec[proposal.benchmark],
+            proposal.collector,
+            proposal.multiple,
+            proposal.invocation,
+            result.timed,
+            grid.config,
+        )
+        planner.observe(proposal.collector, proposal.multiple, result, tail=tail)
+        if proposal.invocation == grid.replay_invocation:
+            key = (proposal.benchmark, proposal.collector, proposal.multiple)
+            replayable[key] = result
+
+    rounds, schedule, grades = _campaign_rounds(
+        plan, engine, cost_model, planners, observe,
+        lambda planner, collector, multiple: planner.tail_samples(collector, multiple),
+    )
+    reports: Dict[Tuple[str, str, float], LatencyReport] = {}
+    for key in sorted(replayable):
+        benchmark, collector, multiple = key
+        spec = by_spec[benchmark]
+        events = _replayed_events(
+            spec, collector, multiple, grid.replay_invocation,
+            replayable[key].timed, grid.config,
+        )
+        report = latency_report(events)
+        grade = grades.get(key)
+        reports[key] = report if grade is None else report.with_grade(grade)
+    return AdaptiveResult(
+        plan=plan,
+        rounds=tuple(rounds),
+        grades=grades,
+        crossovers={},
+        ranking=(),
+        unranked=(),
+        schedule=tuple(schedule),
+        cells_executed=len(schedule),
+        grid_cells=plan.grid_cells,
+        reports=reports,
+    )
+
+
+def _run_adaptive_minheap(
+    plan: AdaptivePlan, engine: ExecutionEngine, cost_model
+) -> AdaptiveResult:
+    """Adaptive min-heap campaign: bisect each collector's OOM frontier.
+
+    The answer — the smallest feasible grid multiple per (workload,
+    collector) — is *exact* against the full grid (feasibility is
+    monotone in heap size), reached with one invocation per probed point
+    while the grid budgets ``config.invocations`` per point.
+    """
+    from repro.planner import MinHeapPlanner
+
+    grid = plan.grid
+    planners = {
+        spec.name: MinHeapPlanner(
+            spec, grid.collectors, grid.multiples, grid.config, seed=plan.seed
+        )
+        for spec in grid.specs
+    }
+
+    def observe(planner, proposal, result):
+        planner.observe(proposal.collector, proposal.multiple, result)
+
+    rounds, schedule, grades = _campaign_rounds(
+        plan, engine, cost_model, planners, observe,
+        lambda planner, collector, multiple: planner.wall_samples(collector, multiple),
+    )
+    min_multiples: Dict[Tuple[str, str], float] = {}
+    for spec in grid.specs:
+        for collector, multiple in sorted(planners[spec.name].min_multiples().items()):
+            min_multiples[(spec.name, collector)] = multiple
+    return AdaptiveResult(
+        plan=plan,
+        rounds=tuple(rounds),
+        grades=grades,
+        crossovers={},
+        ranking=(),
+        unranked=(),
+        schedule=tuple(schedule),
+        cells_executed=len(schedule),
+        grid_cells=plan.grid_cells,
+        min_multiples=min_multiples,
     )
 
 

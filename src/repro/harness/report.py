@@ -11,6 +11,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.latency import LatencyReport
 from repro.core.lbo import LboCurves
+from repro.core.minheap import MinHeapResult
 from repro.core.stats import LATENCY_PERCENTILES
 
 
@@ -92,6 +93,21 @@ def format_latency_comparison(
     )
     unit = "ms" if unit_ms else "s"
     return f"Request latency ({label}, {unit})\n{format_table(headers, rows)}"
+
+
+def format_minheap(results: Sequence[MinHeapResult]) -> str:
+    """Render minimum-heap search results (Recommendation H2) as a table.
+
+    One row per (benchmark, collector) pair, in the order the campaign
+    assembled them — infeasible pairs are simply absent, like OOM points
+    in the LBO curves.
+    """
+    headers = ["benchmark", "collector", "min heap (MB)", "iterations"]
+    rows = [
+        [r.benchmark, r.collector, f"{r.min_heap_mb:.2f}", str(r.iterations)]
+        for r in results
+    ]
+    return f"Minimum heap (MB)\n{format_table(headers, rows)}"
 
 
 def format_pca_projection(result, components: Tuple[int, int] = (0, 1)) -> str:

@@ -35,6 +35,8 @@ from repro.planner.policy import (
     REASON_KNEE,
     REASON_REFINE,
     REASON_SCOUT,
+    LatencyPlanner,
+    MinHeapPlanner,
     Planner,
     Proposal,
 )
@@ -69,6 +71,8 @@ __all__ = [
     "GRADE_FAIR",
     "GRADE_GOOD",
     "GRADE_POOR",
+    "LatencyPlanner",
+    "MinHeapPlanner",
     "PRIORITIES",
     "Planner",
     "Proposal",

@@ -333,3 +333,268 @@ class Planner:
     def settled(self) -> bool:
         """True when the policy has nothing left to ask for."""
         return not self.propose()
+
+
+class _CampaignPlanner:
+    """Shared plumbing for the non-LBO campaign policies.
+
+    Holds the candidate grid, the OOM ledger, and the proposal
+    bookkeeping (dedup, priority, seeded tie-break) that
+    :class:`LatencyPlanner` and :class:`MinHeapPlanner` have in common
+    with :class:`Planner`.  Subclasses define what an observation is
+    (``_count``) and which cells the campaign still wants
+    (``propose``).
+    """
+
+    #: Per-point invocation ceiling; ``None`` means the grid's
+    #: ``config.invocations``.
+    invocation_cap: Optional[int] = None
+
+    def __init__(
+        self,
+        spec: WorkloadSpec,
+        collectors: Sequence[str],
+        multiples: Sequence[float],
+        config: RunConfig,
+        seed: int = 0,
+    ) -> None:
+        if not multiples:
+            raise ValueError("a campaign planner needs a candidate multiple grid")
+        self.spec = spec
+        self.collectors = tuple(collectors)
+        self.multiples = tuple(sorted(multiples))
+        self.config = config
+        self.seed = seed
+        #: Multiples proven infeasible, per collector.
+        self.ooms: Dict[str, Set[float]] = {}
+
+    def _count(self, collector: str, multiple: float) -> int:
+        raise NotImplementedError
+
+    def propose(self) -> List[Proposal]:
+        raise NotImplementedError
+
+    def _infeasible(self, collector: str, multiple: float) -> bool:
+        return multiple in self.ooms.get(collector, ())
+
+    def _touched(self, collector: str, multiple: float) -> bool:
+        return self._count(collector, multiple) > 0 or self._infeasible(collector, multiple)
+
+    def _anchors(self) -> Tuple[float, ...]:
+        """Scout anchors: ends of the grid plus the multiple nearest 2x
+        (same rule as :meth:`Planner._anchors`)."""
+        if len(self.multiples) <= 3:
+            return self.multiples
+        middle = min(self.multiples, key=lambda m: (abs(m - 2.0), m))
+        return tuple(sorted({self.multiples[0], middle, self.multiples[-1]}))
+
+    def _propose_point(
+        self, out: Dict[Tuple[str, float, int], Proposal], collector: str,
+        multiple: float, reason: str,
+    ) -> None:
+        """Queue the point's next invocation under ``reason`` (dedup by
+        cell coordinates, higher priority wins)."""
+        if self._infeasible(collector, multiple):
+            return
+        invocation = self._count(collector, multiple)
+        cap = self.config.invocations if self.invocation_cap is None else self.invocation_cap
+        if invocation >= cap:
+            return
+        key = (collector, multiple, invocation)
+        priority = PRIORITIES[reason]
+        existing = out.get(key)
+        if existing is not None and existing.priority >= priority:
+            return
+        out[key] = Proposal(
+            benchmark=self.spec.name,
+            collector=collector,
+            multiple=multiple,
+            invocation=invocation,
+            reason=reason,
+            priority=priority,
+            tiebreak=_tiebreak(self.seed, self.spec.name, collector, multiple, invocation),
+        )
+
+    def settled(self) -> bool:
+        """True when the policy has nothing left to ask for."""
+        return not self.propose()
+
+
+class LatencyPlanner(_CampaignPlanner):
+    """Acquisition policy for metered-latency campaigns.
+
+    Scouts each collector's anchors, walks OOMed collectors up the grid
+    to a feasible multiple, then spends invocations where the metered
+    CDF *tail* is still moving: a point keeps earning cells while adding
+    the latest invocation shifted its tail summary (max of p99/p99.9
+    across smoothing windows, computed by the driver and fed through
+    :meth:`observe`) by more than ``tail_threshold`` relative to the
+    running mean of the earlier invocations.  A single invocation is
+    never trusted — the second is always proposed — and a settled point
+    has either a stable tail or the grid's full invocation count.
+
+    Determinism matches :class:`Planner`: proposals are pure functions
+    of observations and the seed, so schedules replay byte-identically.
+    """
+
+    def __init__(
+        self,
+        spec: WorkloadSpec,
+        collectors: Sequence[str],
+        multiples: Sequence[float],
+        config: RunConfig,
+        tail_threshold: float = 0.05,
+        seed: int = 0,
+    ) -> None:
+        if tail_threshold < 0:
+            raise ValueError(f"tail_threshold must be non-negative, got {tail_threshold}")
+        super().__init__(spec, collectors, multiples, config, seed=seed)
+        self.tail_threshold = tail_threshold
+        #: (collector, multiple) -> per-invocation tail summaries (s).
+        self.tails: Dict[Tuple[str, float], List[float]] = {}
+
+    def observe(
+        self,
+        collector: str,
+        multiple: float,
+        result: CellResult,
+        tail: Optional[float] = None,
+    ) -> None:
+        """Fold one executed cell back in; ``tail`` is the driver-computed
+        tail summary for feasible cells (required unless the cell OOMed)."""
+        if result.oom is not None:
+            self.ooms.setdefault(collector, set()).add(multiple)
+            return
+        if tail is None:
+            raise ValueError("latency planner needs a tail summary for feasible cells")
+        self.tails.setdefault((collector, multiple), []).append(float(tail))
+
+    def tail_samples(self, collector: str, multiple: float) -> List[float]:
+        """Per-invocation tail summaries at one point (for grading)."""
+        return list(self.tails.get((collector, multiple), ()))
+
+    def _count(self, collector: str, multiple: float) -> int:
+        return len(self.tails.get((collector, multiple), ()))
+
+    def _tail_moving(self, tails: Sequence[float]) -> bool:
+        """Did the latest invocation move the running tail estimate?"""
+        previous = tails[:-1]
+        mean = sum(previous) / len(previous)
+        if mean == 0.0:
+            return False
+        return abs(tails[-1] - mean) / mean > self.tail_threshold
+
+    def propose(self) -> List[Proposal]:
+        """The next round's cells, best first (empty when settled)."""
+        out: Dict[Tuple[str, float, int], Proposal] = {}
+        for collector in self.collectors:
+            if not any(self._touched(collector, m) for m in self.multiples):
+                for anchor in self._anchors():
+                    self._propose_point(out, collector, anchor, REASON_SCOUT)
+                continue
+            known_oom = self.ooms.get(collector, set())
+            feasible = any((collector, m) in self.tails for m in self.multiples)
+            if known_oom and not feasible:
+                # Everything measured so far OOMed: walk up the grid until
+                # the collector has a feasible point to report tails from.
+                above = [m for m in self.multiples if m > max(known_oom)]
+                if above:
+                    self._propose_point(out, collector, min(above), REASON_FRONTIER)
+                continue
+            for multiple in self.multiples:
+                tails = self.tails.get((collector, multiple))
+                if not tails or len(tails) >= self.config.invocations:
+                    continue
+                if len(tails) < 2 or self._tail_moving(tails):
+                    self._propose_point(out, collector, multiple, REASON_REFINE)
+        return sorted(out.values(), key=lambda p: p.sort_key)
+
+
+class MinHeapPlanner(_CampaignPlanner):
+    """Acquisition policy for min-heap campaigns over a multiple grid.
+
+    Finds, per collector, the smallest *grid* multiple that runs — the
+    grid-resolution analogue of
+    :func:`~repro.core.minheap.find_min_heap` — by reusing the LBO
+    planner's OOM-frontier bisection shape: scout the grid's ends, then
+    repeatedly probe the value-midpoint-nearest candidate between the
+    highest known-OOM and the lowest known-feasible multiple until the
+    bracket is grid-adjacent.  Feasibility needs one invocation per
+    point, so every proposal is invocation 0; outcomes are monotone in
+    heap size, so the settled answer is *exact* against the full grid's.
+    """
+
+    invocation_cap = 1
+
+    def __init__(
+        self,
+        spec: WorkloadSpec,
+        collectors: Sequence[str],
+        multiples: Sequence[float],
+        config: RunConfig,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(spec, collectors, multiples, config, seed=seed)
+        #: (collector, multiple) -> per-invocation wall times (grading).
+        self.samples: Dict[Tuple[str, float], List[float]] = {}
+
+    def observe(self, collector: str, multiple: float, result: CellResult) -> None:
+        """Fold one executed probe back into the feasibility ledger."""
+        if result.oom is not None:
+            self.ooms.setdefault(collector, set()).add(multiple)
+            return
+        self.samples.setdefault((collector, multiple), []).append(
+            costs_from_iteration(result.timed).wall_s
+        )
+
+    def wall_samples(self, collector: str, multiple: float) -> List[float]:
+        """Per-invocation wall times at one point (for grading)."""
+        return list(self.samples.get((collector, multiple), ()))
+
+    def _count(self, collector: str, multiple: float) -> int:
+        return len(self.samples.get((collector, multiple), ()))
+
+    def propose(self) -> List[Proposal]:
+        """The next round's probes, best first (empty when settled)."""
+        out: Dict[Tuple[str, float, int], Proposal] = {}
+        for collector in self.collectors:
+            feasible = {m for m in self.multiples if (collector, m) in self.samples}
+            known_oom = self.ooms.get(collector, set())
+            if not feasible and not known_oom:
+                # Scout the bracket ends: the smallest multiple (the likely
+                # OOM side) and the largest (the feasibility anchor).
+                self._propose_point(out, collector, self.multiples[0], REASON_SCOUT)
+                if len(self.multiples) > 1:
+                    self._propose_point(out, collector, self.multiples[-1], REASON_SCOUT)
+                continue
+            if not feasible:
+                if self.multiples[-1] in known_oom:
+                    continue  # infeasible at every candidate: settled, no answer
+                above = [m for m in self.multiples if m > max(known_oom)]
+                if above:
+                    self._propose_point(out, collector, min(above), REASON_FRONTIER)
+                continue
+            lowest_feasible = min(feasible)
+            below_oom = {m for m in known_oom if m < lowest_feasible}
+            candidates = [
+                m
+                for m in self.multiples
+                if m < lowest_feasible and (not below_oom or m > max(below_oom))
+            ]
+            if not candidates:
+                continue  # bracket grid-adjacent: settled, answer = lowest_feasible
+            lo_edge = max(below_oom) if below_oom else candidates[0]
+            mid = (lo_edge + lowest_feasible) / 2.0
+            candidate = min(candidates, key=lambda m: (abs(m - mid), m))
+            self._propose_point(out, collector, candidate, REASON_BISECT)
+        return sorted(out.values(), key=lambda p: p.sort_key)
+
+    def min_multiples(self) -> Dict[str, float]:
+        """Smallest feasible grid multiple per collector (exact once the
+        planner is settled; collectors feasible nowhere are absent)."""
+        out: Dict[str, float] = {}
+        for collector in self.collectors:
+            feasible = [m for m in self.multiples if (collector, m) in self.samples]
+            if feasible:
+                out[collector] = min(feasible)
+        return out

@@ -38,6 +38,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.harness.plans import PLAN_KINDS
+
 #: Every state a job can be in, in lifecycle order.
 JOB_STATES: Tuple[str, ...] = (
     "QUEUED",
@@ -71,12 +73,14 @@ class JobStateError(Exception):
 class JobSpec:
     """What to sweep — the declarative half of a job, JSON round-trippable.
 
-    Mirrors the ``chopin lbo`` knobs: the server compiles a spec to
-    ``plan_lbo(registry.workload(benchmark), collectors, multiples,
-    RunConfig(invocations, scale, fidelity))``, which is what makes the
-    HTTP path bit-identical to the one-shot CLI path.  ``priority``
-    orders the queue (higher first); ``budget_s`` caps the job's
-    wall-clock through its per-job supervisor.
+    Mirrors the ``chopin lbo`` / ``latency`` / ``minheap`` knobs: the
+    server compiles a spec to the same
+    :func:`~repro.harness.experiments.run_campaign` call the one-shot
+    CLI makes, which is what makes the HTTP path bit-identical to it.
+    ``kind`` selects the campaign family and defaults to ``"lbo"`` —
+    journals written before the field existed replay unchanged.
+    ``priority`` orders the queue (higher first); ``budget_s`` caps the
+    job's wall-clock through its per-job supervisor.
     """
 
     benchmark: str
@@ -87,6 +91,7 @@ class JobSpec:
     fidelity: Optional[str] = None
     priority: int = 0
     budget_s: Optional[float] = None
+    kind: str = "lbo"
 
     def to_payload(self) -> dict:
         return {
@@ -98,6 +103,7 @@ class JobSpec:
             "fidelity": self.fidelity,
             "priority": self.priority,
             "budget_s": self.budget_s,
+            "kind": self.kind,
         }
 
     @classmethod
@@ -109,7 +115,7 @@ class JobSpec:
             raise ValueError(f"job spec must be a JSON object, got {type(payload).__name__}")
         known = {
             "benchmark", "collectors", "multiples", "invocations",
-            "scale", "fidelity", "priority", "budget_s",
+            "scale", "fidelity", "priority", "budget_s", "kind",
         }
         unknown = sorted(set(payload) - known)
         if unknown:
@@ -164,6 +170,11 @@ class JobSpec:
             raise ValueError(
                 "job spec field 'budget_s' must be a positive number of seconds"
             )
+        kind = payload.get("kind", "lbo")
+        if kind not in PLAN_KINDS:
+            raise ValueError(
+                f"job spec field 'kind' must be one of: {', '.join(PLAN_KINDS)}"
+            )
         return cls(
             benchmark=benchmark,
             collectors=tuple(collectors),
@@ -173,6 +184,7 @@ class JobSpec:
             fidelity=fidelity,
             priority=priority,
             budget_s=budget_s,
+            kind=kind,
         )
 
 
@@ -209,6 +221,7 @@ class Job:
             "id": self.id,
             "state": self.state,
             "benchmark": self.spec.benchmark,
+            "kind": self.spec.kind,
             "priority": self.spec.priority,
             "cells": self.cells,
             "holes": list(self.holes),

@@ -7,10 +7,10 @@ PKB-style stage pipeline the ROADMAP asks for:
   (unknown workloads and collectors are 400s with the same messages the
   CLI prints) and enqueues it on the journaled :class:`~.jobqueue.JobQueue`;
 - **prepare** — a worker thread claims the job and compiles it to the
-  same :func:`~repro.harness.plans.plan_lbo` plan ``chopin lbo`` builds,
-  with the same auto-fidelity resolution;
+  same plan the one-shot CLI builds for its ``kind`` (``chopin lbo`` /
+  ``latency`` / ``minheap``), with the same auto-fidelity resolution;
 - **run** — the plan executes through
-  :func:`~repro.harness.experiments.supervised_sweep` on the worker's
+  :func:`~repro.harness.experiments.run_campaign` on the worker's
   :class:`~repro.harness.engine.ExecutionEngine`, every worker sharing
   one :class:`~.shards.ShardedResultCache`.  Each job gets its **own**
   :class:`~repro.resilience.Supervisor`, which is what turns deadline
@@ -33,13 +33,13 @@ JSON in, JSON out, no new dependencies.  Endpoints::
     GET  /health          liveness + queue depth + cache counters
     GET  /metrics         the service MetricsRegistry, one line per metric
 
-Bit-identity contract: the worker path and ``chopin lbo`` compile the
-same plan and run it on the same engine machinery, and the stored
-``rendered`` text is produced by the same
-:func:`~repro.harness.report.format_lbo_curves` calls in the same
-order — so ``chopin result`` output is byte-identical to the one-shot
-CLI, and a resubmitted sweep against a warm service cache runs zero
-simulations.
+Bit-identity contract: the worker path and the one-shot CLI make the
+*same* :func:`~repro.harness.experiments.run_campaign` call for every
+kind, and the stored ``rendered`` text comes from the same
+:meth:`~repro.harness.experiments.Campaign.rendered` — so ``chopin
+result`` output is byte-identical to ``chopin lbo`` / ``latency`` /
+``minheap``, and a resubmitted sweep against a warm service cache runs
+zero simulations.
 
 The default ``workers=1`` is deliberate admission control, not a
 limitation: overlapping jobs serialize through the queue, so two clients
@@ -68,10 +68,9 @@ from typing import Dict, List, Optional, TextIO, Union
 
 from repro.harness.config import HarnessConfig, engine_from_config
 from repro.harness.engine import ExecutionEngine, Hole
-from repro.harness.experiments import supervised_sweep
-from repro.harness.plans import DEFAULT_MULTIPLES
-from repro.harness.report import format_lbo_curves
+from repro.harness.experiments import run_campaign
 from repro.harness.runner import RunConfig
+from repro.jvm.telemetry import FIDELITY_AGGREGATE
 from repro.jvm.collectors import COLLECTOR_NAMES, UnknownCollectorError, resolve_collector
 from repro.observability import MetricsRegistry, RecorderLike
 from repro.observability.events import JobSpan, NullRecorder, QueueDepth
@@ -108,6 +107,46 @@ def _curves_payload(curves) -> dict:
         "wall": side(curves.wall),
         "task": side(curves.task),
     }
+
+
+def _reports_payload(runs) -> List[dict]:
+    """A JSON round-trippable form of a latency campaign's runs.
+
+    Percentile ladders are keyed by ``repr``-style floats (JSON object
+    keys are strings); ``json`` round-trips the values exactly.
+    """
+    return [
+        {
+            "benchmark": run.benchmark,
+            "collector": run.collector,
+            "heap_multiple": run.heap_multiple,
+            "simple": {f"{q:g}": v for q, v in sorted(run.report.simple.items())},
+            "metered": {
+                "full" if window is None else f"{window:g}": {
+                    f"{q:g}": v for q, v in sorted(ladder.items())
+                }
+                for window, ladder in sorted(
+                    run.report.metered.items(),
+                    key=lambda kv: (kv[0] is None, kv[0]),
+                )
+            },
+            "event_count": run.report.event_count,
+        }
+        for run in runs
+    ]
+
+
+def _minheap_payload(results) -> List[dict]:
+    """A JSON round-trippable form of a min-heap campaign's results."""
+    return [
+        {
+            "benchmark": r.benchmark,
+            "collector": r.collector,
+            "min_heap_mb": r.min_heap_mb,
+            "iterations": r.iterations,
+        }
+        for r in results
+    ]
 
 
 def _hole_payload(hole: Hole) -> dict:
@@ -180,16 +219,16 @@ class ServiceWorker:
         try:
             spec = registry.workload(job.spec.benchmark)
             collectors = job.spec.collectors or tuple(COLLECTOR_NAMES)
-            multiples = job.spec.multiples or DEFAULT_MULTIPLES
             config = RunConfig(
                 invocations=job.spec.invocations,
                 duration_scale=job.spec.scale,
                 fidelity=job.spec.fidelity,
             )
-            sweep = supervised_sweep(
+            campaign = run_campaign(
+                job.spec.kind,
                 spec,
                 collectors=collectors,
-                multiples=multiples,
+                multiples=job.spec.multiples or None,
                 config=config,
                 engine=self.engine,
                 supervisor=supervisor,
@@ -203,24 +242,28 @@ class ServiceWorker:
             flushed = getattr(self.engine.cache, "flush", None)
             if flushed is not None:
                 flushed()  # job boundary: drain any write-behind buffer
-        holes = [_hole_payload(h) for h in sweep.holes]
+        holes = [_hole_payload(h) for h in campaign.holes]
         result = None
-        if sweep.result is not None:
-            curves = sweep.result.per_benchmark[0]
-            # Byte-identical to cmd_lbo's stdout: wall table, blank
-            # line, task table, trailing newline.
-            rendered = (
-                format_lbo_curves(curves, "wall")
-                + "\n\n"
-                + format_lbo_curves(curves, "task")
-                + "\n"
-            )
-            result = {"rendered": rendered, "curves": _curves_payload(curves)}
+        if not campaign.empty:
+            # `rendered` is byte-identical to the one-shot CLI's stdout
+            # for the same campaign (`chopin lbo` / `latency` / `minheap`).
+            result = {"rendered": campaign.rendered()}
+            if campaign.kind == "lbo":
+                result["curves"] = _curves_payload(campaign.result.per_benchmark[0])
+            elif campaign.kind == "latency":
+                result["reports"] = _reports_payload(campaign.result)
+            else:
+                result["results"] = _minheap_payload(campaign.result)
         if job.cancel_requested:
             state, error = "CANCELLED", "cancelled mid-sweep"
-        elif sweep.result is None:
+        elif campaign.empty:
             state = "FAILED"
-            error = "no complete (collector, heap) group — every cell was refused or failed"
+            error = (
+                "no feasible (benchmark, collector) pair — every search "
+                "failed or was refused"
+                if campaign.kind == "minheap"
+                else "no complete (collector, heap) group — every cell was refused or failed"
+            )
         elif holes:
             state, error = "PARTIAL", None
         else:
@@ -229,9 +272,9 @@ class ServiceWorker:
             job,
             state,
             error=error,
-            cells=sweep.cells,
+            cells=campaign.cells,
             holes=holes,
-            stats=_stats_payload(sweep.stats),
+            stats=_stats_payload(campaign.stats),
             result=result,
             started=started,
         )
@@ -600,9 +643,21 @@ def _make_handler(service: SweepService):
             if parts == ["jobs"]:
                 try:
                     spec = JobSpec.from_payload(self._body())
-                    registry.workload(spec.benchmark)
+                    workload = registry.workload(spec.benchmark)
                     for collector in spec.collectors:
                         resolve_collector(collector)
+                    # Admit latency jobs with the same checks `chopin
+                    # latency` makes before running anything.
+                    if spec.kind == "latency":
+                        if not workload.latency_sensitive:
+                            raise ValueError(
+                                f"{workload.name} is not a latency-sensitive workload"
+                            )
+                        if spec.fidelity == FIDELITY_AGGREGATE:
+                            raise ValueError(
+                                "latency jobs replay requests over per-event "
+                                "timelines; use fidelity full (or auto)"
+                            )
                 except (ValueError, KeyError, UnknownCollectorError) as exc:
                     message = exc.args[0] if exc.args else str(exc)
                     self._send(400, {"error": str(message)})

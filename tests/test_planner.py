@@ -260,10 +260,21 @@ class TestAdaptivePlan:
         plan = plan_adaptive(lusearch, config=fast_config)
         assert plan.cell_budget == (plan.grid_cells + 1) // 2
 
-    def test_non_lbo_grid_rejected(self, lusearch, fast_config):
-        from repro.harness.plans import plan_latency
+    def test_every_campaign_kind_accepted(self, lusearch, fast_config):
+        # Since the Campaign refactor, adaptive planning drives all
+        # three campaign kinds, not just LBO.
+        from repro.harness.plans import plan_latency, plan_minheap
 
-        grid = plan_latency(lusearch, config=fast_config)
+        for grid in (
+            plan_latency(lusearch, config=fast_config),
+            plan_minheap(lusearch, config=fast_config, multiples=(1.0, 2.0)),
+        ):
+            assert AdaptivePlan(grid=grid, cell_budget=10).grid.kind == grid.kind
+
+    def test_dynamic_minheap_grid_rejected(self, lusearch, fast_config):
+        from repro.harness.plans import plan_minheap
+
+        grid = plan_minheap(lusearch, config=fast_config)  # no multiples
         with pytest.raises(ValueError):
             AdaptivePlan(grid=grid, cell_budget=10)
 
