@@ -49,8 +49,10 @@ from repro.planner import GRADES, render_ranking
 from repro.resilience import (
     CostModel,
     Supervisor,
+    compact_jobs_journal,
     compact_journal,
     scan_cache,
+    scan_jobs_journal,
     verify_cells,
 )
 from repro.observability import (
@@ -69,7 +71,13 @@ from repro.harness.report import (
 )
 from repro.harness.runner import RunConfig
 from repro.jvm.collectors import COLLECTOR_NAMES, UnknownCollectorError, resolve_collector
-from repro.service import JobSpec, ServiceClient, ServiceError, service_from_config
+from repro.service import (
+    JobSpec,
+    ServiceClient,
+    ServiceError,
+    service_chaos_drill,
+    service_from_config,
+)
 from repro.workloads import nominal_data, registry
 
 
@@ -626,6 +634,8 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         except UnknownCollectorError as exc:
             print(str(exc), file=sys.stderr)
             return 2
+    if args.service:
+        return _cmd_chaos_service(args, tuple(collectors))
     multiples = tuple(args.multiple) if args.multiple else (2.0, 3.0)
     drill = chaos_drill(
         spec,
@@ -666,6 +676,41 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 1
 
 
+def _cmd_chaos_service(args: argparse.Namespace, collectors: tuple) -> int:
+    """``chopin chaos --service``: the process-level drill — worker
+    death, heartbeat stalls, torn journal appends, and shard corruption
+    against a real service, recovery proven byte-identical."""
+    import tempfile
+
+    with tempfile.TemporaryDirectory(prefix="chopin-chaos-service-") as state_dir:
+        drill = service_chaos_drill(
+            state_dir,
+            args.benchmark,
+            collectors=collectors,
+            seed=args.chaos_seed,
+            invocations=args.invocations,
+            scale=args.scale,
+            stream=sys.stderr,
+        )
+    print(
+        f"service chaos drill: {len(drill.scenarios)} scenarios, "
+        f"{drill.checks} checks (seed {drill.seed})"
+    )
+    for scenario in drill.scenarios:
+        marker = "ok" if scenario.ok else "FAILED"
+        print(f"  {scenario.name}: {marker}")
+        for failure in scenario.failures:
+            print(f"    failed: {failure}", file=sys.stderr)
+    if drill.ok:
+        print(
+            "PASS: no job lost, no cached cell re-simulated, every recovered "
+            "result byte-identical to the one-shot run"
+        )
+        return 0
+    print("FAIL: the service drill left unrecovered damage", file=sys.stderr)
+    return 1
+
+
 def cmd_doctor(args: argparse.Namespace) -> int:
     scan = scan_cache(args.cache_dir, quarantine=not args.dry_run)
     print(
@@ -690,6 +735,35 @@ def cmd_doctor(args: argparse.Namespace) -> int:
             f"{compaction.duplicates} duplicate"
             f"{'' if compaction.compacted else '; already clean'})"
         )
+    if args.jobs_journal:
+        jobs_scan = scan_jobs_journal(args.jobs_journal)
+        states = ", ".join(
+            f"{count} {state}" for state, count in sorted(jobs_scan.by_state.items())
+        )
+        print(
+            f"doctor: jobs journal: {jobs_scan.jobs} jobs across "
+            f"{jobs_scan.segments + 1} segment(s) ({jobs_scan.lines} lines, "
+            f"{jobs_scan.torn} torn, {jobs_scan.requeues} requeues): "
+            f"{states or 'empty'}"
+        )
+        for job_id in jobs_scan.orphaned:
+            print(
+                f"doctor: orphaned RUNNING job {job_id} — no live lease; "
+                f"the next service start will requeue it",
+                file=sys.stderr,
+            )
+        for job_id, error in jobs_scan.dead_letters:
+            print(f"doctor: dead-lettered {job_id}: {error}", file=sys.stderr)
+        jobs_compaction = compact_jobs_journal(args.jobs_journal)
+        if jobs_compaction.compacted:
+            print(
+                f"doctor: jobs journal compacted {jobs_compaction.lines_before} "
+                f"-> {jobs_compaction.lines_after} lines "
+                f"({jobs_compaction.segments_before} segment(s) folded, "
+                f"{jobs_compaction.torn} torn dropped)"
+            )
+        else:
+            print("doctor: jobs journal already compact")
     if args.verify:
         spec = registry.workload(args.verify)
         cells = plan_lbo(spec, config=_config(args)).cells()
@@ -725,6 +799,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         serve_host=args.host,
         serve_port=args.port,
         cache_shards=args.cache_shards,
+        lease_s=args.lease,
+        max_requeues=args.max_requeues,
+        queue_high_water=args.queue_high_water,
     )
     return service_from_config(config, args.state_dir, workers=args.workers).run()
 
@@ -736,7 +813,9 @@ def _service_client(args: argparse.Namespace) -> ServiceClient:
         # serve` used, so client and server agree by default.
         config = harness_config()
         url = f"http://{config.serve_host}:{config.serve_port}"
-    return ServiceClient(url, timeout_s=args.timeout)
+    return ServiceClient(
+        url, timeout_s=args.timeout, retries=getattr(args, "retries", 0)
+    )
 
 
 def cmd_submit(args: argparse.Namespace) -> int:
@@ -1045,6 +1124,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.1,
         help="iteration duration scale (default: 0.1 — drills should be quick)",
     )
+    p_chaos.add_argument(
+        "--service",
+        action="store_true",
+        help="run the service-level drill instead: worker death, heartbeat "
+        "stalls, torn journal appends, and cache-shard corruption against "
+        "a real (ephemeral) service, with recovery proven byte-identical "
+        "to the one-shot run",
+    )
     p_chaos.set_defaults(func=cmd_chaos)
 
     p_doc = sub.add_parser(
@@ -1060,6 +1147,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--journal",
         default=None,
         help="checkpoint journal to compact (torn lines dropped, duplicates collapsed)",
+    )
+    p_doc.add_argument(
+        "--jobs-journal",
+        default=None,
+        metavar="PATH",
+        help="a (stopped) service's jobs.jsonl: scan every rotation segment "
+        "for orphaned RUNNING jobs and dead letters, then compact to one "
+        "snapshot line per job",
     )
     p_doc.add_argument(
         "--verify",
@@ -1163,6 +1258,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="fan-out of the shared result cache: 1, 16, 256, or 4096 "
         "(default: 256; env: CHOPIN_CACHE_SHARDS)",
     )
+    p_serve.add_argument(
+        "--lease",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help="job lease: a RUNNING job whose worker stops renewing for this "
+        "long is requeued by the reaper (default: 60; env: CHOPIN_LEASE_S)",
+    )
+    p_serve.add_argument(
+        "--max-requeues",
+        type=_non_negative_int,
+        default=None,
+        metavar="N",
+        help="lease expiries before a job dead-letters instead of requeueing "
+        "(default: 3; env: CHOPIN_MAX_REQUEUES)",
+    )
+    p_serve.add_argument(
+        "--queue-high-water",
+        type=_non_negative_int,
+        default=None,
+        metavar="N",
+        help="queue depth at which POST /jobs starts shedding with 503 + "
+        "Retry-After; 0 disables (default: 0; env: CHOPIN_QUEUE_HIGH_WATER)",
+    )
     _add_engine_options(p_serve)
     p_serve.set_defaults(func=cmd_serve)
 
@@ -1178,6 +1297,14 @@ def build_parser() -> argparse.ArgumentParser:
             type=_positive_float,
             default=10.0,
             help="per-request HTTP timeout in seconds (default: 10)",
+        )
+        parser.add_argument(
+            "--retries",
+            type=_non_negative_int,
+            default=0,
+            help="retry a shed (503) or unreachable submit this many times "
+            "with bounded backoff, honoring the server's Retry-After "
+            "(default: 0)",
         )
 
     p_sub = sub.add_parser(

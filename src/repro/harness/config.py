@@ -35,6 +35,9 @@ Recognised environment variables (one per :class:`HarnessConfig` field):
 ``CHOPIN_SERVE_HOST``  sweep-service bind address (default ``127.0.0.1``)
 ``CHOPIN_SERVE_PORT``  sweep-service TCP port (default 8642; 0 = ephemeral)
 ``CHOPIN_CACHE_SHARDS`` result-cache fan-out: 1, 16, 256 (default), or 4096
+``CHOPIN_LEASE_S``     sweep-service job lease in seconds (default 60)
+``CHOPIN_MAX_REQUEUES`` lease-expiry requeues before DEAD_LETTER (default 3)
+``CHOPIN_QUEUE_HIGH_WATER`` queue depth that turns submits into 503 (0 = off)
 ====================== ==========================================================
 
 Malformed values raise ``ValueError`` naming the variable and the
@@ -90,6 +93,17 @@ class HarnessConfig:
     #: :data:`repro.service.shards.SHARD_CHOICES`.  256 is the legacy
     #: two-hex-char layout, so existing caches keep working unchanged.
     cache_shards: int = 256
+    #: Sweep-service lease machinery: a RUNNING job's worker must renew
+    #: its lease every ``lease_s`` seconds (keep it above the slowest
+    #: single cell — renewals happen per completed cell); after
+    #: ``max_requeues`` lease expiries the job dead-letters instead of
+    #: crash-looping the pool.
+    lease_s: float = 60.0
+    max_requeues: int = 3
+    #: Queue-depth high-water mark: at or above it, ``POST /jobs``
+    #: answers 503 + ``Retry-After`` until the queue drains to half the
+    #: mark.  0 disables backpressure.
+    queue_high_water: int = 0
 
     @property
     def effective_cache_dir(self) -> Optional[str]:
@@ -171,6 +185,9 @@ def _from_environ(environ: Mapping[str, str]) -> HarnessConfig:
         serve_host=environ.get("CHOPIN_SERVE_HOST") or "127.0.0.1",
         serve_port=_env_int(environ, "CHOPIN_SERVE_PORT", 8642, "8642"),
         cache_shards=_env_int(environ, "CHOPIN_CACHE_SHARDS", 256, "256"),
+        lease_s=_env_float(environ, "CHOPIN_LEASE_S", 60.0, "60"),
+        max_requeues=_env_int(environ, "CHOPIN_MAX_REQUEUES", 3, "3"),
+        queue_high_water=_env_int(environ, "CHOPIN_QUEUE_HIGH_WATER", 0, "64"),
     )
 
 
@@ -212,6 +229,22 @@ def _validate(config: HarnessConfig) -> HarnessConfig:
             f"CHOPIN_CACHE_SHARDS must be 1, 16, 256, or 4096 (powers of 16 "
             f"— hex-prefix fan-out), got {config.cache_shards!r} "
             f"(e.g. CHOPIN_CACHE_SHARDS=256)"
+        )
+    if config.lease_s is None or config.lease_s <= 0:
+        raise ValueError(
+            f"CHOPIN_LEASE_S must be a positive number of seconds, got "
+            f"{config.lease_s!r} (e.g. CHOPIN_LEASE_S=60)"
+        )
+    if config.max_requeues < 0:
+        raise ValueError(
+            f"CHOPIN_MAX_REQUEUES must be a non-negative integer, got "
+            f"{config.max_requeues!r} (e.g. CHOPIN_MAX_REQUEUES=3)"
+        )
+    if config.queue_high_water < 0:
+        raise ValueError(
+            f"CHOPIN_QUEUE_HIGH_WATER must be a non-negative integer "
+            f"(0 disables backpressure), got {config.queue_high_water!r} "
+            f"(e.g. CHOPIN_QUEUE_HIGH_WATER=64)"
         )
     return config
 

@@ -36,6 +36,7 @@ from repro.observability.events import (
     FaultInjected,
     GcPause,
     IterationSpan,
+    JobReaped,
     JobSpan,
     NullRecorder,
     PlannerRound,
@@ -45,6 +46,7 @@ from repro.observability.events import (
     RetryAttempt,
     SpanEvent,
     TraceEvent,
+    WorkerCrashed,
 )
 from repro.observability.metrics import (
     Counter,
@@ -79,6 +81,7 @@ __all__ = [
     "Gauge",
     "GcPause",
     "IterationSpan",
+    "JobReaped",
     "JobSpan",
     "LogLinearHistogram",
     "MetricsRegistry",
@@ -90,6 +93,7 @@ __all__ = [
     "RetryAttempt",
     "SpanEvent",
     "TraceEvent",
+    "WorkerCrashed",
     "chrome_trace",
     "chrome_trace_events",
     "nested_slices",

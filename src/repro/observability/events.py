@@ -329,6 +329,32 @@ class QueueDepth(TraceEvent):
     running: int = 0
 
 
+@dataclass(frozen=True)
+class JobReaped(TraceEvent):
+    """The lease reaper recovered one job whose worker died or hung.
+
+    ``dead_letter`` distinguishes the two outcomes: ``False`` means the
+    job was requeued (``requeues`` is its new count), ``True`` means it
+    burned its requeue budget and was parked in ``DEAD_LETTER``.
+    Service-track timestamps (wall seconds since service start)."""
+
+    job_id: str = ""
+    requeues: int = 0
+    dead_letter: bool = False
+
+
+@dataclass(frozen=True)
+class WorkerCrashed(TraceEvent):
+    """A service worker thread died on an uncaught exception and was
+    respawned; ``error`` is the contained ``type: message`` summary and
+    ``job_id`` the job it was holding (empty between jobs).
+    Service-track timestamps (wall seconds since service start)."""
+
+    worker: str = ""
+    job_id: str = ""
+    error: str = ""
+
+
 @runtime_checkable
 class RecorderLike(Protocol):
     """What instrumented code needs from a recorder: the sink contract.

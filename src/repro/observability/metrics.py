@@ -33,11 +33,13 @@ from repro.observability.events import (
     DrainStarted,
     FaultInjected,
     GcPause,
+    JobReaped,
     JobSpan,
     PlannerRound,
     QueueDepth,
     RetryAttempt,
     TraceEvent,
+    WorkerCrashed,
 )
 
 
@@ -234,6 +236,13 @@ class MetricsRegistry:
             elif isinstance(event, QueueDepth):
                 self.gauge("service.queue.depth").set(event.depth)
                 self.gauge("service.queue.running").set(event.running)
+            elif isinstance(event, JobReaped):
+                if event.dead_letter:
+                    self.counter("service.jobs.dead_lettered").inc()
+                else:
+                    self.counter("service.jobs.reaped").inc()
+            elif isinstance(event, WorkerCrashed):
+                self.counter("service.worker_crashes").inc()
         hits = self.counter("engine.cache.hits").value
         misses = self.counter("engine.cache.misses").value
         if hits + misses:

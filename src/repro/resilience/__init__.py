@@ -29,19 +29,28 @@ tests, and checked in CI by the chaos smoke job.
 from repro.resilience.checkpoint import CheckpointJournal
 from repro.resilience.doctor import (
     CacheScan,
+    JobsJournalCompaction,
+    JobsJournalScan,
     JournalCompaction,
     VerifyReport,
+    compact_jobs_journal,
     compact_journal,
     scan_cache,
+    scan_jobs_journal,
     verify_cells,
 )
 from repro.resilience.faults import (
     EXECUTION_FAULTS,
     FAULT_KINDS,
+    SERVICE_FAULTS,
     FaultInjector,
     FaultSpec,
     InjectedFault,
     NullInjector,
+    NullServiceInjector,
+    ServiceFaultInjector,
+    ServiceFaultSpec,
+    ServiceWorkerDeath,
     TransientFault,
     WorkerCrash,
     corrupt_entry,
@@ -72,18 +81,27 @@ __all__ = [
     "FaultInjector",
     "FaultSpec",
     "InjectedFault",
+    "JobsJournalCompaction",
+    "JobsJournalScan",
     "JournalCompaction",
     "NullInjector",
+    "NullServiceInjector",
     "RetryPolicy",
+    "SERVICE_FAULTS",
     "SUPERVISED_REASONS",
+    "ServiceFaultInjector",
+    "ServiceFaultSpec",
+    "ServiceWorkerDeath",
     "Supervisor",
     "TRANSIENT_ERRORS",
     "TransientFault",
     "VerifyReport",
     "WorkerCrash",
     "classify",
+    "compact_jobs_journal",
     "compact_journal",
     "corrupt_entry",
     "scan_cache",
+    "scan_jobs_journal",
     "verify_cells",
 ]

@@ -275,3 +275,181 @@ def verify_cells(
         ):
             report.quarantined += 1
     return report
+
+
+# ----------------------------------------------------------------------
+# The service job journal (jobs.jsonl + rotated segments)
+
+
+@dataclass
+class JobsJournalScan:
+    """What :func:`scan_jobs_journal` found across every rotation segment."""
+
+    path: Optional[Path] = None
+    segments: int = 0  # rotated segment files folded before the active one
+    lines: int = 0
+    torn: int = 0  # unparseable lines (interrupted writers)
+    jobs: int = 0
+    by_state: Dict[str, int] = field(default_factory=dict)
+    #: RUNNING jobs with no process holding their lease — a scan runs
+    #: against a stopped service, so every RUNNING job is an orphan that
+    #: will be requeued (or dead-lettered) on the next replay.
+    orphaned: List[str] = field(default_factory=list)
+    #: ``(job id, error)`` for jobs parked in ``DEAD_LETTER``.
+    dead_letters: List[Tuple[str, str]] = field(default_factory=list)
+    requeues: int = 0  # total requeues across all jobs
+
+
+@dataclass
+class JobsJournalCompaction:
+    """Before/after accounting for :func:`compact_jobs_journal`."""
+
+    segments_before: int = 0
+    lines_before: int = 0
+    lines_after: int = 0
+    torn: int = 0
+    dropped: int = 0  # transition records whose submit line was lost
+    compacted: bool = False  # False: journal missing or already one-line-per-job
+
+
+def _jobs_journal_files(path: Path) -> Tuple[List[Path], Path]:
+    """Rotated segments (in rotation order) plus the active file."""
+    found = []
+    for candidate in path.parent.glob(path.name + ".*"):
+        suffix = candidate.name[len(path.name) + 1:]
+        if suffix.isdigit():
+            found.append((int(suffix), candidate))
+    return [p for _, p in sorted(found)], path
+
+
+def _fold_jobs_journal(path: Path):
+    """Replay the job journal the way the queue does — last state wins —
+    without importing :mod:`repro.service` (service imports resilience).
+
+    Returns ``(jobs, keys, order, lines, torn)`` where ``jobs`` maps job
+    id to its folded record, ``keys`` maps idempotency key to job id,
+    and ``order`` lists ids in first-seen (submission) order.
+    """
+    segments, active = _jobs_journal_files(path)
+    jobs: Dict[str, dict] = {}
+    keys: Dict[str, str] = {}
+    order: List[str] = []
+    lines = torn = 0
+    for source in segments + [active]:
+        try:
+            text = source.read_text()
+        except OSError:
+            continue
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            lines += 1
+            try:
+                record = json.loads(line)
+            except ValueError:
+                torn += 1
+                continue
+            if not isinstance(record, dict) or not isinstance(record.get("id"), str):
+                torn += 1
+                continue
+            job_id = record["id"]
+            job = jobs.get(job_id)
+            if job is None:
+                job = {"id": job_id, "requeues": 0}
+                jobs[job_id] = job
+                order.append(job_id)
+            if isinstance(record.get("spec"), dict):
+                job["spec"] = record["spec"]
+            if isinstance(record.get("seq"), int):
+                job["seq"] = record["seq"]
+            if isinstance(record.get("state"), str):
+                job["state"] = record["state"]
+            if record.get("requeued"):
+                job["requeues"] += 1
+            if isinstance(record.get("requeues"), int) and not isinstance(
+                record.get("requeues"), bool
+            ):
+                job["requeues"] = record["requeues"]
+            if isinstance(record.get("idempotency_key"), str):
+                job["idempotency_key"] = record["idempotency_key"]
+                keys[record["idempotency_key"]] = job_id
+            for name in ("error", "cells", "holes", "stats", "result", "failure"):
+                if name in record:
+                    job[name] = record[name]
+    return jobs, keys, order, lines, torn
+
+
+def scan_jobs_journal(path: Union[str, Path]) -> JobsJournalScan:
+    """Read-only triage of a (stopped) service's job journal: every
+    rotation segment is folded, so the report covers the full history."""
+    path = Path(path)
+    segments, _ = _jobs_journal_files(path)
+    jobs, _, order, lines, torn = _fold_jobs_journal(path)
+    scan = JobsJournalScan(
+        path=path, segments=len(segments), lines=lines, torn=torn, jobs=len(jobs)
+    )
+    for job_id in order:
+        job = jobs[job_id]
+        state = job.get("state", "QUEUED")
+        scan.by_state[state] = scan.by_state.get(state, 0) + 1
+        scan.requeues += job.get("requeues", 0)
+        if state == "RUNNING":
+            scan.orphaned.append(job_id)
+        elif state == "DEAD_LETTER":
+            scan.dead_letters.append((job_id, job.get("error") or ""))
+    return scan
+
+
+def compact_jobs_journal(path: Union[str, Path]) -> JobsJournalCompaction:
+    """Rewrite the job journal as one snapshot record per job and fold
+    every rotation segment away.
+
+    Each snapshot carries the job's folded final state, including a
+    *numeric* ``requeues`` count (never the incremental ``requeued``
+    flag), so replaying a compacted journal — or compacting twice —
+    yields exactly the same requeue counts: no double-counting.  The
+    rewrite is crash-safe: temp file + fsync + atomic rename onto the
+    active journal *before* the segments are removed, so a crash
+    mid-compaction leaves a journal whose replay still converges to the
+    same state (the snapshot lines win over older segment lines).
+    """
+    path = Path(path)
+    if not path.exists():
+        return JobsJournalCompaction()
+    segments, _ = _jobs_journal_files(path)
+    jobs, _, order, lines, torn = _fold_jobs_journal(path)
+    result = JobsJournalCompaction(
+        segments_before=len(segments), lines_before=lines, torn=torn
+    )
+    snapshots = []
+    for job_id in order:
+        job = jobs[job_id]
+        if "spec" not in job:
+            result.dropped += 1  # transition lines for a lost submit
+            continue
+        job.setdefault("state", "QUEUED")
+        snapshots.append(json.dumps(job, sort_keys=True))
+    result.lines_after = len(snapshots)
+    if not segments and torn == 0 and lines == len(snapshots):
+        return result  # already one clean line per job
+    fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as fh:
+            for line in snapshots:
+                fh.write(line + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except OSError:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        return result
+    for segment in segments:
+        try:
+            segment.unlink()
+        except OSError:
+            pass
+    result.compacted = True
+    return result

@@ -207,6 +207,148 @@ class FaultInjector(NullInjector):
         raise ValueError(f"unknown fault kind {kind!r}")
 
 
+# ----------------------------------------------------------------------
+# Service-level faults (the `chopin chaos --service` drill)
+
+#: Service-fault kinds: failures of the *daemon*, not of a cell.
+SERVICE_FAULTS: Tuple[str, ...] = (
+    "worker_death",
+    "heartbeat_stall",
+    "torn_append",
+    "shard_corrupt",
+)
+
+
+class ServiceWorkerDeath(BaseException):
+    """An injected death of a service worker thread *mid-job*.
+
+    Deliberately a ``BaseException``: the worker's own crash-containment
+    ``except Exception`` must not catch it — a dead thread marks
+    nothing, and the job it was holding is recovered by the lease
+    reaper, which is exactly the path the drill proves.
+    """
+
+
+@dataclass(frozen=True)
+class ServiceFaultSpec:
+    """Per-kind service-fault budgets plus the seed that fixes the draws.
+
+    Unlike :class:`FaultSpec`, kinds here are *counts*, not
+    probabilities: ``worker_death=1`` kills the worker exactly once per
+    job (on its first execution), which is what makes the service drill
+    deterministic — every armed fault is guaranteed to fire, and the
+    seed only picks *where* (the mid-job cell index, the corrupted
+    shard entries).
+    """
+
+    seed: int = 0
+    worker_death: int = 0  # mid-job worker deaths per job
+    heartbeat_stall: int = 0  # executions per job with a stalled lease
+    torn_append: int = 0  # terminal journal appends torn, service-wide
+    shard_corrupt: int = 0  # cache entries torn by pick_corrupt()
+
+    def __post_init__(self) -> None:
+        for kind in SERVICE_FAULTS:
+            count = getattr(self, kind)
+            if not isinstance(count, int) or count < 0:
+                raise ValueError(
+                    f"{kind} fault budget must be a non-negative integer, got {count!r}"
+                )
+
+    @property
+    def active(self) -> bool:
+        return any(getattr(self, kind) > 0 for kind in SERVICE_FAULTS)
+
+
+class NullServiceInjector:
+    """The zero-cost default: no service faults, ever."""
+
+    enabled: bool = False
+    spec: Optional[ServiceFaultSpec] = None
+
+    def death_cell(self, job_id: str, total_cells: int) -> Optional[int]:
+        """1-based cell count after which the worker dies (None = never)."""
+        return None
+
+    def stalls(self, job_id: str) -> bool:
+        """Whether this execution's lease heartbeats stall mid-job."""
+        return False
+
+    def tears_append(self, record: dict) -> bool:
+        """Whether to tear this journal append (crash mid-write)."""
+        return False
+
+    def pick_corrupt(self, paths: list) -> list:
+        """Which of these cache-entry paths to tear (always none)."""
+        return []
+
+
+class ServiceFaultInjector(NullServiceInjector):
+    """Seeded service chaos: every armed fault fires, the seed picks where.
+
+    Budgets are tracked per ``(kind, label)`` — e.g. ``worker_death=2``
+    kills a job's worker on its first two executions and then lets the
+    third run to completion, which is how the drill walks a job to
+    ``DEAD_LETTER`` at exactly ``max_requeues``.  ``death_points``
+    records where each death fired so the drill can assert the warm
+    re-run cached exactly those cells.
+    """
+
+    enabled = True
+
+    def __init__(self, spec: ServiceFaultSpec) -> None:
+        self.spec = spec
+        self._lock = threading.Lock()
+        self._spent: dict = {}
+        self.death_points: dict = {}  # job id -> cells completed before death
+
+    def _take(self, kind: str, label: str) -> bool:
+        """Consume one unit of the ``(kind, label)`` budget if any is left."""
+        budget = getattr(self.spec, kind)
+        if budget <= 0:
+            return False
+        with self._lock:
+            spent = self._spent.get((kind, label), 0)
+            if spent >= budget:
+                return False
+            self._spent[(kind, label)] = spent + 1
+            return True
+
+    def death_cell(self, job_id: str, total_cells: int) -> Optional[int]:
+        if total_cells < 1 or not self._take("worker_death", job_id):
+            return None
+        # Die strictly mid-job: after at least one cell has completed
+        # (so the warm re-run has something to cache-hit) and no later
+        # than the last cell's completion (so the job never finishes).
+        point = 1 + int(
+            _uniform(self.spec.seed, "worker_death", job_id) * total_cells
+        ) % total_cells
+        self.death_points[job_id] = point
+        return point
+
+    def stalls(self, job_id: str) -> bool:
+        return self._take("heartbeat_stall", job_id)
+
+    def tears_append(self, record: dict) -> bool:
+        # Only terminal-transition records are worth tearing: they carry
+        # the result payload, so losing one forces the restarted service
+        # to re-run the job — warm — which is the recovery path under test.
+        if "spec" in record or record.get("state") not in (
+            "DONE", "PARTIAL", "FAILED",
+        ):
+            return False
+        return self._take("torn_append", "journal")
+
+    def pick_corrupt(self, paths: list) -> list:
+        """A seeded, order-independent sample of cache entries to tear."""
+        if self.spec.shard_corrupt <= 0 or not paths:
+            return []
+        ranked = sorted(
+            paths, key=lambda p: _uniform(self.spec.seed, "shard_corrupt", Path(p).name)
+        )
+        return ranked[: self.spec.shard_corrupt]
+
+
 def corrupt_entry(path: Union[str, Path]) -> bool:
     """Tear a cache entry the way a crashed writer would: truncate it
     mid-stream and flip its leading bytes.  Returns False when the entry

@@ -45,6 +45,7 @@ execute on the same engine.  A warm service cache therefore serves a
 resubmitted sweep with zero simulations.
 """
 
+from repro.service.chaos import ServiceChaosDrill, ServiceScenario, service_chaos_drill
 from repro.service.client import ServiceClient, ServiceError
 from repro.service.jobqueue import (
     JOB_STATES,
@@ -64,10 +65,13 @@ __all__ = [
     "JobSpec",
     "JobStateError",
     "SHARD_CHOICES",
+    "ServiceChaosDrill",
     "ServiceClient",
     "ServiceError",
+    "ServiceScenario",
     "ShardedResultCache",
     "SweepService",
     "TERMINAL_STATES",
+    "service_chaos_drill",
     "service_from_config",
 ]

@@ -5,6 +5,14 @@ the service end to end (submit → poll → fetch → cancel) from the CLI
 verbs, the tests, and the benchmark harness.  Transport and HTTP-status
 failures both surface as :class:`ServiceError` carrying the status code
 and the server's ``error`` message, so callers never parse tracebacks.
+
+Submission is retried with bounded exponential backoff when the service
+sheds load (503 — honoring its ``Retry-After`` hint) or is briefly
+unreachable (status 0: connection refused mid-restart).  Every submit
+carries an ``Idempotency-Key`` header, generated once per :meth:`submit`
+call, so a retry after an ambiguous failure (the request landed but the
+response was lost) dedupes server-side instead of double-enqueuing the
+sweep.
 """
 
 from __future__ import annotations
@@ -13,7 +21,8 @@ import json
 import time
 import urllib.error
 import urllib.request
-from typing import Optional
+import uuid
+from typing import Callable, Optional
 
 
 class ServiceError(Exception):
@@ -21,36 +30,63 @@ class ServiceError(Exception):
 
     ``status`` is the HTTP status code (0 for transport failures —
     connection refused, timeouts); the message is the server's ``error``
-    field when it sent one.
+    field when it sent one.  ``retry_after_s`` carries the server's
+    ``Retry-After`` hint when the response had one (backpressure 503s).
     """
 
-    def __init__(self, status: int, message: str) -> None:
+    def __init__(
+        self, status: int, message: str, retry_after_s: Optional[float] = None
+    ) -> None:
         super().__init__(message)
         self.status = status
+        self.retry_after_s = retry_after_s
 
 
 class ServiceClient:
     """A client for one :class:`~repro.service.server.SweepService`.
 
     ``base_url`` is the service root (e.g. ``http://127.0.0.1:8642``);
-    ``timeout_s`` bounds each HTTP call.  Methods return the decoded
-    JSON payloads the endpoints document.
+    ``timeout_s`` bounds each HTTP call.  ``retries`` bounds how many
+    times :meth:`submit` re-attempts a shed (503) or unreachable
+    (status 0) request; backoff doubles from ``backoff_base_s`` up to
+    ``backoff_cap_s`` unless the server's ``Retry-After`` says when.
+    ``sleep`` is injectable so tests assert the backoff schedule without
+    waiting it out.  Methods return the decoded JSON payloads the
+    endpoints document.
     """
 
-    def __init__(self, base_url: str, timeout_s: float = 10.0) -> None:
+    def __init__(
+        self,
+        base_url: str,
+        timeout_s: float = 10.0,
+        retries: int = 0,
+        backoff_base_s: float = 0.25,
+        backoff_cap_s: float = 5.0,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout_s = timeout_s
+        self.retries = max(0, retries)
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+        self._sleep = sleep
 
     def _request(
-        self, method: str, path: str, body: Optional[dict] = None, raw: bool = False
+        self,
+        method: str,
+        path: str,
+        body: Optional[dict] = None,
+        raw: bool = False,
+        headers: Optional[dict] = None,
     ):
         data = None
-        headers = {"Accept": "application/json"}
+        request_headers = {"Accept": "application/json"}
         if body is not None:
             data = json.dumps(body).encode("utf-8")
-            headers["Content-Type"] = "application/json"
+            request_headers["Content-Type"] = "application/json"
+        request_headers.update(headers or {})
         request = urllib.request.Request(
-            self.base_url + path, data=data, headers=headers, method=method
+            self.base_url + path, data=data, headers=request_headers, method=method
         )
         try:
             with urllib.request.urlopen(request, timeout=self.timeout_s) as response:
@@ -61,21 +97,55 @@ class ServiceClient:
                 detail = json.loads(detail).get("error", detail)
             except ValueError:
                 pass
-            raise ServiceError(exc.code, f"{method} {path}: {detail}") from None
+            retry_after = exc.headers.get("Retry-After") if exc.headers else None
+            try:
+                retry_after = float(retry_after) if retry_after is not None else None
+            except ValueError:
+                retry_after = None
+            raise ServiceError(
+                exc.code, f"{method} {path}: {detail}", retry_after_s=retry_after
+            ) from None
         except urllib.error.URLError as exc:
             raise ServiceError(0, f"{method} {path}: {exc.reason}") from None
         return payload if raw else json.loads(payload)
 
+    def _backoff_s(self, attempt: int, error: ServiceError) -> float:
+        """How long to sleep before retry ``attempt`` (0-based): the
+        server's ``Retry-After`` when it sent one, else capped doubling."""
+        if error.retry_after_s is not None:
+            return max(0.0, error.retry_after_s)
+        return min(self.backoff_cap_s, self.backoff_base_s * (2.0 ** attempt))
+
+    @staticmethod
+    def _retryable(error: ServiceError) -> bool:
+        # 503 = backpressure or a draining restart; 0 = transport (the
+        # service is mid-restart).  Everything else is the caller's bug.
+        return error.status in (503, 0)
+
     # ------------------------------------------------------------------
     # The five verbs
 
-    def submit(self, spec: dict) -> dict:
-        """``POST /jobs`` — returns ``{"id": ..., "state": "QUEUED"}``.
+    def submit(self, spec: dict, idempotency_key: Optional[str] = None) -> dict:
+        """``POST /jobs`` — returns ``{"id", "state", "deduplicated"}``.
 
         ``spec`` is a JSON job spec (or anything with ``to_payload()``,
-        e.g. a :class:`~repro.service.jobqueue.JobSpec`)."""
+        e.g. a :class:`~repro.service.jobqueue.JobSpec`).  One
+        idempotency key covers the whole call including its internal
+        retries, so a retried submit returns the original job id with
+        ``deduplicated=True`` instead of enqueuing a duplicate."""
         payload = spec.to_payload() if hasattr(spec, "to_payload") else spec
-        return self._request("POST", "/jobs", body=payload)
+        key = idempotency_key or uuid.uuid4().hex
+        attempt = 0
+        while True:
+            try:
+                return self._request(
+                    "POST", "/jobs", body=payload, headers={"Idempotency-Key": key}
+                )
+            except ServiceError as exc:
+                if attempt >= self.retries or not self._retryable(exc):
+                    raise
+                self._sleep(self._backoff_s(attempt, exc))
+                attempt += 1
 
     def status(self, job_id: str) -> dict:
         """``GET /jobs/<id>`` — state, holes, stats."""
@@ -91,11 +161,20 @@ class ServiceClient:
         return self._request("POST", f"/jobs/{job_id}/cancel")
 
     def health(self) -> dict:
-        """``GET /health``."""
+        """``GET /health`` — the health state machine + counters."""
         return self._request("GET", "/health")
 
     # ------------------------------------------------------------------
     # Conveniences
+
+    def livez(self) -> dict:
+        """``GET /livez`` — process liveness."""
+        return self._request("GET", "/livez")
+
+    def readyz(self) -> dict:
+        """``GET /readyz`` — admission readiness (raises
+        :class:`ServiceError` 503 when draining or saturated)."""
+        return self._request("GET", "/readyz")
 
     def jobs(self) -> list:
         """``GET /jobs`` — every known job's status payload."""
@@ -107,16 +186,36 @@ class ServiceClient:
 
     def wait(self, job_id: str, timeout_s: float = 60.0, poll_s: float = 0.05) -> dict:
         """Poll until the job reaches a terminal state; returns the final
-        status payload, or raises :class:`ServiceError` on timeout."""
+        status payload, or raises :class:`ServiceError` on timeout.
+
+        Transport failures mid-poll (the service restarting) are treated
+        as "still waiting" until the deadline — a restarted service
+        replays its journal and resumes the job, so giving up on the
+        first refused connection would abandon work that still finishes.
+        """
         from repro.service.jobqueue import TERMINAL_STATES
 
         deadline = time.monotonic() + timeout_s
+        last_error: Optional[ServiceError] = None
+        state = "unknown"
         while True:
-            status = self.status(job_id)
-            if status["state"] in TERMINAL_STATES:
-                return status
+            try:
+                status = self.status(job_id)
+                state, last_error = status["state"], None
+                if state in TERMINAL_STATES:
+                    return status
+            except ServiceError as exc:
+                if exc.status != 0:
+                    raise
+                last_error = exc
             if time.monotonic() >= deadline:
+                if last_error is not None:
+                    raise ServiceError(
+                        0,
+                        f"job {job_id} unreachable after {timeout_s:g}s "
+                        f"({last_error})",
+                    )
                 raise ServiceError(
-                    0, f"job {job_id} still {status['state']} after {timeout_s:g}s"
+                    0, f"job {job_id} still {state} after {timeout_s:g}s"
                 )
-            time.sleep(poll_s)
+            self._sleep(poll_s)

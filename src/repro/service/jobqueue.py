@@ -6,26 +6,42 @@ priority) that the server later compiles to an
 :class:`~repro.harness.plans.ExperimentPlan`.  The queue owns the job
 lifecycle:
 
-``QUEUED → RUNNING → DONE / FAILED / CANCELLED / PARTIAL``
+``QUEUED → RUNNING → DONE / FAILED / CANCELLED / PARTIAL / DEAD_LETTER``
 
-with one extra edge — ``QUEUED → CANCELLED`` for jobs cancelled before a
-worker claims them, and ``RUNNING → QUEUED`` for the restart path (a job
-the previous process died holding is re-queued, not lost; its completed
-cells are already in the shared cache so the re-run is warm).
+with three extra edges — ``QUEUED → CANCELLED`` for jobs cancelled
+before a worker claims them, ``RUNNING → QUEUED`` for the requeue path
+(a job whose worker died or hung is re-queued, not lost; its completed
+cells are already in the shared cache so the re-run is warm), and
+``RUNNING → DEAD_LETTER`` once a job has burned through ``max_requeues``
+requeues — a job that keeps killing its worker stops being retried and
+waits for an operator instead of wedging the pool forever.
 
 Ordering is priority-FIFO: higher ``priority`` first, submission order
 within a priority (a heap over ``(-priority, seq)``).  Workers block in
 :meth:`JobQueue.claim` on a condition variable — no polling.
+
+**Leases.** A claim grants a time-bound lease (``lease_s`` seconds) and
+bumps the job's *claim epoch*.  The worker renews the lease through
+:meth:`heartbeat` as it makes progress; the server's reaper thread calls
+:meth:`reap` to requeue (or dead-letter) jobs whose lease expired — the
+signature of a worker thread that died or hung mid-job.  The epoch
+fences stale workers: a worker that hung past its lease and then woke up
+again cannot :meth:`finish` or :meth:`heartbeat` the job it lost — the
+queue discards the attempt and counts it in :attr:`lease_losses`.
 
 Every transition is persisted as one JSON line in an append-only journal
 reusing the :class:`~repro.resilience.CheckpointJournal` idiom: appends
 are line-atomic and ``fsync``'d before the transition returns, and the
 reader tolerates a torn final line (the worst a crash can cost is one
 transition record, and an un-journalled ``RUNNING`` just replays as a
-re-queued ``QUEUED`` job).  On construction the queue replays the
-journal: the latest state per job wins, non-terminal jobs go back on the
-heap, terminal jobs are retained with their persisted result payloads so
-a restarted service still answers ``GET /jobs/<id>/result``.
+re-queued ``QUEUED`` job).  When the active journal file exceeds
+``rotate_bytes`` it is atomically renamed to ``jobs.jsonl.<n>`` and a
+fresh active file started; replay folds every segment in rotation order
+before the active file, so rotation never loses a transition.  On
+construction the queue replays the journal: the latest state per job
+wins, non-terminal jobs go back on the heap, terminal jobs are retained
+with their persisted result payloads so a restarted service still
+answers ``GET /jobs/<id>/result``.
 """
 
 from __future__ import annotations
@@ -34,9 +50,10 @@ import heapq
 import json
 import os
 import threading
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.harness.plans import PLAN_KINDS
 
@@ -48,20 +65,26 @@ JOB_STATES: Tuple[str, ...] = (
     "FAILED",
     "CANCELLED",
     "PARTIAL",
+    "DEAD_LETTER",
 )
 
 #: States a job never leaves.
-TERMINAL_STATES = frozenset({"DONE", "FAILED", "CANCELLED", "PARTIAL"})
+TERMINAL_STATES = frozenset(
+    {"DONE", "FAILED", "CANCELLED", "PARTIAL", "DEAD_LETTER"}
+)
 
-#: Legal state-machine edges (see the module docstring for the two
-#: non-obvious ones: pre-claim cancel and restart re-queue).
+#: Legal state-machine edges (see the module docstring for the three
+#: non-obvious ones: pre-claim cancel, requeue, and dead-letter).
 _TRANSITIONS: Dict[str, frozenset] = {
     "QUEUED": frozenset({"RUNNING", "CANCELLED"}),
-    "RUNNING": frozenset({"DONE", "FAILED", "CANCELLED", "PARTIAL", "QUEUED"}),
+    "RUNNING": frozenset(
+        {"DONE", "FAILED", "CANCELLED", "PARTIAL", "QUEUED", "DEAD_LETTER"}
+    ),
     "DONE": frozenset(),
     "FAILED": frozenset(),
     "CANCELLED": frozenset(),
     "PARTIAL": frozenset(),
+    "DEAD_LETTER": frozenset(),
 }
 
 
@@ -197,6 +220,9 @@ class Job:
     (rendered tables plus structured curves); ``stats`` the engine-stats
     delta of the run.  ``cancel_requested`` is the soft-cancel flag for
     a ``RUNNING`` job — the server turns it into a supervisor drain.
+    ``failure`` is the structured error payload of a contained worker
+    crash (``{"type", "message", "worker"}``); ``claim_epoch`` and
+    ``lease_expires`` belong to the lease machinery (module docstring).
     """
 
     id: str
@@ -210,6 +236,9 @@ class Job:
     result: Optional[dict] = None
     requeues: int = 0
     cancel_requested: bool = False
+    failure: Optional[dict] = None
+    claim_epoch: int = 0
+    lease_expires: Optional[float] = None
 
     @property
     def terminal(self) -> bool:
@@ -227,6 +256,7 @@ class Job:
             "holes": list(self.holes),
             "stats": self.stats,
             "error": self.error,
+            "failure": self.failure,
             "requeues": self.requeues,
             "cancel_requested": self.cancel_requested,
         }
@@ -237,30 +267,87 @@ class JobQueue:
 
     ``journal`` is the JSONL path (``None`` = in-memory only, for
     tests); an existing journal is replayed on construction — see the
-    module docstring for the resume semantics.  All methods are
+    module docstring for the resume semantics.  ``lease_s`` /
+    ``max_requeues`` configure the lease machinery; ``clock`` is
+    injectable for tests (monotonic seconds).  ``rotate_bytes`` bounds
+    the active journal file (``None`` = never rotate).  ``injector`` is
+    the optional service-level fault injector (duck-typed: only
+    ``tears_append(record)`` is consulted) used by the chaos drill to
+    tear journal appends deterministically.  All methods are
     thread-safe; :meth:`claim` blocks until a job or :meth:`close`.
     """
 
-    def __init__(self, journal: Optional[Union[str, Path]] = None) -> None:
+    def __init__(
+        self,
+        journal: Optional[Union[str, Path]] = None,
+        lease_s: float = 60.0,
+        max_requeues: int = 3,
+        clock: Callable[[], float] = time.monotonic,
+        rotate_bytes: Optional[int] = None,
+        injector: Optional[object] = None,
+    ) -> None:
+        if lease_s <= 0:
+            raise ValueError(f"lease_s must be positive, got {lease_s!r}")
+        if max_requeues < 0:
+            raise ValueError(f"max_requeues must be >= 0, got {max_requeues!r}")
         self.path = Path(journal) if journal is not None else None
+        self.lease_s = lease_s
+        self.max_requeues = max_requeues
+        self._clock = clock
+        self.rotate_bytes = rotate_bytes
+        self._injector = injector
         self._cond = threading.Condition()
         self._jobs: Dict[str, Job] = {}
         self._heap: List[Tuple[int, int, str]] = []  # (-priority, seq, id)
         self._seq = 0
         self._closed = False
         self._torn_tail = False
+        self._segment = 0  # highest rotated-segment index on disk
+        self._idempotency: Dict[str, str] = {}  # Idempotency-Key -> job id
         self.requeued = 0  # RUNNING jobs inherited from a dead process
+        self.renewals = 0  # successful heartbeat lease renewals
+        self.lease_losses = 0  # stale-epoch heartbeats/finishes discarded
+        self.reaped = 0  # expired leases requeued by reap()
+        self.dead_lettered = 0  # jobs parked terminally by reap()
         if self.path is not None:
             self._replay()
 
     # ------------------------------------------------------------------
     # Journal (the CheckpointJournal idiom: fsync'd line-atomic appends,
-    # torn-tail tolerant replay)
+    # torn-tail tolerant replay, size-bounded rotation)
+
+    def _segments(self) -> List[Path]:
+        """Rotated journal segments in rotation (= chronological) order."""
+        if self.path is None:
+            return []
+        found = []
+        for candidate in self.path.parent.glob(self.path.name + ".*"):
+            suffix = candidate.name[len(self.path.name) + 1:]
+            if suffix.isdigit():
+                found.append((int(suffix), candidate))
+        return [path for _, path in sorted(found)]
 
     def _append(self, record: dict) -> None:
         if self.path is None:
             return
         line = json.dumps(record, sort_keys=True)
+        if self._injector is not None and self._injector.tears_append(record):
+            # Chaos drill: simulate a crash mid-append — half the line,
+            # no newline, no rotation.  The in-memory state already has
+            # the transition; only a restart sees the torn journal.
+            line = line[: max(1, len(line) // 2)]
+            try:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                with self.path.open("a") as fh:
+                    if self._torn_tail:
+                        fh.write("\n")
+                    fh.write(line)
+                    fh.flush()
+                    os.fsync(fh.fileno())
+                self._torn_tail = True
+            except OSError:
+                pass
+            return
         if self._torn_tail:
             line = "\n" + line
             self._torn_tail = False
@@ -270,33 +357,71 @@ class JobQueue:
                 fh.write(line + "\n")
                 fh.flush()
                 os.fsync(fh.fileno())
+                size = fh.tell()
         except OSError:
-            pass  # the journal accelerates restart, it is not correctness
+            return  # the journal accelerates restart, it is not correctness
+        if self.rotate_bytes is not None and size >= self.rotate_bytes:
+            self._rotate()
+
+    def _rotate(self) -> None:
+        """Seal the active journal file as the next numbered segment.
+
+        ``os.replace`` is atomic, so a crash leaves either the old
+        active file or the new segment — never a half state — and replay
+        finds every line either way.
+        """
+        self._segment += 1
+        try:
+            os.replace(self.path, self.path.with_name(f"{self.path.name}.{self._segment}"))
+        except OSError:
+            self._segment -= 1
 
     def _replay(self) -> None:
+        segments = self._segments()
+        if segments:
+            self._segment = int(segments[-1].name.rsplit(".", 1)[1])
+        for source in segments:
+            try:
+                text = source.read_text()
+            except OSError:
+                continue
+            for line in text.splitlines():
+                self._replay_line(line)
         try:
             text = self.path.read_text()
         except OSError:
-            return
+            text = ""
         self._torn_tail = bool(text) and not text.endswith("\n")
         for line in text.splitlines():
-            try:
-                record = json.loads(line)
-            except ValueError:
-                continue  # torn line from an interrupted writer
-            if not isinstance(record, dict):
-                continue
-            self._apply(record)
-        # Jobs the dead process was running resume as QUEUED: their
-        # completed cells are in the shared cache, so the re-run is warm.
+            self._replay_line(line)
+        # Jobs the dead process was running resume as QUEUED — their
+        # completed cells are in the shared cache, so the re-run is warm —
+        # unless they already burned their requeue budget, in which case
+        # they dead-letter rather than crash-loop the restarted service.
         for job in self._jobs.values():
             if job.state == "RUNNING":
+                if job.requeues >= self.max_requeues:
+                    job.state = "DEAD_LETTER"
+                    job.error = self._dead_letter_error(job)
+                    self.dead_lettered += 1
+                    self._append(
+                        {"id": job.id, "state": "DEAD_LETTER", "error": job.error}
+                    )
+                    continue
                 job.state = "QUEUED"
                 job.requeues += 1
                 self.requeued += 1
                 self._append({"id": job.id, "state": "QUEUED", "requeued": True})
             if job.state == "QUEUED":
                 heapq.heappush(self._heap, (-job.spec.priority, job.seq, job.id))
+
+    def _replay_line(self, line: str) -> None:
+        try:
+            record = json.loads(line)
+        except ValueError:
+            return  # torn line from an interrupted writer
+        if isinstance(record, dict):
+            self._apply(record)
 
     def _apply(self, record: dict) -> None:
         """Fold one journal line into the replayed state (last wins)."""
@@ -322,32 +447,57 @@ class JobQueue:
             job.state = state
         if record.get("requeued"):
             job.requeues += 1
-        for key in ("error", "cells", "holes", "stats", "result"):
-            if key in record:
-                setattr(job, key, record[key])
+        requeues = record.get("requeues")
+        if isinstance(requeues, int) and not isinstance(requeues, bool):
+            job.requeues = requeues  # compacted snapshot carries the count
+        key = record.get("idempotency_key")
+        if isinstance(key, str) and key:
+            self._idempotency[key] = job_id
+        for field_name in ("error", "cells", "holes", "stats", "result", "failure"):
+            if field_name in record:
+                setattr(job, field_name, record[field_name])
 
     # ------------------------------------------------------------------
     # Producer side
 
     def submit(self, spec: JobSpec) -> Job:
         """Enqueue a job; returns it with its assigned id, journalled."""
+        return self.submit_idempotent(spec)[0]
+
+    def submit_idempotent(
+        self, spec: JobSpec, idempotency_key: Optional[str] = None
+    ) -> Tuple[Job, bool]:
+        """Enqueue a job, deduplicating on ``idempotency_key``.
+
+        Returns ``(job, created)``: a key the queue has already seen
+        returns the original job with ``created=False`` instead of
+        double-enqueuing — which is what makes a client-side submit
+        retry safe.  The key is journalled with the submit record so the
+        dedup map survives restart.
+        """
         with self._cond:
             if self._closed:
                 raise JobStateError("queue is closed")
+            if idempotency_key:
+                existing = self._idempotency.get(idempotency_key)
+                if existing is not None and existing in self._jobs:
+                    return self._jobs[existing], False
             self._seq += 1
             job = Job(id=f"job-{self._seq:06d}", spec=spec, seq=self._seq)
             self._jobs[job.id] = job
             heapq.heappush(self._heap, (-spec.priority, job.seq, job.id))
-            self._append(
-                {
-                    "id": job.id,
-                    "seq": job.seq,
-                    "state": "QUEUED",
-                    "spec": spec.to_payload(),
-                }
-            )
+            record = {
+                "id": job.id,
+                "seq": job.seq,
+                "state": "QUEUED",
+                "spec": spec.to_payload(),
+            }
+            if idempotency_key:
+                self._idempotency[idempotency_key] = job.id
+                record["idempotency_key"] = idempotency_key
+            self._append(record)
             self._cond.notify()
-            return job
+            return job, True
 
     def cancel(self, job_id: str) -> Optional[str]:
         """Cancel a job.  ``QUEUED`` jobs go straight to ``CANCELLED``
@@ -370,11 +520,16 @@ class JobQueue:
 
     def claim(self, timeout: Optional[float] = None) -> Optional[Job]:
         """Block until a job is available, claim it (→ ``RUNNING``), and
-        return it; ``None`` on timeout or once the queue is closed."""
+        return it; ``None`` on timeout or once the queue is closed.  The
+        claim grants a ``lease_s`` lease and bumps the job's claim epoch
+        — snapshot ``job.claim_epoch`` immediately and pass it to
+        :meth:`heartbeat`/:meth:`finish` so a lost lease fences you."""
         with self._cond:
             while True:
                 job = self._pop_locked()
                 if job is not None:
+                    job.claim_epoch += 1
+                    job.lease_expires = self._clock() + self.lease_s
                     self._transition_locked(job, "RUNNING")
                     return job
                 if self._closed:
@@ -390,6 +545,61 @@ class JobQueue:
                 return job
         return None
 
+    def heartbeat(self, job_id: str, epoch: Optional[int] = None) -> bool:
+        """Renew a ``RUNNING`` job's lease; returns whether the renewal
+        landed.  ``False`` means the lease is lost — the job was reaped
+        (requeued or dead-lettered) or finished under another epoch —
+        and the worker should treat its in-flight run as abandoned."""
+        with self._cond:
+            job = self._jobs.get(job_id)
+            if job is None or job.state != "RUNNING":
+                if job is not None:
+                    self.lease_losses += 1
+                return False
+            if epoch is not None and epoch != job.claim_epoch:
+                self.lease_losses += 1
+                return False
+            job.lease_expires = self._clock() + self.lease_s
+            self.renewals += 1
+            return True
+
+    def reap(self) -> List[Job]:
+        """Requeue (or dead-letter) every ``RUNNING`` job whose lease
+        expired; returns the jobs touched.  Called periodically by the
+        server's reaper thread; heartbeats are not journalled, so an
+        expired lease is purely an in-memory observation — the journal
+        only records the resulting transition."""
+        with self._cond:
+            now = self._clock()
+            touched: List[Job] = []
+            for job in list(self._jobs.values()):
+                if job.state != "RUNNING":
+                    continue
+                if job.lease_expires is None or job.lease_expires > now:
+                    continue
+                if job.requeues >= self.max_requeues:
+                    error = self._dead_letter_error(job)
+                    self._transition_locked(job, "DEAD_LETTER", error=error)
+                    job.error = error
+                    self.dead_lettered += 1
+                else:
+                    job.requeues += 1
+                    self.reaped += 1
+                    job.lease_expires = None
+                    self._transition_locked(job, "QUEUED", requeued=True)
+                    heapq.heappush(self._heap, (-job.spec.priority, job.seq, job.id))
+                    self._cond.notify()
+                touched.append(job)
+            return touched
+
+    def _dead_letter_error(self, job: Job) -> str:
+        return (
+            f"dead-lettered after {job.requeues} requeue(s): the worker "
+            f"lease ({self.lease_s:g}s) expired {job.requeues + 1} times — "
+            f"the job keeps killing or hanging its worker; inspect it and "
+            f"resubmit (max_requeues={self.max_requeues})"
+        )
+
     def finish(
         self,
         job_id: str,
@@ -399,18 +609,34 @@ class JobQueue:
         holes: Optional[Sequence[dict]] = None,
         stats: Optional[dict] = None,
         result: Optional[dict] = None,
-    ) -> Job:
+        failure: Optional[dict] = None,
+        epoch: Optional[int] = None,
+    ) -> Optional[Job]:
         """Record a ``RUNNING`` job's terminal outcome, journalled with
-        its full payload so a restarted service still serves it."""
+        its full payload so a restarted service still serves it.
+
+        With ``epoch`` set, a completion whose claim epoch is no longer
+        current — the lease expired and the reaper requeued or
+        dead-lettered the job — is silently discarded (returns ``None``
+        and counts a lease loss) rather than clobbering the new owner's
+        run.  Without ``epoch`` the legacy unfenced behavior applies.
+        """
         if state not in TERMINAL_STATES:
             raise JobStateError(f"{state!r} is not a terminal state")
         with self._cond:
             job = self._require(job_id)
+            if epoch is not None and (
+                epoch != job.claim_epoch or job.state != "RUNNING"
+            ):
+                self.lease_losses += 1
+                return None
             job.error = error
             job.cells = cells
             job.holes = list(holes or [])
             job.stats = stats
             job.result = result
+            job.failure = failure
+            job.lease_expires = None
             self._transition_locked(
                 job,
                 state,
@@ -419,6 +645,7 @@ class JobQueue:
                 holes=job.holes,
                 stats=stats,
                 result=result,
+                failure=failure,
             )
             return job
 
@@ -460,6 +687,12 @@ class JobQueue:
     def running(self) -> int:
         with self._cond:
             return sum(1 for j in self._jobs.values() if j.state == "RUNNING")
+
+    @property
+    def dead_letters(self) -> int:
+        """Jobs parked in ``DEAD_LETTER`` awaiting operator review."""
+        with self._cond:
+            return sum(1 for j in self._jobs.values() if j.state == "DEAD_LETTER")
 
     def close(self) -> None:
         """Stop claim(): blocked workers wake up and return ``None``."""

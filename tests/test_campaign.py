@@ -142,7 +142,7 @@ class TestCampaignService:
     def _run_job(self, tmp_path, spec: JobSpec):
         svc = SweepService(tmp_path / "state", port=0)
         worker = svc.make_worker()
-        job = svc.submit(spec)
+        job, _ = svc.submit(spec)
         assert svc.queue.claim(timeout=1.0) is job
         worker.execute(job)
         return job

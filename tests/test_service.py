@@ -385,7 +385,7 @@ class TestCostModelWarmStart:
 class TestServiceHTTP:
     def test_health_and_metrics(self, client):
         health = client.health()
-        assert health["status"] == "ok"
+        assert health["status"] == "healthy"
         assert health["workers"] == 1
         assert set(health["cache"]) == {"corrupt", "hot_hits", "legacy_hits", "shards"}
         assert "service.queue.depth" in client.metrics()
@@ -524,7 +524,7 @@ class TestServiceExecution:
         # lands CANCELLED, not FAILED.
         svc = SweepService(tmp_path / "state", port=0)
         worker = svc.make_worker()
-        job = svc.submit(_quick_spec(multiples=(2.0, 3.0, 4.0, 5.0)))
+        job, _ = svc.submit(_quick_spec(multiples=(2.0, 3.0, 4.0, 5.0)))
         claimed = svc.queue.claim(timeout=1.0)
         assert claimed is job
 
@@ -548,7 +548,7 @@ class TestServiceExecution:
     def test_budget_refusals_surface_as_holes(self, tmp_path):
         svc = SweepService(tmp_path / "state", port=0)
         worker = svc.make_worker()
-        job = svc.submit(
+        job, _ = svc.submit(
             _quick_spec(multiples=(2.0, 3.0, 4.0), budget_s=1e-9)
         )
         assert svc.queue.claim(timeout=1.0) is job
@@ -562,8 +562,8 @@ class TestServiceExecution:
     def test_restart_resumes_queued_and_running(self, tmp_path):
         state = tmp_path / "state"
         first = SweepService(state, port=0)
-        queued_job = first.submit(_quick_spec())
-        running_job = first.submit(_quick_spec(multiples=(3.0,)))
+        queued_job, _ = first.submit(_quick_spec())
+        running_job, _ = first.submit(_quick_spec(multiples=(3.0,)))
         # Simulate a crash mid-job: claim advances one job to RUNNING,
         # then the process "dies" without finishing it.
         claimed = first.queue.claim(timeout=1.0)
